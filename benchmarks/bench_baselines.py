@@ -1,0 +1,66 @@
+"""Supporting-substrate benchmark: baseline fit/rank throughput.
+
+Times the TF-IDF and LDA baselines (fit on a city corpus; rank a query
+range), plus the BM25 extension — the costs behind the Table-2 runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines.bm25 import Bm25Ranker
+from repro.baselines.lda import LdaRanker
+from repro.baselines.tfidf import TfIdfRanker
+
+
+@pytest.fixture(scope="module")
+def records(sl_corpus):
+    return list(sl_corpus.dataset)
+
+
+@pytest.fixture(scope="module")
+def ranked_inputs(sl_corpus, sl_queries):
+    pairs = []
+    for query in sl_queries:
+        pairs.append((query.text, sl_corpus.dataset.in_range(query.box)))
+    return pairs
+
+
+def test_tfidf_fit(benchmark, records):
+    ranker = benchmark.pedantic(
+        lambda: TfIdfRanker().fit(records), rounds=1, iterations=1
+    )
+    assert ranker.is_fitted
+
+
+def test_tfidf_rank(benchmark, records, ranked_inputs):
+    ranker = TfIdfRanker().fit(records)
+    cycle = itertools.cycle(ranked_inputs)
+
+    def rank():
+        text, candidates = next(cycle)
+        return ranker.rank(text, candidates, 10)
+
+    benchmark(rank)
+
+
+def test_lda_fit(benchmark, records):
+    ranker = benchmark.pedantic(
+        lambda: LdaRanker(n_topics=10, max_iterations=10).fit(records),
+        rounds=1,
+        iterations=1,
+    )
+    assert ranker is not None
+
+
+def test_bm25_rank(benchmark, records, ranked_inputs):
+    ranker = Bm25Ranker().fit(records)
+    cycle = itertools.cycle(ranked_inputs)
+
+    def rank():
+        text, candidates = next(cycle)
+        return ranker.rank(text, candidates, 10)
+
+    benchmark(rank)

@@ -1,0 +1,58 @@
+"""Ablation ABL-K — the filtering fan-out fed to the LLM.
+
+The paper fixes the filtering stage's top-k at the evaluation k ("The
+top-k most similar objects are fetched ... to limit the LLM costs"). This
+ablation sweeps the candidate count: a larger fan-out raises recall into
+the refinement stage at higher (modelled) LLM cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import SemaSK, SemaSKConfig
+from repro.core.query import SpatialKeywordQuery
+from repro.eval.metrics import f1_at_k, mean, recall_at_k
+
+
+def _evaluate(corpus, queries, candidate_k: int) -> dict[str, float]:
+    system = SemaSK(
+        corpus.prepared,
+        SemaSKConfig(refine_model="gpt-4o", candidate_k=candidate_k),
+        llm=corpus.llm,
+    )
+    f1s, recalls, costs = [], [], []
+    before = corpus.llm.ledger.input_tokens.get("gpt-4o", 0)
+    for query in queries:
+        result = system.query(
+            SpatialKeywordQuery(range=query.box, text=query.text)
+        )
+        ids = result.ids(10)
+        f1s.append(f1_at_k(ids, query.answer_ids, 10))
+        recalls.append(recall_at_k(ids, query.answer_ids, 10))
+    after = corpus.llm.ledger.input_tokens.get("gpt-4o", 0)
+    costs.append((after - before) / max(len(queries), 1))
+    return {
+        "f1": mean(f1s),
+        "recall": mean(recalls),
+        "prompt_tokens_per_query": mean(costs),
+    }
+
+
+def test_candidate_k_sweep(benchmark, sl_corpus, sl_queries):
+    def sweep():
+        return {
+            k: _evaluate(sl_corpus, sl_queries, k) for k in (5, 10, 20, 30)
+        }
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Wider fan-out cannot lose answer-set recall (monotone non-decreasing
+    # up to LLM noise); prompt cost must grow with k.
+    assert curve[30]["recall"] >= curve[5]["recall"] - 0.05
+    assert (
+        curve[30]["prompt_tokens_per_query"]
+        > curve[5]["prompt_tokens_per_query"]
+    )
+    benchmark.extra_info["by_candidate_k"] = {
+        str(k): {m: round(v, 3) for m, v in row.items()}
+        for k, row in curve.items()
+    }

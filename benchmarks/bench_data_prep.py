@@ -1,0 +1,70 @@
+"""Experiment PREP — §3.1 data-preparation statistics and throughput.
+
+The paper reports ~11 tips per POI (~147 tokens together) and ~55-token
+LLM summaries, and implies per-POI LLM summarization cost is the
+bottleneck motivating embeddings. This bench measures preparation
+throughput and checks the corpus statistics land near the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.core.prepare import DataPreparation
+from repro.data.dataset import Dataset
+from repro.data.yelp import YelpStyleGenerator
+from repro.geo.regions import NASHVILLE
+from repro.llm.simulated import SimulatedLLM
+from repro.vectordb.client import VectorDBClient
+
+_N_POIS = 400
+
+
+def _fresh_dataset() -> Dataset:
+    records = YelpStyleGenerator(seed=21).generate_city(NASHVILLE, count=_N_POIS)
+    return Dataset(records, "NS")
+
+
+def test_data_preparation_pipeline(benchmark):
+    def prepare():
+        dataset = _fresh_dataset()
+        llm = SimulatedLLM()
+        preparation = DataPreparation(llm=llm, client=VectorDBClient())
+        prepared = preparation.prepare(dataset)
+        return dataset, llm, prepared
+
+    dataset, llm, prepared = benchmark.pedantic(prepare, rounds=1, iterations=1)
+
+    stats = dataset.statistics()
+    # Paper: 11 tips, 147 tip tokens, 55 summary tokens per POI.
+    assert 9 <= stats["avg_tips"] <= 13
+    assert 90 <= stats["avg_tip_tokens"] <= 190
+    assert 15 <= stats["avg_summary_tokens"] <= 80
+    # One summarization call per POI, all on gpt-3.5-turbo.
+    ledger = llm.ledger
+    assert ledger.calls.get("gpt-3.5-turbo") == _N_POIS
+    # Every POI indexed in the vector database.
+    collection = prepared.client.get_collection(prepared.collection_name)
+    assert len(collection) == _N_POIS
+
+    benchmark.extra_info["pois"] = _N_POIS
+    benchmark.extra_info["avg_tips"] = round(stats["avg_tips"], 1)
+    benchmark.extra_info["avg_tip_tokens"] = round(stats["avg_tip_tokens"], 1)
+    benchmark.extra_info["avg_summary_tokens"] = round(
+        stats["avg_summary_tokens"], 1
+    )
+    benchmark.extra_info["paper"] = {
+        "avg_tips": 11, "avg_tip_tokens": 147, "avg_summary_tokens": 55,
+    }
+    benchmark.extra_info["summarization_cost_usd"] = round(
+        ledger.total_cost_usd(), 4
+    )
+
+
+def test_embedding_throughput(benchmark, sl_corpus):
+    """Per-document embedding cost (the paper's offline indexing step)."""
+    import itertools
+    embedder = sl_corpus.prepared.embedder
+    docs = [r.document_text() for r in list(sl_corpus.dataset)[:200]]
+    cycle = itertools.cycle(docs)
+
+    benchmark(lambda: embedder.embed(next(cycle)))
+    assert benchmark.stats["mean"] < 0.05

@@ -1,0 +1,93 @@
+"""Ablation ABL-HNSW — recall/latency of the from-scratch HNSW index.
+
+The paper relies on Qdrant's HNSW for approximate kNN in the filtering
+step. This ablation validates our implementation: recall@10 against exact
+search across ``ef`` values, plus build and search timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vectordb.flat import FlatIndex
+from repro.vectordb.hnsw import HNSWIndex
+
+_N = 3000
+_DIM = 64
+_QUERIES = 40
+
+
+def _unit(n: int, dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vecs = rng.standard_normal((n, dim)).astype(np.float32)
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def indexes():
+    vecs = _unit(_N, _DIM, seed=1)
+    hnsw = HNSWIndex(_DIM, m=16, ef_construction=100, seed=2)
+    flat = FlatIndex(_DIM)
+    for v in vecs:
+        hnsw.add(v)
+        flat.add(v)
+    return vecs, hnsw, flat
+
+
+def _recall(hnsw: HNSWIndex, flat: FlatIndex, queries: np.ndarray, ef: int) -> float:
+    hits = 0
+    for q in queries:
+        approx = {i for i, _ in hnsw.search(q, 10, ef=ef)}
+        exact = {i for i, _ in flat.search(q, 10)}
+        hits += len(approx & exact)
+    return hits / (len(queries) * 10)
+
+
+def test_hnsw_build(benchmark):
+    vecs = _unit(800, _DIM, seed=3)
+
+    def build():
+        index = HNSWIndex(_DIM, m=16, ef_construction=100, seed=4)
+        for v in vecs:
+            index.add(v)
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(index) == 800
+
+
+def test_hnsw_search_latency(benchmark, indexes):
+    vecs, hnsw, _ = indexes
+    queries = _unit(_QUERIES, _DIM, seed=5)
+    import itertools
+    cycle = itertools.cycle(queries)
+
+    results = benchmark(lambda: hnsw.search(next(cycle), 10, ef=64))
+    assert len(results) == 10
+
+
+def test_exact_search_latency(benchmark, indexes):
+    _, _, flat = indexes
+    queries = _unit(_QUERIES, _DIM, seed=6)
+    import itertools
+    cycle = itertools.cycle(queries)
+
+    results = benchmark(lambda: flat.search(next(cycle), 10))
+    assert len(results) == 10
+
+
+def test_recall_vs_ef(benchmark, indexes):
+    """The recall-vs-beam-width curve: wider beams, better recall."""
+    _, hnsw, flat = indexes
+    queries = _unit(_QUERIES, _DIM, seed=7)
+
+    def sweep():
+        return {ef: _recall(hnsw, flat, queries, ef) for ef in (16, 32, 64, 128)}
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert curve[128] >= curve[16] - 0.02, "recall should improve with ef"
+    assert curve[128] >= 0.9, f"recall@10 too low at ef=128: {curve[128]}"
+    benchmark.extra_info["recall_at_10_by_ef"] = {
+        str(ef): round(r, 3) for ef, r in curve.items()
+    }

@@ -1,0 +1,43 @@
+"""Experiment T2-k25 — the paper's claim that patterns hold for k = 25.
+
+"Similar result patterns are observed when k is varied (e.g., for k = 25)"
+(§4). Runs the Saint Louis evaluation at k = 10 and k = 25 and asserts
+the system ordering is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import evaluate_city
+
+_SYSTEMS = ("TF-IDF", "SemaSK-EM", "SemaSK-O1", "SemaSK")
+
+
+def _ordering(f1: dict[str, float]) -> list[str]:
+    return sorted(_SYSTEMS, key=lambda s: f1[s])
+
+
+def test_k25_pattern_matches_k10(benchmark, sl_corpus, sl_queries):
+    def run():
+        at_10 = evaluate_city(
+            sl_corpus, sl_queries, k=10, systems=_SYSTEMS, candidate_k=10
+        )
+        at_25 = evaluate_city(
+            sl_corpus, sl_queries, k=25, systems=_SYSTEMS, candidate_k=25
+        )
+        return at_10, at_25
+
+    at_10, at_25 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The paper's claim: same winner and same baseline-vs-LLM separation.
+    assert _ordering(at_10.f1)[-1] in ("SemaSK", "SemaSK-O1")
+    assert _ordering(at_25.f1)[-1] in ("SemaSK", "SemaSK-O1")
+    for evaluation in (at_10, at_25):
+        assert evaluation.f1["SemaSK"] > evaluation.f1["TF-IDF"]
+        assert evaluation.f1["SemaSK-O1"] > evaluation.f1["SemaSK-EM"]
+
+    benchmark.extra_info["f1_at_10"] = {
+        s: round(v, 3) for s, v in at_10.f1.items()
+    }
+    benchmark.extra_info["f1_at_25"] = {
+        s: round(v, 3) for s, v in at_25.f1.items()
+    }

@@ -1,0 +1,78 @@
+"""Supporting-substrate benchmark: spatial range-query structures.
+
+Not a paper table — validates that the range-filtering substrate is not
+the bottleneck the paper's filtering claim depends on, and compares the
+R-tree, the grid, and a linear scan on city-scale data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+from repro.geo.regions import SAINT_LOUIS
+from repro.spatial.grid import GridIndex
+from repro.spatial.rtree import RTree
+
+_N = 5000
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = random.Random(3)
+    bounds = SAINT_LOUIS.bounds
+    return [
+        (
+            i,
+            rng.uniform(bounds.min_lat, bounds.max_lat),
+            rng.uniform(bounds.min_lon, bounds.max_lon),
+        )
+        for i in range(_N)
+    ]
+
+
+@pytest.fixture(scope="module")
+def boxes():
+    rng = random.Random(4)
+    bounds = SAINT_LOUIS.bounds
+    result = []
+    for _ in range(50):
+        lat = rng.uniform(bounds.min_lat, bounds.max_lat)
+        lon = rng.uniform(bounds.min_lon, bounds.max_lon)
+        result.append(BoundingBox.around(GeoPoint(lat, lon), 5, 5))
+    return result
+
+
+def test_rtree_range_query(benchmark, points, boxes):
+    tree = RTree.bulk_load(points)
+    cycle = itertools.cycle(boxes)
+    benchmark(lambda: tree.range_query(next(cycle)))
+
+
+def test_grid_range_query(benchmark, points, boxes):
+    grid = GridIndex(SAINT_LOUIS.bounds, cells_per_axis=64)
+    for i, lat, lon in points:
+        grid.insert(i, lat, lon)
+    cycle = itertools.cycle(boxes)
+    benchmark(lambda: grid.range_query(next(cycle)))
+
+
+def test_linear_scan_range_query(benchmark, points, boxes):
+    cycle = itertools.cycle(boxes)
+
+    def scan():
+        box = next(cycle)
+        return [i for i, lat, lon in points if box.contains_coords(lat, lon)]
+
+    benchmark(scan)
+
+
+def test_rtree_bulk_load(benchmark, points):
+    tree = benchmark.pedantic(
+        RTree.bulk_load, args=(points,), rounds=1, iterations=1
+    )
+    assert len(tree) == _N

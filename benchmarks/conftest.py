@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to *downsized-but-faithful* corpora so the whole suite
+runs in minutes; set ``REPRO_FULL=1`` to run at the paper's scale (full
+POI counts, 30 queries per city).
+
+Heavy experiment benchmarks (whole-table reproductions) are timed with a
+single round via ``benchmark.pedantic`` — their value is the reproduced
+numbers (attached as ``extra_info``), not statistical timing. Hot-path
+benchmarks (filtering, HNSW search) use normal multi-round timing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.corpus import EvalCorpus, get_corpus
+from repro.eval.experiments import build_test_queries
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
+
+#: POIs per city in downsized mode (None = paper counts in full mode).
+POI_COUNT = None if FULL_SCALE else 1200
+#: Queries per city (paper: 30).
+QUERY_COUNT = 30 if FULL_SCALE else 10
+
+
+@pytest.fixture(scope="session")
+def sl_corpus() -> EvalCorpus:
+    """Prepared Saint Louis corpus."""
+    return get_corpus("SL", seed=7, count=POI_COUNT)
+
+
+@pytest.fixture(scope="session")
+def sl_queries(sl_corpus):
+    """Vetted query set for Saint Louis."""
+    return build_test_queries(sl_corpus, count=QUERY_COUNT)
+
+
+@pytest.fixture(scope="session")
+def mel_corpus() -> EvalCorpus:
+    """Prepared Melbourne corpus (Figure 1 scenario)."""
+    return get_corpus("MEL", seed=7, count=600)

@@ -1,0 +1,51 @@
+"""Ablation: how good does the refinement LLM need to be?
+
+Sweeps the simulated refinement model's judgment-noise and lexicon-coverage
+knobs and plots F1@10 — interpolating between an ideal judge and a model so
+degraded it underperforms embeddings-only retrieval. This quantifies the
+design choice at the heart of the paper: the pipeline's quality is the
+LLM's judgment quality.
+
+Usage::
+
+    python examples/ablation_llm_quality.py [--pois N] [--queries N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import build_test_queries, get_corpus
+from repro.eval.ablations import llm_quality_sweep
+from repro.eval.figures import bar_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pois", type=int, default=0,
+                        help="POIs (0 = the paper's Saint Louis count)")
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    corpus = get_corpus("SL", seed=args.seed, count=args.pois or None)
+    queries = build_test_queries(corpus, count=args.queries)
+    print(f"corpus: {len(corpus.dataset)} POIs, {len(queries)} queries\n")
+
+    points = llm_quality_sweep(corpus, queries)
+    chart = {
+        f"drop={p.drop_rate:.2f} miss={p.knowledge_slope:.1f}": p.f1
+        for p in points
+    }
+    print("F1@10 vs refinement-model degradation "
+          "(drop = judgment noise, miss = lexicon slope):\n")
+    print(bar_chart(chart, width=44, max_value=1.0))
+    print(
+        "\nReading: the real gpt-4o profile sits near the second bar; "
+        "once the judge misses most paraphrases, refinement stops paying "
+        "for its latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Conversational refinement: narrowing an answer over multiple turns.
+
+The paper's conclusion points at further semantics-aware query processing
+studies; the most natural demo-system extension is follow-up turns. This
+example asks for a place to eat, then narrows twice — each turn re-uses
+the same spatial range and re-ranks with the LLM under the accumulated
+constraints.
+
+Usage::
+
+    python examples/conversational_search.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ConversationalSession, SpatialKeywordQuery, semask
+from repro.eval import get_corpus
+from repro.geo import SAINT_LOUIS
+
+
+def show(label: str, result) -> None:
+    print(f"\n--- {label} ---")
+    if not result.entries:
+        print("  (no recommendations)")
+    for entry in result.entries[:5]:
+        print(f"  * {entry.name}")
+        print(f"      {entry.reason[:110]}")
+
+
+def main() -> None:
+    corpus = get_corpus("SL", count=1500)
+    system = semask(corpus.prepared, llm=corpus.llm, candidate_k=15)
+    box = SpatialKeywordQuery.around(
+        SAINT_LOUIS.center, "placeholder", 6, 6
+    ).range
+    session = ConversationalSession(system=system, range=box)
+
+    first = session.ask("I want somewhere nice to grab a bite tonight")
+    show("turn 1: somewhere to eat", first)
+
+    second = session.refine("it should have outdoor seating")
+    show("turn 2: ...with outdoor seating", second)
+
+    third = session.refine("and a good wine selection")
+    show("turn 3: ...and good wine", third)
+
+    print("\nconversation history:", " | ".join(session.history()))
+    print(
+        f"all {len(session.turns)} turns reused the same 6 km x 6 km range; "
+        f"final answer set: {len(third.entries)} POIs"
+    )
+
+
+if __name__ == "__main__":
+    main()

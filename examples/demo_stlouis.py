@@ -1,0 +1,63 @@
+"""Figure 3 reproduction: the SemaSK demo on Downtown St. Louis.
+
+Builds the demo page for the paper's example query ("I am looking for a
+bar to watch football that also serves delicious chicken...") in the
+"Downtown Saint Louis" neighbourhood and writes it to ``semask_demo.html``.
+Pass ``--serve`` to run the interactive demo on http://127.0.0.1:8808/.
+
+Usage::
+
+    python examples/demo_stlouis.py [--serve] [--out semask_demo.html]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.core import semask
+from repro.demo import DemoContext, DemoServer, build_demo_page
+from repro.eval import get_corpus
+from repro.geo import ReverseGeocoder
+
+DEFAULT_QUERY = (
+    "I am looking for a bar to watch football that also serves delicious "
+    "chicken. Do you have any recommendations?"
+)
+
+
+def make_context(poi_count: int | None = 1500) -> DemoContext:
+    """Prepare the Saint Louis corpus and wrap it for the demo."""
+    corpus = get_corpus("SL", count=poi_count)
+    return DemoContext(
+        system=semask(corpus.prepared, llm=corpus.llm),
+        dataset=corpus.dataset,
+        geocoder=ReverseGeocoder(),
+        city_code="SL",
+        default_neighborhood="Downtown Saint Louis",
+        default_query=DEFAULT_QUERY,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", action="store_true",
+                        help="run the interactive HTTP demo")
+    parser.add_argument("--out", default="semask_demo.html",
+                        help="output path for the static page")
+    parser.add_argument("--pois", type=int, default=1500,
+                        help="POI count (0 = the paper's full 2,462)")
+    args = parser.parse_args()
+
+    context = make_context(poi_count=args.pois or None)
+    if args.serve:
+        DemoServer(context).serve_forever()
+        return
+    page = build_demo_page(context)
+    out = Path(args.out)
+    out.write_text(page, encoding="utf-8")
+    print(f"wrote {out} ({len(page)} bytes); open it in a browser")
+
+
+if __name__ == "__main__":
+    main()

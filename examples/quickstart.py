@@ -1,0 +1,69 @@
+"""Quickstart: prepare a city and ask a semantics-aware question.
+
+Runs the full SemaSK pipeline (paper Figure 2) on a downsized Saint Louis:
+data preparation (address completion, tip summarization, embeddings into
+the vector database) followed by filtering-and-refinement query processing.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import DataPreparation, SpatialKeywordQuery, semask
+from repro.data import Dataset, YelpStyleGenerator
+from repro.geo import SAINT_LOUIS
+
+QUERY = (
+    "I am looking for a bar to watch football that also serves delicious "
+    "chicken. Do you have any recommendations?"
+)
+
+
+def main() -> None:
+    print("== SemaSK quickstart ==")
+    t0 = time.time()
+    generator = YelpStyleGenerator(seed=7)
+    dataset = Dataset(generator.generate_city(SAINT_LOUIS, count=1200), "SL")
+    print(f"generated {len(dataset)} POIs in {time.time() - t0:.1f}s")
+
+    t0 = time.time()
+    preparation = DataPreparation()
+    prepared = preparation.prepare(dataset)
+    stats = dataset.statistics()
+    print(
+        f"prepared in {time.time() - t0:.1f}s — "
+        f"avg {stats['avg_tips']:.1f} tips/POI, "
+        f"{stats['avg_tip_tokens']:.0f} tip tokens/POI, "
+        f"{stats['avg_summary_tokens']:.0f} summary tokens"
+    )
+    ledger = preparation.llm.ledger
+    print(
+        f"summarization used {ledger.total_calls()} LLM calls, "
+        f"est. cost ${ledger.total_cost_usd():.2f}"
+    )
+
+    system = semask(prepared)
+    query = SpatialKeywordQuery.around(SAINT_LOUIS.center, QUERY, 5, 5)
+    result = system.query(query)
+
+    print(f"\nQuery: {QUERY}")
+    print(
+        f"filtering took {result.timings.filter_s * 1000:.1f} ms; "
+        f"refinement (modelled LLM latency) {result.timings.refine_modeled_s:.1f} s"
+    )
+    print(f"\nRecommended ({len(result.entries)}):")
+    for entry in result.entries:
+        record = dataset.get(entry.business_id)
+        print(f"  * {entry.name} — {', '.join(record.categories[:2])}")
+        print(f"    {entry.reason}")
+    print(f"\nFetched but filtered out by the LLM ({len(result.filtered_out)}):")
+    for entry in result.filtered_out:
+        print(f"  - {entry.name}")
+
+
+if __name__ == "__main__":
+    main()

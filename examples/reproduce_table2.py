@@ -1,0 +1,44 @@
+"""Reproduce the paper's Table 2 (F1@10 per city, five systems).
+
+By default runs a downsized-but-faithful version (1,200 POIs per city,
+15 queries) in a few minutes; pass ``--full`` for the paper-scale run
+(full POI counts, 30 queries per city).
+
+Usage::
+
+    python examples/reproduce_table2.py [--full] [--cities IN NS ...] [--k 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import format_table2, run_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale run (slower)")
+    parser.add_argument("--cities", nargs="+",
+                        default=["IN", "NS", "PH", "SB", "SL"])
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    poi_count = None if args.full else 1200
+    queries = 30 if args.full else 15
+    result = run_table2(
+        cities=tuple(args.cities),
+        k=args.k,
+        queries_per_city=queries,
+        seed=args.seed,
+        poi_count=poi_count,
+    )
+    print(format_table2(result))
+    print(f"\nelapsed: {result.elapsed_s:.1f}s  "
+          f"({'full' if args.full else 'downsized'} run, seed {args.seed})")
+
+
+if __name__ == "__main__":
+    main()

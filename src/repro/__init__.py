@@ -1,0 +1,37 @@
+"""repro: a full reproduction of SemaSK (EDBT 2025).
+
+SemaSK answers semantics-aware spatial keyword queries with a
+retrieval-augmented, filtering-and-refinement pipeline: spatial filtering
+plus embedding kNN, then LLM re-ranking. This package reproduces the
+entire system offline — the Yelp-style corpus, the reverse geocoder, the
+embedding model, the Qdrant-like vector database with a from-scratch HNSW,
+the LLM behaviours (summarization, query generation, refinement), the
+LDA/TF-IDF baselines, and the full evaluation harness for every table and
+figure in the paper. See DESIGN.md for the substitution map.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    DataPreparation,
+    SemaSK,
+    SemaSKConfig,
+    SpatialKeywordQuery,
+    semask,
+    semask_em,
+    semask_o1,
+)
+from repro.data import Dataset, POIRecord, YelpStyleGenerator
+
+__all__ = [
+    "DataPreparation",
+    "Dataset",
+    "POIRecord",
+    "SemaSK",
+    "SemaSKConfig",
+    "SpatialKeywordQuery",
+    "YelpStyleGenerator",
+    "__version__",
+    "semask",
+    "semask_em",
+    "semask_o1",
+]

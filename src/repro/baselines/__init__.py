@@ -1,0 +1,23 @@
+"""Baseline rankers: TF-IDF and LDA (paper), BM25 and keyword (extensions)."""
+
+from repro.baselines.bm25 import Bm25Ranker
+from repro.baselines.fusion import ReciprocalRankFusion
+from repro.baselines.irtree_ranker import IRTreeRanker
+from repro.baselines.keyword import KeywordMatcher
+from repro.baselines.lda import LdaModel, LdaRanker
+from repro.baselines.ranker import RankedPOI, TextRanker, record_text
+from repro.baselines.tfidf import TfIdfRanker, preprocess
+
+__all__ = [
+    "Bm25Ranker",
+    "IRTreeRanker",
+    "ReciprocalRankFusion",
+    "KeywordMatcher",
+    "LdaModel",
+    "LdaRanker",
+    "RankedPOI",
+    "TextRanker",
+    "TfIdfRanker",
+    "preprocess",
+    "record_text",
+]

@@ -1,0 +1,91 @@
+"""Okapi BM25 ranking (extension baseline, not in the paper's table).
+
+Included because BM25 is the standard lexical ranking function; the
+ablation benchmarks use it to show that the semantic gap is a property of
+*lexical matching per se*, not of TF-IDF's particular weighting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.baselines.ranker import RankedPOI, TextRanker, record_text
+from repro.baselines.tfidf import preprocess
+from repro.data.model import POIRecord
+from repro.errors import EvaluationError
+from repro.spatial.inverted import InvertedIndex
+
+
+class Bm25Ranker(TextRanker):
+    """Okapi BM25 with standard k1/b parameters."""
+
+    name = "BM25"
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0 or not 0 <= b <= 1:
+            raise ValueError(f"invalid BM25 parameters k1={k1}, b={b}")
+        self._k1 = k1
+        self._b = b
+        self._index: InvertedIndex | None = None
+        self._doc_tokens: dict[str, list[str]] = {}
+
+    def fit(self, records: Sequence[POIRecord]) -> "Bm25Ranker":
+        """Index the corpus for document frequencies and lengths."""
+        index = InvertedIndex()
+        self._doc_tokens = {}
+        for record in records:
+            tokens = preprocess(record_text(record))
+            index.add_document(record.business_id, tokens)
+            self._doc_tokens[record.business_id] = tokens
+        self._index = index
+        return self
+
+    def _idf(self, term: str) -> float:
+        assert self._index is not None
+        n = len(self._index)
+        df = self._index.document_frequency(term)
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def score(self, query_terms: list[str], business_id: str) -> float:
+        """BM25 score of one indexed document against query terms."""
+        if self._index is None:
+            raise EvaluationError("Bm25Ranker.score called before fit")
+        tokens = self._doc_tokens.get(business_id)
+        if tokens is None:
+            return 0.0
+        doc_len = len(tokens)
+        avg_len = self._index.average_doc_length() or 1.0
+        counts: dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        total = 0.0
+        for term in query_terms:
+            tf = counts.get(term, 0)
+            if tf == 0:
+                continue
+            norm = tf * (self._k1 + 1) / (
+                tf + self._k1 * (1 - self._b + self._b * doc_len / avg_len)
+            )
+            total += self._idf(term) * norm
+        return total
+
+    def rank(
+        self, query_text: str, candidates: Sequence[POIRecord], k: int
+    ) -> list[RankedPOI]:
+        if self._index is None:
+            raise EvaluationError("Bm25Ranker.rank called before fit")
+        query_terms = preprocess(query_text)
+        scored = []
+        for record in candidates:
+            if record.business_id not in self._doc_tokens:
+                # Out-of-corpus candidate: index it lazily for scoring.
+                tokens = preprocess(record_text(record))
+                self._doc_tokens[record.business_id] = tokens
+            scored.append(
+                RankedPOI(
+                    record.business_id,
+                    self.score(query_terms, record.business_id),
+                )
+            )
+        return self._top_k(scored, k)

@@ -1,0 +1,67 @@
+"""Rank-fusion ranker (extension beyond the paper).
+
+Combines two rankers with Reciprocal Rank Fusion (Cormack et al., 2009):
+``score(d) = Σ 1 / (k0 + rank_i(d))``. The natural pairing here is the
+lexical TF-IDF ranker with embedding retrieval — a cheap middle ground
+between SemaSK-EM and the LLM-refined system, used by the ablation
+benchmarks to show how far *fusion without an LLM* can close the gap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.ranker import RankedPOI, TextRanker
+from repro.data.model import POIRecord
+
+#: The standard RRF dampening constant.
+DEFAULT_RRF_K = 60.0
+
+
+class ReciprocalRankFusion(TextRanker):
+    """Fuses the rankings of several :class:`TextRanker` components."""
+
+    name = "RRF"
+
+    def __init__(
+        self,
+        rankers: Sequence[TextRanker],
+        k0: float = DEFAULT_RRF_K,
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if not rankers:
+            raise ValueError("fusion needs at least one component ranker")
+        if k0 <= 0:
+            raise ValueError(f"k0 must be positive, got {k0}")
+        if weights is not None and len(weights) != len(rankers):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(rankers)} rankers"
+            )
+        self._rankers = list(rankers)
+        self._k0 = k0
+        self._weights = list(weights) if weights is not None else [1.0] * len(rankers)
+        self.name = "RRF(" + "+".join(r.name for r in rankers) + ")"
+
+    def fit(self, records: Sequence[POIRecord]) -> "ReciprocalRankFusion":
+        """Fit every component on the corpus."""
+        for ranker in self._rankers:
+            ranker.fit(records)
+        return self
+
+    def rank(
+        self, query_text: str, candidates: Sequence[POIRecord], k: int
+    ) -> list[RankedPOI]:
+        scores: dict[str, float] = {}
+        # Each component ranks the full candidate set so ranks are
+        # comparable; fused score accumulates reciprocal ranks.
+        pool = max(k, len(candidates))
+        for ranker, weight in zip(self._rankers, self._weights):
+            ranked = ranker.rank(query_text, candidates, pool)
+            for rank, result in enumerate(ranked):
+                if result.score <= 0.0:
+                    continue  # a zero-score result carries no evidence
+                scores[result.business_id] = scores.get(
+                    result.business_id, 0.0
+                ) + weight / (self._k0 + rank + 1)
+        fused = [RankedPOI(business_id, score) for business_id, score in scores.items()]
+        return self._top_k(fused, k)

@@ -1,0 +1,67 @@
+"""Boolean keyword matching — the Figure-1 strawman.
+
+This is the "Google Maps" behaviour the paper motivates against: return
+POIs in the range whose text literally contains the query keywords. A café
+whose name and tips never say "café" is invisible to it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.ranker import RankedPOI, TextRanker, record_text
+from repro.data.model import POIRecord
+from repro.text.stopwords import remove_stopwords
+from repro.text.tokenize import tokenize
+
+
+class KeywordMatcher(TextRanker):
+    """Boolean AND/OR matching on raw tokens (no stemming, no weighting)."""
+
+    name = "Keyword"
+
+    def __init__(self, match_all: bool = True) -> None:
+        self._match_all = match_all
+        self._doc_tokens: dict[str, frozenset[str]] = {}
+
+    def fit(self, records: Sequence[POIRecord]) -> "KeywordMatcher":
+        """Pre-tokenize the corpus."""
+        self._doc_tokens = {
+            r.business_id: frozenset(tokenize(record_text(r))) for r in records
+        }
+        return self
+
+    def _tokens_of(self, record: POIRecord) -> frozenset[str]:
+        cached = self._doc_tokens.get(record.business_id)
+        if cached is None:
+            cached = frozenset(tokenize(record_text(record)))
+            self._doc_tokens[record.business_id] = cached
+        return cached
+
+    def matches(self, query_text: str, record: POIRecord) -> bool:
+        """Whether the record's text contains the query keywords."""
+        terms = remove_stopwords(tokenize(query_text))
+        if not terms:
+            return False
+        doc = self._tokens_of(record)
+        if self._match_all:
+            return all(t in doc for t in terms)
+        return any(t in doc for t in terms)
+
+    def rank(
+        self, query_text: str, candidates: Sequence[POIRecord], k: int
+    ) -> list[RankedPOI]:
+        """Matching candidates first (score = matched-term fraction)."""
+        terms = remove_stopwords(tokenize(query_text))
+        if not terms:
+            return []
+        scored = []
+        for record in candidates:
+            doc = self._tokens_of(record)
+            hit = sum(1 for t in terms if t in doc)
+            if self._match_all and hit < len(terms):
+                continue
+            if hit == 0:
+                continue
+            scored.append(RankedPOI(record.business_id, hit / len(terms)))
+        return self._top_k(scored, k)

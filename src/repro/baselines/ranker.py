@@ -1,0 +1,53 @@
+"""Common interface for textual relevance rankers (the paper's baselines)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.data.model import POIRecord
+
+
+@dataclass(frozen=True)
+class RankedPOI:
+    """One ranked result: the POI's id and its relevance score."""
+
+    business_id: str
+    score: float
+
+
+class TextRanker(ABC):
+    """Ranks POIs in a query range by textual relevance to the query.
+
+    Baselines are *fitted* on a city corpus (IDF statistics, LDA topics)
+    and then rank candidate subsets at query time, mirroring the paper's
+    setup where LDA and TF-IDF "rank the POIs in the query range".
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def fit(self, records: Sequence[POIRecord]) -> "TextRanker":
+        """Learn corpus statistics; returns self for chaining."""
+
+    @abstractmethod
+    def rank(
+        self, query_text: str, candidates: Sequence[POIRecord], k: int
+    ) -> list[RankedPOI]:
+        """Top-``k`` candidates by descending relevance to ``query_text``."""
+
+    @staticmethod
+    def _top_k(scored: list[RankedPOI], k: int) -> list[RankedPOI]:
+        """Sort by (-score, id) for deterministic ties and truncate to k."""
+        scored.sort(key=lambda r: (-r.score, r.business_id))
+        return scored[:k]
+
+
+def record_text(record: POIRecord) -> str:
+    """The document text baselines index for a POI.
+
+    Uses the same fields as the embedding input (name, address, categories,
+    tips/summary) so every system sees the same evidence.
+    """
+    return record.document_text(use_summary=False)

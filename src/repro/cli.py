@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    build-data   generate + prepare the synthetic five-city dataset
+    stats        corpus statistics for one city (paper §3.1)
+    query        answer one semantics-aware query on a city
+    table2       reproduce the paper's Table 2
+    queries      show the harvested evaluation query set for a city
+    demo         write (or serve) the Figure-3 demo page
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.core.query import SpatialKeywordQuery
+from repro.core.variants import semask, semask_em, semask_o1
+from repro.eval.corpus import get_corpus
+from repro.eval.experiments import build_test_queries, run_table2
+from repro.eval.report import format_table, format_table2
+from repro.geo.geocoder import ReverseGeocoder
+from repro.geo.regions import EVALUATION_CITIES, city_by_code
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+    parser.add_argument(
+        "--pois", type=int, default=0,
+        help="POIs per city (0 = the paper's counts)",
+    )
+
+
+def _corpus(args: argparse.Namespace, city: str):
+    return get_corpus(city, seed=args.seed, count=args.pois or None)
+
+
+def cmd_build_data(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for city in EVALUATION_CITIES:
+        corpus = _corpus(args, city.code)
+        path = out / f"{city.code.lower()}.jsonl.gz"
+        corpus.dataset.save(path)
+        stats = corpus.dataset.statistics()
+        rows.append([city.code, len(corpus.dataset),
+                     f"{stats['avg_tips']:.1f}",
+                     f"{stats['avg_tip_tokens']:.0f}", str(path)])
+    print(format_table(["City", "POIs", "tips/POI", "tokens/POI", "file"], rows))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    corpus = _corpus(args, args.city)
+    stats = corpus.dataset.statistics()
+    print(json.dumps(stats, indent=2))
+    ledger = corpus.llm.ledger.summary()
+    if ledger:
+        print("LLM usage during preparation:")
+        print(json.dumps(ledger, indent=2))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    corpus = _corpus(args, args.city)
+    factory = {"semask": semask, "o1": semask_o1, "em": semask_em}[args.variant]
+    if args.variant == "em":
+        system = factory(corpus.prepared, candidate_k=args.k)
+    else:
+        system = factory(corpus.prepared, llm=corpus.llm, candidate_k=args.k)
+
+    if args.neighborhood:
+        center = ReverseGeocoder().neighborhood_center(
+            args.city.upper(), args.neighborhood
+        )
+    else:
+        center = city_by_code(args.city).center
+    query = SpatialKeywordQuery.around(center, args.text, args.range_km,
+                                       args.range_km)
+    result = system.query(query)
+    print(f"{system.name}: {len(result.entries)} recommended, "
+          f"{len(result.filtered_out)} filtered out "
+          f"(filtering {result.timings.filter_s * 1000:.1f} ms, "
+          f"modelled LLM {result.timings.refine_modeled_s:.1f} s)")
+    for entry in result.entries:
+        record = corpus.dataset.get(entry.business_id)
+        print(f"  * {entry.name} [{', '.join(record.categories[:2])}]")
+        if entry.reason:
+            print(f"      {entry.reason}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    result = run_table2(
+        cities=tuple(args.cities),
+        queries_per_city=args.queries,
+        seed=args.seed,
+        poi_count=args.pois or None,
+    )
+    print(format_table2(result))
+    print(f"\nelapsed: {result.elapsed_s:.1f}s")
+    return 0
+
+
+def cmd_queries(args: argparse.Namespace) -> int:
+    corpus = _corpus(args, args.city)
+    queries = build_test_queries(corpus, count=args.count)
+    rows = []
+    for query in queries:
+        rows.append([
+            query.text[:70],
+            len(query.answer_ids),
+            ",".join(sorted(query.intent.required)),
+        ])
+    print(format_table(["query", "|answers|", "intent"], rows))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.demo.app import DemoContext, DemoServer, build_demo_page
+
+    corpus = _corpus(args, args.city)
+    geocoder = ReverseGeocoder()
+    neighborhoods = geocoder.neighborhoods_of(args.city)
+    context = DemoContext(
+        system=semask(corpus.prepared, llm=corpus.llm),
+        dataset=corpus.dataset,
+        geocoder=geocoder,
+        city_code=args.city.upper(),
+        default_neighborhood=neighborhoods[0],
+        default_query=args.text,
+    )
+    if args.serve:
+        DemoServer(context, port=args.port).serve_forever()
+        return 0
+    page = build_demo_page(context)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(page)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SemaSK reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-data", help="generate + prepare the dataset")
+    _add_common(p)
+    p.add_argument("--out", default="data")
+    p.set_defaults(func=cmd_build_data)
+
+    p = sub.add_parser("stats", help="corpus statistics for one city")
+    _add_common(p)
+    p.add_argument("city", choices=[c.code for c in EVALUATION_CITIES] + ["MEL"])
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("query", help="answer one query")
+    _add_common(p)
+    p.add_argument("city")
+    p.add_argument("text", help="the natural-language query")
+    p.add_argument("--variant", choices=["semask", "o1", "em"],
+                   default="semask")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--range-km", type=float, default=5.0)
+    p.add_argument("--neighborhood", default="",
+                   help="centre the range on a named neighbourhood")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("table2", help="reproduce Table 2")
+    _add_common(p)
+    p.add_argument("--cities", nargs="+",
+                   default=[c.code for c in EVALUATION_CITIES])
+    p.add_argument("--queries", type=int, default=30)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("queries", help="show the evaluation query set")
+    _add_common(p)
+    p.add_argument("city")
+    p.add_argument("--count", type=int, default=10)
+    p.set_defaults(func=cmd_queries)
+
+    p = sub.add_parser("demo", help="write or serve the demo page")
+    _add_common(p)
+    p.add_argument("--city", default="SL")
+    p.add_argument("--text", default=(
+        "I am looking for a bar to watch football that also serves "
+        "delicious chicken. Do you have any recommendations?"
+    ))
+    p.add_argument("--out", default="semask_demo.html")
+    p.add_argument("--serve", action="store_true")
+    p.add_argument("--port", type=int, default=8808)
+    p.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""SemaSK core: the paper's data-preparation and query-processing modules."""
+
+from repro.core.conversation import ConversationTurn, ConversationalSession
+from repro.core.filtering import DEFAULT_CANDIDATES, Candidate, FilteringStage
+from repro.core.pipeline import SemaSK, SemaSKConfig
+from repro.core.prepare import SUMMARIZE_MODEL, DataPreparation, PreparedCity
+from repro.core.query import DEFAULT_RANGE_KM, SpatialKeywordQuery
+from repro.core.refinement import (
+    RefinementOutcome,
+    RefinementStage,
+    candidate_information,
+)
+from repro.core.results import QueryResult, QueryTimings, ResultEntry
+from repro.core.spatial_filter import RTreeFilteringStage
+from repro.core.storage import load_prepared, save_prepared
+from repro.core.variants import semask, semask_em, semask_o1
+
+__all__ = [
+    "Candidate",
+    "ConversationTurn",
+    "ConversationalSession",
+    "DEFAULT_CANDIDATES",
+    "DEFAULT_RANGE_KM",
+    "DataPreparation",
+    "FilteringStage",
+    "PreparedCity",
+    "QueryResult",
+    "QueryTimings",
+    "RefinementOutcome",
+    "RTreeFilteringStage",
+    "RefinementStage",
+    "ResultEntry",
+    "SUMMARIZE_MODEL",
+    "SemaSK",
+    "SemaSKConfig",
+    "SpatialKeywordQuery",
+    "candidate_information",
+    "load_prepared",
+    "save_prepared",
+    "semask",
+    "semask_em",
+    "semask_o1",
+]

@@ -1,0 +1,78 @@
+"""Conversational query refinement (extension; the paper's future work).
+
+The paper closes by noting "opportunities for further studies on
+semantics-aware query processing". The natural next step for a demo system
+is *follow-up turns*: the user narrows an answer ("actually, somewhere
+cheaper", "it needs outdoor seating") without restating the whole query.
+
+:class:`ConversationalSession` keeps the last query's candidate pool and
+answers follow-ups by re-running the LLM refinement over the *combined*
+query text — original intent plus accumulated follow-up constraints — over
+the same spatial range. This reuses the expensive filtering stage across
+turns and keeps every turn explainable (each answer carries the LLM's
+reasons, as in the base system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import SemaSK
+from repro.core.query import SpatialKeywordQuery
+from repro.core.results import QueryResult
+from repro.errors import QueryError
+from repro.geo.bbox import BoundingBox
+
+
+@dataclass
+class ConversationTurn:
+    """One turn of the session: what was asked and what came back."""
+
+    text: str             # the user's utterance this turn
+    combined_text: str    # the full constraint set sent to the pipeline
+    result: QueryResult
+
+
+@dataclass
+class ConversationalSession:
+    """Multi-turn refinement over one spatial range."""
+
+    system: SemaSK
+    range: BoundingBox
+    turns: list[ConversationTurn] = field(default_factory=list)
+
+    def ask(self, text: str) -> QueryResult:
+        """Start (or restart) the conversation with a fresh query."""
+        if not text or not text.strip():
+            raise QueryError("query text must be non-empty")
+        self.turns.clear()
+        return self._run(text, text)
+
+    def refine(self, follow_up: str) -> QueryResult:
+        """Add a follow-up constraint to the current conversation."""
+        if not self.turns:
+            raise QueryError(
+                "no active conversation; call ask() before refine()"
+            )
+        if not follow_up or not follow_up.strip():
+            raise QueryError("follow-up text must be non-empty")
+        combined = f"{self.turns[-1].combined_text} Also: {follow_up.strip()}"
+        return self._run(follow_up, combined)
+
+    def _run(self, text: str, combined: str) -> QueryResult:
+        result = self.system.query(
+            SpatialKeywordQuery(range=self.range, text=combined)
+        )
+        self.turns.append(
+            ConversationTurn(text=text, combined_text=combined, result=result)
+        )
+        return result
+
+    @property
+    def current_result(self) -> QueryResult | None:
+        """The latest turn's result (None before the first ask)."""
+        return self.turns[-1].result if self.turns else None
+
+    def history(self) -> list[str]:
+        """The user's utterances so far, in order."""
+        return [turn.text for turn in self.turns]

@@ -1,0 +1,67 @@
+"""The filtering stage (paper §3.2, "Filtering").
+
+Given a query, (1) restrict to POIs inside the query range via a payload
+geo filter, then (2) run an approximate kNN search over embeddings to pull
+the top-k most semantically similar candidates — all without any LLM call,
+"to limit the LLM costs of the refinement step".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.query import SpatialKeywordQuery
+from repro.embeddings.base import EmbeddingModel
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.filters import GeoBoundingBoxFilter
+
+#: Default candidate count fetched for refinement (the paper's top-k).
+DEFAULT_CANDIDATES = 10
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One filtering-stage hit."""
+
+    business_id: str
+    name: str
+    score: float
+    payload: dict[str, Any]
+
+
+class FilteringStage:
+    """Range filter + embedding kNN against the vector database."""
+
+    def __init__(
+        self,
+        client: VectorDBClient,
+        collection_name: str,
+        embedder: EmbeddingModel,
+        ef: int | None = None,
+    ) -> None:
+        self._client = client
+        self._collection = collection_name
+        self._embedder = embedder
+        self._ef = ef
+
+    def run(
+        self, query: SpatialKeywordQuery, k: int = DEFAULT_CANDIDATES
+    ) -> list[Candidate]:
+        """Top-``k`` in-range candidates by embedding similarity."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        vector = self._embedder.embed(query.text)
+        geo_filter = GeoBoundingBoxFilter("location", query.range)
+        hits = self._client.search(
+            self._collection, vector, k, flt=geo_filter, ef=self._ef
+        )
+        return [
+            Candidate(
+                business_id=hit.id,
+                name=str(hit.payload.get("name", hit.id)),
+                score=hit.score,
+                payload=hit.payload,
+            )
+            for hit in hits
+        ]

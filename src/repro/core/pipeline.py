@@ -1,0 +1,150 @@
+"""The SemaSK query pipeline: filtering + (optional) LLM refinement.
+
+``SemaSK`` wires the two stages of paper §3.2 over a prepared city. The
+``refine_model`` knob realizes the paper's system variants:
+
+* ``"gpt-4o"``  — **SemaSK** (the default system);
+* ``"o1-mini"`` — **SemaSK-O1**;
+* ``None``      — **SemaSK-EM** (embeddings only, no refinement).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.filtering import DEFAULT_CANDIDATES, FilteringStage
+from repro.core.prepare import PreparedCity
+from repro.core.query import SpatialKeywordQuery
+from repro.core.refinement import RefinementStage
+from repro.core.results import QueryResult, QueryTimings, ResultEntry
+from repro.llm.base import LLMClient
+from repro.llm.simulated import SimulatedLLM
+
+
+@dataclass(frozen=True)
+class SemaSKConfig:
+    """Tunables of the SemaSK pipeline."""
+
+    refine_model: str | None = "gpt-4o"
+    candidate_k: int = DEFAULT_CANDIDATES
+    ef: int | None = None  # HNSW beam width override for filtering
+
+    def variant_name(self) -> str:
+        """The paper's name for this configuration."""
+        if self.refine_model is None:
+            return "SemaSK-EM"
+        if self.refine_model == "o1-mini":
+            return "SemaSK-O1"
+        if self.refine_model == "gpt-4o":
+            return "SemaSK"
+        return f"SemaSK[{self.refine_model}]"
+
+
+class SemaSK:
+    """The full semantics-aware spatial keyword query system."""
+
+    def __init__(
+        self,
+        prepared: PreparedCity,
+        config: SemaSKConfig | None = None,
+        llm: LLMClient | None = None,
+        filtering: FilteringStage | None = None,
+    ) -> None:
+        self._config = config or SemaSKConfig()
+        self._llm = llm if llm is not None else SimulatedLLM()
+        # Any object with run(query, k) -> list[Candidate] can stand in for
+        # the default stage (e.g. the R-tree variant in core.spatial_filter).
+        self._filtering = filtering or FilteringStage(
+            prepared.client,
+            prepared.collection_name,
+            prepared.embedder,
+            ef=self._config.ef,
+        )
+        self._refinement = (
+            RefinementStage(self._llm, self._config.refine_model)
+            if self._config.refine_model is not None
+            else None
+        )
+
+    @property
+    def name(self) -> str:
+        """Variant name (SemaSK / SemaSK-O1 / SemaSK-EM)."""
+        return self._config.variant_name()
+
+    @property
+    def config(self) -> SemaSKConfig:
+        """The pipeline configuration."""
+        return self._config
+
+    @property
+    def llm(self) -> LLMClient:
+        """The LLM client (ledger carries usage/cost accounting)."""
+        return self._llm
+
+    def query(self, query: SpatialKeywordQuery) -> QueryResult:
+        """Answer one query with the filtering-and-refinement procedure."""
+        t0 = time.perf_counter()
+        candidates = self._filtering.run(query, k=self._config.candidate_k)
+        filter_s = time.perf_counter() - t0
+
+        if self._refinement is None:
+            entries = tuple(
+                ResultEntry(
+                    business_id=c.business_id,
+                    name=c.name,
+                    score=c.score,
+                    reason="",
+                    recommended=True,
+                )
+                for c in candidates
+            )
+            return QueryResult(
+                query_text=query.text,
+                entries=entries,
+                filtered_out=(),
+                timings=QueryTimings(
+                    filter_s=filter_s,
+                    refine_compute_s=0.0,
+                    refine_modeled_s=0.0,
+                ),
+                candidates_considered=len(candidates),
+            )
+
+        t1 = time.perf_counter()
+        outcome = self._refinement.run(query.text, candidates)
+        refine_compute_s = time.perf_counter() - t1
+
+        n = max(len(outcome.accepted), 1)
+        entries = tuple(
+            ResultEntry(
+                business_id=c.business_id,
+                name=c.name,
+                score=1.0 - rank / n,
+                reason=reason,
+                recommended=True,
+            )
+            for rank, (c, reason) in enumerate(outcome.accepted)
+        )
+        filtered_out = tuple(
+            ResultEntry(
+                business_id=c.business_id,
+                name=c.name,
+                score=c.score,
+                reason="Filtered out by the LLM refinement step.",
+                recommended=False,
+            )
+            for c in outcome.rejected
+        )
+        return QueryResult(
+            query_text=query.text,
+            entries=entries,
+            filtered_out=filtered_out,
+            timings=QueryTimings(
+                filter_s=filter_s,
+                refine_compute_s=refine_compute_s,
+                refine_modeled_s=outcome.modeled_latency_s,
+            ),
+            candidates_considered=len(candidates),
+            raw_llm_output=outcome.raw_output,
+        )

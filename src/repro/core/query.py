@@ -1,0 +1,37 @@
+"""The semantics-aware spatial keyword query model (paper §3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+
+#: The paper's query range: a 5 km x 5 km region centred on a point.
+DEFAULT_RANGE_KM = 5.0
+
+
+@dataclass(frozen=True)
+class SpatialKeywordQuery:
+    """A query ``q`` with a spatial range ``q.r`` and textual constraint ``q.T``."""
+
+    range: BoundingBox
+    text: str
+
+    def __post_init__(self) -> None:
+        if not self.text or not self.text.strip():
+            raise QueryError("query text must be non-empty")
+
+    @classmethod
+    def around(
+        cls,
+        center: GeoPoint,
+        text: str,
+        width_km: float = DEFAULT_RANGE_KM,
+        height_km: float = DEFAULT_RANGE_KM,
+    ) -> "SpatialKeywordQuery":
+        """Build a query with the paper's square range around ``center``."""
+        return cls(
+            range=BoundingBox.around(center, width_km, height_km), text=text
+        )

@@ -1,0 +1,89 @@
+"""The refinement stage (paper §3.2, "Refinement").
+
+The top-k candidates' raw attributes are serialized into the paper's
+refinement prompt; the LLM returns a priority-ordered ``{name: reason}``
+dictionary of the candidates it judges relevant, which is parsed and
+mapped back to POIs. Candidates the LLM leaves out are retained as
+"filtered out" (the demo's blue markers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.filtering import Candidate
+from repro.llm.base import ChatMessage, LLMClient
+from repro.llm.parsing import parse_ranked_dict
+from repro.llm.prompts import build_rerank_prompt
+
+#: Attribute keys sent to the LLM (the "Raw POI attributes" of the prompt).
+_PROMPT_ATTRIBUTES: tuple[str, ...] = (
+    "name", "address", "neighborhood", "city", "state", "stars",
+    "categories", "hours", "tip_summary", "tips",
+)
+
+
+@dataclass(frozen=True)
+class RefinementOutcome:
+    """Parsed refinement result."""
+
+    accepted: list[tuple[Candidate, str]]   # (candidate, LLM reason), ordered
+    rejected: list[Candidate]               # candidates the LLM filtered out
+    raw_output: str
+    modeled_latency_s: float
+
+
+def candidate_information(candidate: Candidate) -> dict[str, Any]:
+    """The attribute dict for one candidate as embedded in the prompt."""
+    info = {
+        key: candidate.payload[key]
+        for key in _PROMPT_ATTRIBUTES
+        if key in candidate.payload and candidate.payload[key] not in ("", None)
+    }
+    info.setdefault("name", candidate.name)
+    return info
+
+
+class RefinementStage:
+    """LLM re-ranking of filtering-stage candidates."""
+
+    def __init__(self, llm: LLMClient, model: str = "gpt-4o") -> None:
+        self._llm = llm
+        self._model = model
+
+    @property
+    def model(self) -> str:
+        """The model id used for refinement."""
+        return self._model
+
+    def run(self, query_text: str, candidates: list[Candidate]) -> RefinementOutcome:
+        """Re-rank ``candidates``; empty candidate lists short-circuit."""
+        if not candidates:
+            return RefinementOutcome(
+                accepted=[], rejected=[], raw_output="{}", modeled_latency_s=0.0
+            )
+        information = [candidate_information(c) for c in candidates]
+        prompt = build_rerank_prompt(information, query_text)
+        completion = self._llm.chat(self._model, [ChatMessage("user", prompt)])
+        ranked = parse_ranked_dict(completion.content)
+
+        # Map returned names back to candidates. Duplicate names are
+        # resolved in candidate order (first unclaimed wins), matching how
+        # a user would read the answer.
+        unclaimed: dict[str, list[Candidate]] = {}
+        for candidate in candidates:
+            unclaimed.setdefault(candidate.name, []).append(candidate)
+        accepted: list[tuple[Candidate, str]] = []
+        for name, reason in ranked:
+            bucket = unclaimed.get(name)
+            if bucket:
+                accepted.append((bucket.pop(0), reason))
+        accepted_ids = {c.business_id for c, _ in accepted}
+        rejected = [c for c in candidates if c.business_id not in accepted_ids]
+        return RefinementOutcome(
+            accepted=accepted,
+            rejected=rejected,
+            raw_output=completion.content,
+            modeled_latency_s=completion.latency_s,
+        )

@@ -1,0 +1,53 @@
+"""Query result types: ranked answers with LLM explanations and timings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ResultEntry:
+    """One POI in a query answer."""
+
+    business_id: str
+    name: str
+    score: float           # similarity (embedding) or rank-derived score
+    reason: str = ""       # the LLM's explanation (empty for non-LLM systems)
+    recommended: bool = True  # False = fetched by embeddings, filtered by LLM
+
+
+@dataclass(frozen=True)
+class QueryTimings:
+    """Wall-clock and modelled latencies of one query (paper §4, timing)."""
+
+    filter_s: float            # measured: range filter + embedding kNN
+    refine_compute_s: float    # measured: simulated-LLM compute
+    refine_modeled_s: float    # modelled: what a hosted LLM would take
+
+    @property
+    def total_modeled_s(self) -> float:
+        """Filter time plus modelled LLM latency (the paper's user view)."""
+        return self.filter_s + self.refine_modeled_s
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The full outcome of one SemaSK query."""
+
+    query_text: str
+    entries: tuple[ResultEntry, ...]        # recommended, in priority order
+    filtered_out: tuple[ResultEntry, ...]   # embedding hits the LLM rejected
+    timings: QueryTimings
+    candidates_considered: int
+    raw_llm_output: str = field(default="", repr=False)
+
+    def top_k(self, k: int) -> list[ResultEntry]:
+        """The first ``k`` recommended entries."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        return list(self.entries[:k])
+
+    def ids(self, k: int | None = None) -> list[str]:
+        """Business ids of recommended entries (optionally first ``k``)."""
+        entries = self.entries if k is None else self.entries[:k]
+        return [e.business_id for e in entries]

@@ -1,0 +1,92 @@
+"""Persistence for prepared cities.
+
+Data preparation (geocoding, summarization, embedding) is the expensive
+offline phase; a deployment prepares once and serves queries forever.
+:func:`save_prepared` / :func:`load_prepared` snapshot a
+:class:`~repro.core.prepare.PreparedCity` to disk — the dataset as JSONL
+and the vector collection as a directory snapshot — so a served system
+restarts without re-running the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.prepare import PreparedCity
+from repro.data.dataset import Dataset
+from repro.embeddings.base import EmbeddingModel
+from repro.embeddings.semantic import SemanticEmbedder
+from repro.errors import DatasetError
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.persistence import load_collection, save_collection
+
+_MANIFEST = "prepared.json"
+_DATASET = "dataset.jsonl.gz"
+_COLLECTION_DIR = "collection"
+
+
+def save_prepared(prepared: PreparedCity, directory: str | Path) -> None:
+    """Write a prepared city (dataset + vector collection) to ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    prepared.dataset.save(directory / _DATASET)
+    collection = prepared.client.get_collection(prepared.collection_name)
+    save_collection(collection, directory / _COLLECTION_DIR)
+    manifest = {
+        "collection_name": prepared.collection_name,
+        "city_code": prepared.dataset.city_code,
+        "poi_count": len(prepared.dataset),
+        "embedder_dim": prepared.embedder.dim,
+        "embedder_model": getattr(prepared.embedder, "model_id", "unknown"),
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+
+def load_prepared(
+    directory: str | Path,
+    embedder: EmbeddingModel | None = None,
+    client: VectorDBClient | None = None,
+) -> PreparedCity:
+    """Load a prepared city written by :func:`save_prepared`.
+
+    ``embedder`` must match the one used at preparation time (the manifest
+    records dim and model id and mismatches are rejected) — query vectors
+    have to live in the same space as the stored document vectors.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise DatasetError(f"no prepared-city snapshot at {directory}")
+    manifest = json.loads(manifest_path.read_text())
+
+    if embedder is None:
+        embedder = SemanticEmbedder(dim=manifest["embedder_dim"])
+    if embedder.dim != manifest["embedder_dim"]:
+        raise DatasetError(
+            f"embedder dim {embedder.dim} does not match snapshot dim "
+            f"{manifest['embedder_dim']}"
+        )
+    model_id = getattr(embedder, "model_id", "unknown")
+    if model_id != manifest["embedder_model"]:
+        raise DatasetError(
+            f"embedder model {model_id!r} does not match snapshot model "
+            f"{manifest['embedder_model']!r}"
+        )
+
+    dataset = Dataset.load(directory / _DATASET)
+    if len(dataset) != manifest["poi_count"]:
+        raise DatasetError(
+            f"snapshot dataset has {len(dataset)} POIs, manifest says "
+            f"{manifest['poi_count']}"
+        )
+    collection = load_collection(directory / _COLLECTION_DIR)
+    if client is None:
+        client = VectorDBClient()
+    client.attach_collection(collection)
+    return PreparedCity(
+        dataset=dataset,
+        collection_name=manifest["collection_name"],
+        client=client,
+        embedder=embedder,
+    )

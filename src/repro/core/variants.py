@@ -1,0 +1,41 @@
+"""Factory helpers for the paper's system variants."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import SemaSK, SemaSKConfig
+from repro.core.prepare import PreparedCity
+from repro.llm.base import LLMClient
+
+
+def semask(
+    prepared: PreparedCity,
+    llm: LLMClient | None = None,
+    candidate_k: int = 10,
+) -> SemaSK:
+    """The full system: embedding filtering + GPT-4o refinement."""
+    return SemaSK(
+        prepared,
+        SemaSKConfig(refine_model="gpt-4o", candidate_k=candidate_k),
+        llm=llm,
+    )
+
+
+def semask_o1(
+    prepared: PreparedCity,
+    llm: LLMClient | None = None,
+    candidate_k: int = 10,
+) -> SemaSK:
+    """SemaSK-O1: o1-mini instead of GPT-4o for refinement."""
+    return SemaSK(
+        prepared,
+        SemaSKConfig(refine_model="o1-mini", candidate_k=candidate_k),
+        llm=llm,
+    )
+
+
+def semask_em(prepared: PreparedCity, candidate_k: int = 10) -> SemaSK:
+    """SemaSK-EM: embeddings only, refinement step forgone."""
+    return SemaSK(
+        prepared,
+        SemaSKConfig(refine_model=None, candidate_k=candidate_k),
+    )

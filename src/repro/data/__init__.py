@@ -1,0 +1,16 @@
+"""Synthetic Yelp-style geo-textual dataset substrate."""
+
+from repro.data.dataset import Dataset
+from repro.data.export import save_csv, save_geojson, to_geojson
+from repro.data.model import POIRecord, TABLE1_KEYS
+from repro.data.yelp import YelpStyleGenerator
+
+__all__ = [
+    "Dataset",
+    "POIRecord",
+    "TABLE1_KEYS",
+    "YelpStyleGenerator",
+    "save_csv",
+    "save_geojson",
+    "to_geojson",
+]

@@ -1,0 +1,83 @@
+"""Dataset exporters: GeoJSON and CSV.
+
+The demo map and external GIS tools consume GeoJSON; CSV supports quick
+inspection in spreadsheets. Both are plain stdlib, no dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.data.dataset import Dataset
+from repro.data.model import POIRecord
+
+
+def record_to_feature(record: POIRecord) -> dict[str, Any]:
+    """One POI as a GeoJSON Feature (point geometry, attribute properties)."""
+    properties = record.attributes(include_tips=False)
+    properties.pop("hours", None)  # nested dicts render poorly in GIS tools
+    return {
+        "type": "Feature",
+        "geometry": {
+            "type": "Point",
+            # GeoJSON ordering is (lon, lat).
+            "coordinates": [record.longitude, record.latitude],
+        },
+        "properties": properties,
+    }
+
+
+def to_geojson(dataset: Dataset) -> dict[str, Any]:
+    """The whole dataset as a GeoJSON FeatureCollection dict."""
+    return {
+        "type": "FeatureCollection",
+        "features": [record_to_feature(r) for r in dataset],
+    }
+
+
+def save_geojson(dataset: Dataset, path: str | Path) -> None:
+    """Write the dataset as a ``.geojson`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_geojson(dataset), fh, ensure_ascii=False)
+
+
+_CSV_COLUMNS: tuple[str, ...] = (
+    "business_id", "name", "address", "city", "state", "latitude",
+    "longitude", "stars", "tip_count", "is_open", "categories",
+    "neighborhood", "tip_summary",
+)
+
+
+def save_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write the dataset as CSV (one row per POI, tips omitted)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_COLUMNS)
+        for record in dataset:
+            writer.writerow([
+                record.business_id, record.name, record.address,
+                record.city, record.state, record.latitude,
+                record.longitude, record.stars, record.tip_count,
+                record.is_open, "; ".join(record.categories),
+                record.neighborhood, record.tip_summary,
+            ])
+
+
+def load_geojson_ids(path: str | Path) -> list[str]:
+    """Business ids from a previously exported GeoJSON file."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("type") != "FeatureCollection":
+        raise ValueError(f"{path} is not a GeoJSON FeatureCollection")
+    return [
+        f["properties"]["business_id"]
+        for f in data.get("features", [])
+        if "business_id" in f.get("properties", {})
+    ]

@@ -1,0 +1,16 @@
+"""Generators for the synthetic Yelp-style corpus (names, hours, tips)."""
+
+from repro.data.gen.hours import DAYS, generate_hours, is_open_late, opens_early
+from repro.data.gen.names import generate_name
+from repro.data.gen.streets import generate_street_address
+from repro.data.gen.tips import generate_tips
+
+__all__ = [
+    "DAYS",
+    "generate_hours",
+    "generate_name",
+    "generate_street_address",
+    "generate_tips",
+    "is_open_late",
+    "opens_early",
+]

@@ -1,0 +1,147 @@
+"""Opening-hours generation in the Yelp ``'Day': 'H:M-H:M'`` format.
+
+Hours are driven by the business category's typical rhythm and adjusted by
+the POI's aspects: ``late_night`` pushes closing time toward 2am,
+``open_early`` pulls opening toward 6am — so hours are *consistent with the
+tips*, letting the simulated LLM reason about "open late" queries from
+either signal, like the paper's refinement prompt intends.
+"""
+
+from __future__ import annotations
+
+import random
+
+DAYS: tuple[str, ...] = (
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday",
+)
+
+#: (open_hour, close_hour, open_weekends) defaults per rhythm class.
+_RHYTHMS: dict[str, tuple[int, int, bool]] = {
+    "breakfast": (6, 14, True),    # diners, bakeries, brunch
+    "daytime": (9, 17, False),     # offices, services, clinics
+    "retail": (10, 19, True),      # shops
+    "dinner": (11, 22, True),      # restaurants
+    "nightlife": (16, 26, True),   # bars, clubs (26 == 2am next day)
+    "always": (0, 24, True),       # gas stations, some gyms
+}
+
+_CATEGORY_RHYTHM: dict[str, str] = {
+    "coffee_shop": "breakfast", "tea_house": "retail", "cafe": "breakfast",
+    "bakery": "breakfast", "donut_shop": "breakfast", "juice_bar": "breakfast",
+    "ice_cream_shop": "retail", "dessert_shop": "retail",
+    "bubble_tea_shop": "retail", "diner": "breakfast",
+    "breakfast_brunch": "breakfast", "deli": "breakfast",
+    "bar": "nightlife", "sports_bar": "nightlife", "dive_bar": "nightlife",
+    "wine_bar": "nightlife", "cocktail_bar": "nightlife", "pub": "nightlife",
+    "gastropub": "nightlife", "brewery": "nightlife", "nightclub": "nightlife",
+    "karaoke_bar": "nightlife", "music_venue": "nightlife",
+    "comedy_club": "nightlife",
+    "gas_station": "always", "convenience_store": "always",
+    "laundromat": "always", "storage_facility": "daytime",
+    "pharmacy": "retail", "grocery_store": "retail",
+    "hotel": "always", "hostel": "always", "bed_breakfast": "always",
+    "urgent_care": "retail", "gym": "always",
+    "dentist": "daytime", "family_doctor": "daytime",
+    "optometrist": "daytime", "chiropractor": "daytime",
+    "physical_therapy": "daytime", "bank": "daytime",
+    "post_office": "daytime", "library": "retail", "daycare": "daytime",
+    "auto_repair": "daytime", "tire_shop": "daytime",
+    "oil_change_station": "daytime", "car_wash": "retail",
+    "car_dealer": "retail", "auto_parts_store": "retail",
+    "body_shop": "daytime", "plumber": "daytime", "electrician": "daytime",
+    "landscaper": "daytime", "cleaning_service": "daytime",
+    "locksmith": "daytime", "dry_cleaner": "daytime",
+    "phone_repair_shop": "retail", "shoe_repair_shop": "daytime",
+    "tailor": "daytime", "veterinarian": "daytime", "pet_groomer": "daytime",
+    "movie_theater": "dinner", "museum": "daytime", "art_gallery": "retail",
+    "theater": "dinner", "arcade": "dinner", "escape_room": "dinner",
+    "bowling_alley": "dinner", "golf_course": "breakfast",
+    "swimming_pool": "breakfast", "dog_park": "always",
+    "farmers_market": "breakfast",
+}
+
+
+def _fmt(hour: int) -> str:
+    """Format an hour (possibly >= 24, meaning past midnight) as ``H:0``."""
+    return f"{hour % 24}:0"
+
+
+def generate_hours(
+    category_id: str,
+    aspects: tuple[str, ...],
+    rng: random.Random,
+) -> dict[str, str]:
+    """Generate Yelp-format hours consistent with the category and aspects.
+
+    Closed days are simply absent from the dict, as in the raw Yelp data.
+    A day entry of ``'0:0-0:0'`` denotes closed-that-day (Yelp's quirk,
+    visible in the paper's Table 1 sample).
+    """
+    rhythm = _CATEGORY_RHYTHM.get(category_id, "dinner" if "restaurant" in category_id else "retail")
+    open_h, close_h, open_weekends = _RHYTHMS[rhythm]
+
+    open_h += rng.choice((-1, 0, 0, 1))
+    close_h += rng.choice((-1, 0, 0, 1))
+    if "open_early" in aspects:
+        open_h = min(open_h, 6)
+    if "late_night" in aspects:
+        close_h = max(close_h, 24 + rng.choice((0, 1, 2)))
+    if rhythm == "always":
+        open_h, close_h = 0, 24
+
+    open_h = max(0, open_h)
+    close_h = max(open_h + 4, close_h)
+
+    hours: dict[str, str] = {}
+    closed_day = rng.choice(DAYS[:5]) if rng.random() < 0.25 else None
+    for day in DAYS:
+        weekend = day in ("Saturday", "Sunday")
+        if weekend and not open_weekends and rng.random() < 0.7:
+            hours[day] = "0:0-0:0"
+            continue
+        if day == closed_day:
+            hours[day] = "0:0-0:0"
+            continue
+        day_open, day_close = open_h, close_h
+        if weekend and rhythm in ("dinner", "nightlife"):
+            day_close = close_h + 1
+        if day == "Sunday" and rhythm in ("retail", "daytime"):
+            day_open, day_close = max(day_open, 10), min(day_close, 17)
+        if rhythm == "always":
+            hours[day] = "0:0-24:0"
+            continue
+        hours[day] = f"{_fmt(day_open)}-{_fmt(day_close)}"
+    return hours
+
+
+def is_open_late(hours: dict[str, str]) -> bool:
+    """Whether any day closes at/after midnight (simulated-LLM reasoning)."""
+    for span in hours.values():
+        if span == "0:0-24:0":
+            return True
+        try:
+            open_part, close_part = span.split("-")
+            open_h = int(open_part.split(":")[0])
+            close_h = int(close_part.split(":")[0])
+        except ValueError:
+            continue
+        if close_h != 0 and (close_h < open_h or close_h >= 24):
+            return True
+    return False
+
+
+def opens_early(hours: dict[str, str]) -> bool:
+    """Whether any day opens at or before 7am."""
+    for span in hours.values():
+        if span in ("0:0-0:0",):
+            continue
+        if span == "0:0-24:0":
+            return True
+        try:
+            open_h = int(span.split("-")[0].split(":")[0])
+        except ValueError:
+            continue
+        if 0 < open_h <= 7:
+            return True
+    return False

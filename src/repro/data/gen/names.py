@@ -1,0 +1,227 @@
+"""Business-name generation.
+
+Names follow four templates. Two of them *leak* the business category into
+the name ("Mike's Ice Cream", "Lakeside Sushi Bar") and two do not
+("Copper Kettle", "Industry & Oak"). The non-leaking fraction is what makes
+the Figure-1 phenomenon reproducible: a keyword search for "café" cannot
+find "Industry Beans" even though its tips are all about flat whites.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES: tuple[str, ...] = (
+    "Mike", "Sarah", "Tony", "Rosa", "Jack", "Elena", "Sam", "Nina",
+    "Leo", "Grace", "Otis", "May", "Frank", "Ida", "Gus", "Pearl",
+    "Ray", "Vera", "Cal", "June", "Max", "Ruby", "Ned", "Hazel",
+    "Joe", "Stella", "Art", "Daisy", "Walt", "Iris", "Hank", "Lucy",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Miller", "Nguyen", "Garcia", "Rossi", "Kim", "Patel", "Brennan",
+    "Kowalski", "Dubois", "Tanaka", "Ortiz", "Schmidt", "Olsen",
+    "Romano", "Silva", "Janssen", "Costa", "Novak", "Weber", "Fontaine",
+)
+
+ADJECTIVES: tuple[str, ...] = (
+    "Golden", "Lakeside", "Old Town", "Riverside", "Sunny", "Corner",
+    "Downtown", "Uptown", "Little", "Grand", "Royal", "Happy", "Lucky",
+    "Silver", "Prime", "Union", "Central", "Heritage", "Liberty",
+    "Midtown", "Classic", "Urban", "Garden", "Harbor",
+)
+
+#: Word pairs for evocative (category-opaque) names.
+EVOCATIVE_FIRST: tuple[str, ...] = (
+    "Copper", "Iron", "Velvet", "Cedar", "Amber", "Indigo", "Willow",
+    "Juniper", "Ember", "Marble", "Raven", "Honey", "Clover", "Slate",
+    "Wren", "Birch", "Fox", "Harvest", "Meridian", "Cobalt", "Saffron",
+    "Magnolia", "Hollow", "Tandem", "Paper", "Industry", "Atlas",
+    "Penny", "Maple", "Drift", "Nomad", "Summit",
+)
+
+EVOCATIVE_SECOND: tuple[str, ...] = (
+    "Kettle", "Anchor", "Finch", "Oak", "Lantern", "Compass", "Harbor",
+    "Beans", "Press", "Social", "House", "Standard", "Supply", "Mercantile",
+    "Collective", "Branch", "Post", "Parlor", "Exchange", "Commons",
+    "Workshop", "Company", "Provisions", "Hall", "Room", "Letter",
+)
+
+#: Explicit category nouns where the Yelp label doesn't read as a name part.
+_CATEGORY_NOUN_OVERRIDES: dict[str, tuple[str, ...]] = {
+    "coffee_shop": ("Coffee", "Cafe", "Coffee Roasters", "Espresso Bar"),
+    "tea_house": ("Tea House", "Tea Room"),
+    "cafe": ("Cafe", "Coffee House"),
+    "bakery": ("Bakery", "Bakehouse", "Breads"),
+    "ice_cream_shop": ("Ice Cream", "Creamery", "Scoops"),
+    "donut_shop": ("Donuts", "Donut Co."),
+    "juice_bar": ("Juice Bar", "Juicery", "Smoothies"),
+    "dessert_shop": ("Desserts", "Sweets"),
+    "bubble_tea_shop": ("Bubble Tea", "Boba"),
+    "italian_restaurant": ("Italian Kitchen", "Trattoria", "Ristorante"),
+    "japanese_restaurant": ("Japanese Kitchen", "Izakaya"),
+    "sushi_bar": ("Sushi", "Sushi Bar", "Sushi House"),
+    "ramen_shop": ("Ramen", "Ramen House"),
+    "chinese_restaurant": ("Chinese Restaurant", "Wok", "Garden"),
+    "mexican_restaurant": ("Mexican Grill", "Cantina", "Cocina"),
+    "taqueria": ("Taqueria", "Tacos"),
+    "thai_restaurant": ("Thai Kitchen", "Thai Cuisine"),
+    "indian_restaurant": ("Indian Cuisine", "Curry House", "Tandoor"),
+    "vietnamese_restaurant": ("Pho", "Vietnamese Kitchen"),
+    "korean_restaurant": ("Korean BBQ", "Korean Kitchen"),
+    "mediterranean_restaurant": ("Mediterranean Grill", "Kebab House"),
+    "greek_restaurant": ("Greek Taverna", "Gyro House"),
+    "french_restaurant": ("Bistro", "Brasserie"),
+    "american_restaurant": ("Grill", "Kitchen", "Eatery"),
+    "new_american_restaurant": ("Kitchen & Bar", "Table", "Eatery"),
+    "southern_restaurant": ("Southern Kitchen", "Biscuit Co."),
+    "cajun_restaurant": ("Cajun Kitchen", "Creole House"),
+    "bbq_joint": ("BBQ", "Smokehouse", "Barbecue Pit"),
+    "steakhouse": ("Steakhouse", "Chophouse", "Prime Steaks"),
+    "seafood_restaurant": ("Seafood", "Fish House", "Oyster Bar"),
+    "pizza_place": ("Pizza", "Pizzeria", "Pizza Co."),
+    "burger_joint": ("Burgers", "Burger Bar", "Patty Shack"),
+    "sandwich_shop": ("Sandwiches", "Subs", "Sandwich Co."),
+    "deli": ("Deli", "Delicatessen"),
+    "diner": ("Diner", "Lunch Counter"),
+    "breakfast_brunch": ("Breakfast House", "Brunch Kitchen", "Pancake House"),
+    "vegan_restaurant": ("Vegan Kitchen", "Plant Cafe"),
+    "vegetarian_restaurant": ("Vegetarian Kitchen", "Greens"),
+    "food_truck": ("Food Truck", "Street Kitchen"),
+    "buffet": ("Buffet", "All-You-Can-Eat"),
+    "fast_food": ("Drive-In", "Express Grill", "Quick Bites"),
+    "chicken_wings_joint": ("Wings", "Wing Shack", "Hot Wings"),
+    "soup_spot": ("Soup Co.", "Soup Kitchen"),
+    "salad_bar": ("Salads", "Greens Bar"),
+    "tapas_bar": ("Tapas", "Small Plates"),
+    "noodle_house": ("Noodle House", "Noodle Bar"),
+    "bar": ("Bar", "Lounge"),
+    "sports_bar": ("Sports Bar", "Sports Grill", "Taphouse"),
+    "dive_bar": ("Tavern", "Saloon", "Bar"),
+    "wine_bar": ("Wine Bar", "Vino", "Cellar"),
+    "cocktail_bar": ("Cocktail Lounge", "Cocktails", "Bar Room"),
+    "pub": ("Pub", "Public House", "Alehouse"),
+    "gastropub": ("Gastropub", "Kitchen & Taps"),
+    "brewery": ("Brewing Co.", "Brewery", "Brewworks"),
+    "nightclub": ("Nightclub", "Club"),
+    "karaoke_bar": ("Karaoke", "Karaoke Lounge"),
+    "music_venue": ("Music Hall", "Ballroom", "Stage"),
+    "comedy_club": ("Comedy Club", "Laugh House"),
+    "grocery_store": ("Grocery", "Market", "Foods"),
+    "farmers_market": ("Farmers Market", "Market"),
+    "convenience_store": ("Mini Mart", "Corner Store", "Quick Stop"),
+    "bookstore": ("Books", "Bookshop", "Book Exchange"),
+    "clothing_store": ("Boutique", "Clothing Co.", "Apparel"),
+    "mens_clothing_store": ("Menswear", "Clothiers", "Haberdashery"),
+    "shoe_store": ("Shoes", "Footwear", "Shoe Co."),
+    "jewelry_store": ("Jewelers", "Fine Jewelry", "Gems"),
+    "florist": ("Flowers", "Florist", "Blooms"),
+    "gift_shop": ("Gifts", "Gift Shop", "Curiosities"),
+    "toy_store": ("Toys", "Toy Shop", "Playthings"),
+    "hardware_store": ("Hardware", "Tools & Supply"),
+    "electronics_store": ("Electronics", "Tech Shop"),
+    "record_store": ("Records", "Vinyl", "Music Exchange"),
+    "thrift_store": ("Thrift", "Second Chances", "Resale"),
+    "furniture_store": ("Furniture", "Home Furnishings"),
+    "sporting_goods_store": ("Sporting Goods", "Outfitters", "Sports Gear"),
+    "liquor_store": ("Liquors", "Wine & Spirits", "Bottle Shop"),
+    "auto_repair": ("Auto Repair", "Auto Care", "Garage", "Automotive"),
+    "tire_shop": ("Tire Center", "Tires", "Tire & Wheel"),
+    "oil_change_station": ("Quick Lube", "Oil & Lube", "Express Oil"),
+    "car_wash": ("Car Wash", "Auto Spa", "Wash & Shine"),
+    "gas_station": ("Fuel Stop", "Gas & Go", "Petroleum"),
+    "car_dealer": ("Motors", "Auto Sales", "Cars"),
+    "auto_parts_store": ("Auto Parts", "Parts & Supply"),
+    "body_shop": ("Collision Center", "Auto Body", "Body Works"),
+    "hair_salon": ("Salon", "Hair Studio", "Hair & Co."),
+    "barber_shop": ("Barbershop", "Barbers", "Cuts"),
+    "nail_salon": ("Nails", "Nail Bar", "Nail Studio"),
+    "day_spa": ("Day Spa", "Spa & Wellness", "Spa Retreat"),
+    "massage_studio": ("Massage", "Bodyworks", "Massage Therapy"),
+    "tattoo_parlor": ("Tattoo", "Ink Studio", "Tattoo Parlor"),
+    "dentist": ("Dental", "Family Dentistry", "Dental Care"),
+    "family_doctor": ("Family Medicine", "Medical Group", "Clinic"),
+    "urgent_care": ("Urgent Care", "Walk-In Clinic"),
+    "optometrist": ("Eye Care", "Vision Center", "Optical"),
+    "chiropractor": ("Chiropractic", "Spine & Wellness"),
+    "pharmacy": ("Pharmacy", "Drugs", "Apothecary"),
+    "physical_therapy": ("Physical Therapy", "Rehab & Motion"),
+    "gym": ("Fitness", "Gym", "Athletic Club", "Strength Co."),
+    "yoga_studio": ("Yoga", "Yoga Studio", "Yoga Loft"),
+    "pilates_studio": ("Pilates", "Core Studio"),
+    "climbing_gym": ("Climbing", "Boulders", "Ascent Gym"),
+    "swimming_pool": ("Aquatic Center", "Swim Club", "Pools"),
+    "bowling_alley": ("Lanes", "Bowl", "Bowling Center"),
+    "golf_course": ("Golf Club", "Links", "Golf Course"),
+    "bike_shop": ("Cycles", "Bike Shop", "Cyclery"),
+    "dance_studio": ("Dance Studio", "Dance Academy"),
+    "martial_arts_studio": ("Martial Arts", "Karate Academy", "Dojo"),
+    "movie_theater": ("Cinema", "Theatres", "Picture House"),
+    "museum": ("Museum", "History Center", "Gallery of History"),
+    "art_gallery": ("Gallery", "Art Space", "Fine Art"),
+    "arcade": ("Arcade", "Game Room", "Pinball Hall"),
+    "escape_room": ("Escape Rooms", "Puzzle House"),
+    "theater": ("Theatre", "Playhouse", "Performing Arts Center"),
+    "laundromat": ("Laundry", "Wash House", "Coin Laundry"),
+    "dry_cleaner": ("Cleaners", "Dry Cleaning"),
+    "bank": ("Bank", "Credit Union", "Savings"),
+    "post_office": ("Postal Center", "Mail & Ship"),
+    "library": ("Library", "Public Library", "Reading Room"),
+    "locksmith": ("Lock & Key", "Locksmith", "Security"),
+    "plumber": ("Plumbing", "Plumbing Co.", "Pipe Works"),
+    "electrician": ("Electric", "Electrical Services"),
+    "landscaper": ("Landscaping", "Lawn & Garden", "Gardens"),
+    "cleaning_service": ("Cleaning Co.", "Maid Service", "Home Cleaning"),
+    "storage_facility": ("Storage", "Self Storage", "Store-All"),
+    "phone_repair_shop": ("Phone Repair", "Device Fix", "Screen Repair"),
+    "shoe_repair_shop": ("Shoe Repair", "Cobbler", "Boot & Shoe"),
+    "tailor": ("Tailoring", "Alterations", "Tailor Shop"),
+    "hotel": ("Hotel", "Inn", "Suites", "Lodge"),
+    "hostel": ("Hostel", "Backpackers"),
+    "bed_breakfast": ("Bed & Breakfast", "Guest House", "Inn"),
+    "veterinarian": ("Animal Hospital", "Veterinary Clinic", "Pet Care"),
+    "pet_groomer": ("Pet Grooming", "Grooming Co.", "Paws & Claws"),
+    "pet_store": ("Pet Supply", "Pets", "Pet Shop"),
+    "dog_park": ("Dog Park", "Bark Park"),
+    "music_school": ("School of Music", "Music Academy"),
+    "tutoring_center": ("Tutoring", "Learning Center", "Academics"),
+    "driving_school": ("Driving School", "Driver Training"),
+    "daycare": ("Daycare", "Child Care", "Little Learners"),
+}
+
+
+def category_nouns(category_id: str, label: str) -> tuple[str, ...]:
+    """Name nouns for a category; fall back to the Yelp label itself."""
+    return _CATEGORY_NOUN_OVERRIDES.get(category_id, (label,))
+
+
+def generate_name(
+    category_id: str,
+    label: str,
+    rng: random.Random,
+    evocative_fraction: float = 0.35,
+) -> tuple[str, bool]:
+    """Generate a business name; return ``(name, leaks_category)``.
+
+    ``leaks_category`` is True when the name contains the category noun
+    (and so is findable by naive keyword search on the category word).
+    """
+    if rng.random() < evocative_fraction:
+        first = rng.choice(EVOCATIVE_FIRST)
+        second = rng.choice(EVOCATIVE_SECOND)
+        style = rng.random()
+        if style < 0.2:
+            return f"{first} & {rng.choice(EVOCATIVE_SECOND[:10])}", False
+        if style < 0.35:
+            return f"The {first} {second}", False
+        return f"{first} {second}", False
+
+    noun = rng.choice(category_nouns(category_id, label))
+    template = rng.random()
+    if template < 0.4:
+        owner = rng.choice(FIRST_NAMES)
+        return f"{owner}'s {noun}", True
+    if template < 0.7:
+        return f"{rng.choice(ADJECTIVES)} {noun}", True
+    surname = rng.choice(LAST_NAMES)
+    return f"{surname} {noun}", True

@@ -1,0 +1,26 @@
+"""Street-name material for synthetic addresses."""
+
+from __future__ import annotations
+
+import random
+
+STREET_NAMES: tuple[str, ...] = (
+    "Main", "2nd Ave N", "Oak", "Maple", "Washington", "Lafayette Road",
+    "Market", "Broad", "Church", "College", "Jefferson", "Monroe",
+    "Walnut", "Chestnut", "Pine", "Cedar", "Spring", "High", "Mill",
+    "Union", "Park Ave", "Front", "Water", "Bridge", "Canal", "Dock",
+    "Elm", "Cherry", "Vine", "State", "Division", "Meridian",
+)
+
+STREET_SUFFIXES: tuple[str, ...] = (
+    "St", "Ave", "Blvd", "Rd", "Dr", "Way", "Pl", "Ln",
+)
+
+
+def generate_street_address(rng: random.Random) -> str:
+    """One-line street address like ``"129 2nd Ave N"`` or ``"482 Oak St"``."""
+    number = rng.randint(1, 9999)
+    name = rng.choice(STREET_NAMES)
+    if any(ch.isdigit() for ch in name) or " " in name:
+        return f"{number} {name}"
+    return f"{number} {name} {rng.choice(STREET_SUFFIXES)}"

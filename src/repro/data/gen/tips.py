@@ -1,0 +1,174 @@
+"""Tip (short review) generation.
+
+Tips are the dataset's semantic payload: they express the POI's latent
+concepts through surface forms of mixed difficulty, so that
+
+* every latent concept is mentioned in at least one tip (the full-lexicon
+  reader can in principle recover the whole profile),
+* phrasing varies — a café's tips may say "flat white" and "pour over"
+  without ever containing the word "café" (the Figure-1 phenomenon),
+* sentiment correlates with the star rating, and a small distractor rate
+  mentions concepts the POI does *not* carry (as real reviews do:
+  "better than any taqueria in town" at a burger joint), bounding every
+  text-based system's precision honestly.
+
+Statistics target the paper's §3.1: ~11 tips and ~147 tokens per POI.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.semantics.concepts import ConceptProfile
+from repro.semantics.lexicon import Lexicon, SurfaceForm
+
+_POSITIVE_TEMPLATES: tuple[str, ...] = (
+    "Love the {a} here!",
+    "The {a} is amazing. Highly recommend.",
+    "Great {a} and even better {b}.",
+    "Came for the {a}, stayed for the {b}.",
+    "Best {a} I've had in ages.",
+    "{a} was top notch. Will be back!",
+    "You have to try the {a}.",
+    "Really impressed by the {a}.",
+    "Solid {a}, and the {b} never disappoints.",
+    "If you're after {a}, this is the spot.",
+    "The {a} alone is worth the visit.",
+    "Obsessed with their {a}.",
+)
+
+_NEGATIVE_TEMPLATES: tuple[str, ...] = (
+    "Disappointed — the {a} was not great this time.",
+    "The {a} used to be better. Went downhill.",
+    "Overpriced for what you get. {a} was just okay.",
+    "Long wait, and the {a} didn't make up for it.",
+    "Meh. The {a} left a lot to be desired.",
+)
+
+_MIXED_TEMPLATES: tuple[str, ...] = (
+    "Orders get mixed up sometimes, but the {a} keeps me coming back.",
+    "Busy on weekends, still worth it for the {a}.",
+    "Hit or miss, but when the {a} is on, it's on.",
+)
+
+_FILLER_TIPS: tuple[str, ...] = (
+    "Will definitely return.",
+    "Worth the trip across town.",
+    "My go-to spot in the neighborhood.",
+    "Can't wait to come back.",
+    "Been coming here for years and it never gets old.",
+    "Exactly what this part of town needed.",
+    "Don't sleep on this place.",
+    "Tell them a regular sent you.",
+)
+
+_DISTRACTOR_TEMPLATES: tuple[str, ...] = (
+    "Better than any {a} in town, honestly.",
+    "Skip the {a} next door and come here instead.",
+    "Not a {a}, but scratches the same itch.",
+)
+
+#: Average tips per POI (paper: "an average of 11 tips").
+MEAN_TIPS = 11
+#: Probability that a tip is concept-free filler.
+FILLER_RATE = 0.18
+#: Probability that a concept-bearing tip mentions a concept the POI lacks.
+DISTRACTOR_RATE = 0.05
+
+
+def _weighted_form(forms: list[SurfaceForm], rng: random.Random) -> SurfaceForm:
+    """Sample a surface form, favouring conversational (mid-difficulty) ones.
+
+    Labels (difficulty ~0) still appear, but real reviews rarely call a
+    café "Cafes" — they talk about lattes. Weight peaks near 0.45.
+    """
+    weights = [1.25 - abs(f.difficulty - 0.45) for f in forms]
+    return rng.choices(forms, weights=weights, k=1)[0]
+
+
+def _phrase_for(concept_id: str, lexicon: Lexicon, rng: random.Random) -> str:
+    forms = lexicon.forms_of(concept_id)
+    if not forms:
+        return concept_id.replace("_", " ")
+    return _weighted_form(forms, rng).phrase
+
+
+def generate_tips(
+    profile: ConceptProfile,
+    stars: float,
+    lexicon: Lexicon,
+    rng: random.Random,
+    mean_tips: int = MEAN_TIPS,
+) -> tuple[str, ...]:
+    """Generate this POI's tips from its latent concept profile."""
+    n_tips = max(3, round(rng.gauss(mean_tips, 2.5)))
+    mentionable = [c for c in profile.items + profile.aspects]
+    if not mentionable:
+        mentionable = [profile.category]
+
+    # Guarantee coverage: cycle through the profile's concepts first, then
+    # sample freely, so every latent concept is expressed at least once.
+    concept_plan: list[str] = []
+    pool = list(mentionable)
+    rng.shuffle(pool)
+    while len(concept_plan) < n_tips:
+        if pool:
+            concept_plan.append(pool.pop())
+        else:
+            concept_plan.append(rng.choice(mentionable))
+
+    negative_rate = max(0.03, (4.6 - stars) * 0.12)
+    tips: list[str] = []
+    for i, concept in enumerate(concept_plan):
+        # Filler only after all concepts are covered at least once.
+        covered = i >= len(mentionable)
+        if covered and rng.random() < FILLER_RATE:
+            tips.append(rng.choice(_FILLER_TIPS))
+            continue
+        if covered and rng.random() < DISTRACTOR_RATE:
+            distractor = rng.choice(_DISTRACTOR_CATEGORIES)
+            phrase = _phrase_for(distractor, lexicon, rng)
+            tips.append(rng.choice(_DISTRACTOR_TEMPLATES).format(a=phrase))
+            continue
+
+        phrase_a = _phrase_for(concept, lexicon, rng)
+        roll = rng.random()
+        if roll < negative_rate:
+            template = rng.choice(_NEGATIVE_TEMPLATES)
+        elif roll < negative_rate + 0.08:
+            template = rng.choice(_MIXED_TEMPLATES)
+        else:
+            template = rng.choice(_POSITIVE_TEMPLATES)
+
+        if "{b}" in template:
+            other = rng.choice(mentionable)
+            phrase_b = _phrase_for(other, lexicon, rng)
+            if phrase_b == phrase_a:
+                phrase_b = "service"
+            tip = template.format(a=phrase_a, b=phrase_b)
+        else:
+            tip = template.format(a=phrase_a)
+        if rng.random() < 0.55:
+            tip = f"{tip} {rng.choice(_TAIL_SENTENCES)}"
+        tips.append(tip)
+    return tuple(tips)
+
+
+#: Concept-neutral second sentences, appended to some tips so the corpus
+#: token statistics land near the paper's ~147 tokens per POI.
+_TAIL_SENTENCES: tuple[str, ...] = (
+    "Totally worth it.",
+    "Five stars from me.",
+    "You won't regret stopping by.",
+    "Tell your friends about this one.",
+    "Easily one of my favorites around here.",
+    "I keep telling everyone I know about it.",
+    "Honestly it made my whole week.",
+    "Do yourself a favor and check it out soon.",
+)
+
+#: Categories used for distractor mentions (common, recognizable ones).
+_DISTRACTOR_CATEGORIES: tuple[str, ...] = (
+    "pizza_place", "taqueria", "coffee_shop", "burger_joint", "bakery",
+    "sports_bar", "diner", "food_truck",
+)

@@ -1,0 +1,220 @@
+"""The geo-textual object model (the paper's §3 data model).
+
+A :class:`POIRecord` mirrors the Yelp record schema of the paper's Table 1:
+business_id, name, address, city, state, latitude, longitude, stars,
+tip_count, is_open, categories, hours, tips — plus the fields added by the
+data-preparation module (completed address parts and the tip summary).
+
+Each synthetic record additionally carries its latent
+:class:`~repro.semantics.concepts.ConceptProfile` — the concepts the POI
+was generated from. The profile is *ground-truth-only* metadata: query
+processing systems must use :meth:`POIRecord.attributes` /
+:meth:`POIRecord.document_text`, which expose exactly what the paper's
+systems see (the textual record), never the latent profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.geo.point import GeoPoint
+from repro.semantics.concepts import ConceptProfile
+
+#: Attribute keys of the paper's Table 1 sample record, in display order.
+TABLE1_KEYS: tuple[str, ...] = (
+    "business_id", "name", "address", "city", "state", "latitude",
+    "longitude", "stars", "tip_count", "is_open", "categories", "hours",
+    "tips",
+)
+
+
+@dataclass
+class POIRecord:
+    """One geo-textual object ``o_i`` with location ``o_i.l`` and attributes ``o_i.A``."""
+
+    business_id: str
+    name: str
+    address: str
+    city: str
+    state: str
+    latitude: float
+    longitude: float
+    stars: float
+    is_open: int
+    categories: tuple[str, ...]
+    hours: dict[str, str]
+    tips: tuple[str, ...]
+    # --- data-preparation outputs (empty until the prepare pipeline runs) ---
+    county: str = ""
+    suburb: str = ""
+    neighborhood: str = ""
+    tip_summary: str = ""
+    # --- generator ground truth (never shown to query systems) -------------
+    profile: ConceptProfile | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.business_id:
+            raise SchemaError("business_id must be non-empty")
+        if not self.name:
+            raise SchemaError(f"POI {self.business_id}: name must be non-empty")
+        if not -90.0 <= self.latitude <= 90.0:
+            raise SchemaError(
+                f"POI {self.business_id}: latitude {self.latitude} out of range"
+            )
+        if not -180.0 <= self.longitude <= 180.0:
+            raise SchemaError(
+                f"POI {self.business_id}: longitude {self.longitude} out of range"
+            )
+        if not 1.0 <= self.stars <= 5.0:
+            raise SchemaError(
+                f"POI {self.business_id}: stars {self.stars} outside [1, 5]"
+            )
+        if self.is_open not in (0, 1):
+            raise SchemaError(
+                f"POI {self.business_id}: is_open must be 0 or 1, got {self.is_open}"
+            )
+
+    @property
+    def location(self) -> GeoPoint:
+        """The location attribute ``o_i.l``."""
+        return GeoPoint(self.latitude, self.longitude)
+
+    @property
+    def tip_count(self) -> int:
+        """Number of tips, as in the raw Yelp schema."""
+        return len(self.tips)
+
+    def attributes(self, include_tips: bool = True) -> dict[str, Any]:
+        """The non-location attributes ``o_i.A`` as a key-value dict.
+
+        This is the record view the paper's systems consume: the raw POI
+        attributes fed to the LLM refinement prompt and (via
+        :meth:`document_text`) to the embedding model and the baselines.
+        """
+        attrs: dict[str, Any] = {
+            "business_id": self.business_id,
+            "name": self.name,
+            "address": self.address,
+            "city": self.city,
+            "state": self.state,
+            "stars": self.stars,
+            "tip_count": self.tip_count,
+            "is_open": self.is_open,
+            "categories": ", ".join(self.categories),
+            "hours": dict(self.hours),
+        }
+        if self.neighborhood:
+            attrs["neighborhood"] = self.neighborhood
+        if self.suburb:
+            attrs["suburb"] = self.suburb
+        if self.county:
+            attrs["county"] = self.county
+        if self.tip_summary:
+            attrs["tip_summary"] = self.tip_summary
+        if include_tips:
+            attrs["tips"] = list(self.tips)
+        return attrs
+
+    def document_text(self, use_summary: bool = True) -> str:
+        """The textual document representing this POI for retrieval.
+
+        Mirrors the paper's embedding input: "POI name, address, categories,
+        hours, and tip summary". When the summary has not been generated yet
+        (or ``use_summary`` is False), the raw tips are used instead so the
+        record is still searchable.
+        """
+        parts = [
+            self.name,
+            self.address,
+            self.neighborhood,
+            ", ".join(self.categories),
+        ]
+        if use_summary and self.tip_summary:
+            parts.append(self.tip_summary)
+        else:
+            parts.extend(self.tips)
+        return ". ".join(p for p in parts if p)
+
+    def with_preparation(
+        self,
+        county: str,
+        suburb: str,
+        neighborhood: str,
+        tip_summary: str,
+    ) -> "POIRecord":
+        """Return a copy with the data-preparation fields filled in."""
+        return replace(
+            self,
+            county=county,
+            suburb=suburb,
+            neighborhood=neighborhood,
+            tip_summary=tip_summary,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable dict (includes the latent profile)."""
+        data: dict[str, Any] = {
+            "business_id": self.business_id,
+            "name": self.name,
+            "address": self.address,
+            "city": self.city,
+            "state": self.state,
+            "latitude": self.latitude,
+            "longitude": self.longitude,
+            "stars": self.stars,
+            "is_open": self.is_open,
+            "categories": list(self.categories),
+            "hours": dict(self.hours),
+            "tips": list(self.tips),
+            "county": self.county,
+            "suburb": self.suburb,
+            "neighborhood": self.neighborhood,
+            "tip_summary": self.tip_summary,
+        }
+        if self.profile is not None:
+            data["profile"] = {
+                "category": self.profile.category,
+                "secondary_categories": list(self.profile.secondary_categories),
+                "items": list(self.profile.items),
+                "aspects": list(self.profile.aspects),
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "POIRecord":
+        """Inverse of :meth:`to_dict`; raises SchemaError on bad input."""
+        try:
+            profile_data = data.get("profile")
+            profile = None
+            if profile_data is not None:
+                profile = ConceptProfile(
+                    category=profile_data["category"],
+                    secondary_categories=tuple(
+                        profile_data.get("secondary_categories", ())
+                    ),
+                    items=tuple(profile_data.get("items", ())),
+                    aspects=tuple(profile_data.get("aspects", ())),
+                )
+            return cls(
+                business_id=data["business_id"],
+                name=data["name"],
+                address=data["address"],
+                city=data["city"],
+                state=data["state"],
+                latitude=float(data["latitude"]),
+                longitude=float(data["longitude"]),
+                stars=float(data["stars"]),
+                is_open=int(data["is_open"]),
+                categories=tuple(data["categories"]),
+                hours=dict(data["hours"]),
+                tips=tuple(data["tips"]),
+                county=data.get("county", ""),
+                suburb=data.get("suburb", ""),
+                neighborhood=data.get("neighborhood", ""),
+                tip_summary=data.get("tip_summary", ""),
+                profile=profile,
+            )
+        except KeyError as exc:
+            raise SchemaError(f"record missing required key: {exc}") from exc

@@ -1,0 +1,215 @@
+"""The synthetic Yelp-style dataset generator.
+
+Stands in for the Yelp Open Dataset the paper uses (which cannot be
+redistributed; the paper itself documents construction steps instead of
+shipping data — this module plays that role offline). Records follow the
+paper's Table 1 schema exactly, and the corpus statistics target §3.1:
+five cities with the paper's POI counts, ~11 tips and ~147 tip tokens per
+POI.
+
+Generation is fully deterministic given a seed. Each POI is created from a
+latent :class:`~repro.semantics.concepts.ConceptProfile`; tips, name,
+hours, and categories are all *renderings* of that profile, which is what
+later lets ground truth be defined independently of any retrieval model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import Sequence
+
+from repro.data.gen.hours import generate_hours
+from repro.data.gen.names import generate_name
+from repro.data.gen.streets import generate_street_address
+from repro.data.gen.tips import generate_tips
+from repro.data.model import POIRecord
+from repro.geo.regions import CityRegion
+from repro.semantics.concepts import ConceptGraph, ConceptKind, ConceptProfile
+from repro.semantics.lexicon import Lexicon
+from repro.semantics.ontology.build import (
+    category_aspects,
+    category_items,
+    default_ontology,
+    primary_categories,
+)
+
+#: Sampling weight per top-level domain — food and nightlife dominate Yelp.
+_DOMAIN_WEIGHTS: dict[str, float] = {
+    "food_drink": 3.0,
+    "restaurants": 3.0,
+    "nightlife": 1.6,
+    "shopping": 1.4,
+    "beauty_spas": 1.0,
+    "automotive": 0.9,
+    "health_medical": 0.8,
+    "active_life": 0.8,
+    "arts_entertainment": 0.7,
+    "local_services": 0.7,
+    "home_services": 0.5,
+    "hotels_travel": 0.5,
+    "pets": 0.5,
+    "education": 0.4,
+}
+
+#: Aspects that boost the star rating when present.
+_STAR_BOOST_ASPECTS = frozenset(
+    {"friendly_staff", "fresh_ingredients", "craft_quality", "reliable_service",
+     "gentle_care", "local_favorite", "hidden_gem", "knowledgeable_staff"}
+)
+
+
+def _business_id(city_code: str, index: int, seed: int) -> str:
+    """A stable 22-character Yelp-like business id."""
+    digest = hashlib.sha256(f"{seed}:{city_code}:{index}".encode()).hexdigest()
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
+    value = int(digest, 16)
+    chars = []
+    for _ in range(22):
+        value, rem = divmod(value, 64)
+        chars.append(alphabet[rem])
+    return "".join(chars)
+
+
+class YelpStyleGenerator:
+    """Deterministic generator of city POI sets."""
+
+    def __init__(
+        self,
+        graph: ConceptGraph | None = None,
+        lexicon: Lexicon | None = None,
+        seed: int = 7,
+    ) -> None:
+        if graph is None or lexicon is None:
+            graph, lexicon = default_ontology()
+        self._graph = graph
+        self._lexicon = lexicon
+        self._seed = seed
+        self._category_pool, self._category_weights = self._build_category_pool()
+
+    def _build_category_pool(self) -> tuple[list[str], list[float]]:
+        pool: list[str] = []
+        weights: list[float] = []
+        for cid in primary_categories():
+            concept = self._graph.get(cid)
+            roots = [a for a in self._graph.ancestors(cid) if not self._graph.get(a).parents]
+            if not roots:  # cid itself is a root child with a root parent only
+                roots = list(concept.parents)
+            weight = max(_DOMAIN_WEIGHTS.get(r, 0.5) for r in roots) if roots else 0.5
+            pool.append(cid)
+            weights.append(weight)
+        return pool, weights
+
+    def _sample_profile(self, rng: random.Random) -> ConceptProfile:
+        category = rng.choices(self._category_pool, self._category_weights, k=1)[0]
+        items = list(category_items(category))
+        rng.shuffle(items)
+        n_items = min(len(items), rng.choice((1, 2, 2, 3, 3, 4)))
+        aspects = list(category_aspects(category))
+        rng.shuffle(aspects)
+        n_aspects = min(len(aspects), rng.choice((2, 2, 3, 3, 4)))
+        secondary: tuple[str, ...] = ()
+        if rng.random() < 0.12:
+            parents = self._graph.get(category).parents
+            if parents:
+                siblings = [
+                    c.id
+                    for c in self._graph.of_kind(ConceptKind.CATEGORY)
+                    if c.id != category and set(c.parents) & set(parents)
+                ]
+                if siblings:
+                    secondary = (rng.choice(siblings),)
+        return ConceptProfile(
+            category=category,
+            items=tuple(items[:n_items]),
+            aspects=tuple(aspects[:n_aspects]),
+            secondary_categories=secondary,
+        )
+
+    def _categories_attribute(self, profile: ConceptProfile) -> tuple[str, ...]:
+        """The Yelp ``categories`` strings: own label + broader labels."""
+        labels: list[str] = []
+        for cid in (profile.category, *profile.secondary_categories):
+            concept = self._graph.get(cid)
+            labels.append(concept.label)
+            for ancestor in sorted(self._graph.ancestors(cid)):
+                label = self._graph.get(ancestor).label
+                if label not in labels:
+                    labels.append(label)
+        return tuple(labels)
+
+    def _sample_stars(self, profile: ConceptProfile, rng: random.Random) -> float:
+        base = rng.gauss(3.6, 0.7)
+        boost = 0.15 * sum(
+            1 for a in profile.aspects if a in _STAR_BOOST_ASPECTS
+        )
+        raw = base + boost
+        return min(5.0, max(1.0, round(raw * 2.0) / 2.0))
+
+    def _sample_location(
+        self,
+        city: CityRegion,
+        clusters: Sequence[tuple[float, float]],
+        rng: random.Random,
+    ) -> tuple[float, float]:
+        bounds = city.bounds
+        if clusters and rng.random() < 0.72:
+            clat, clon = rng.choice(clusters)
+            spread_lat = (bounds.max_lat - bounds.min_lat) * 0.045
+            spread_lon = (bounds.max_lon - bounds.min_lon) * 0.045
+            lat = rng.gauss(clat, spread_lat)
+            lon = rng.gauss(clon, spread_lon)
+        else:
+            lat = rng.uniform(bounds.min_lat, bounds.max_lat)
+            lon = rng.uniform(bounds.min_lon, bounds.max_lon)
+        lat = min(bounds.max_lat, max(bounds.min_lat, lat))
+        lon = min(bounds.max_lon, max(bounds.min_lon, lon))
+        return lat, lon
+
+    def generate_city(
+        self, city: CityRegion, count: int | None = None
+    ) -> list[POIRecord]:
+        """Generate ``count`` POIs (default: the paper's count) for ``city``."""
+        n = count if count is not None else city.poi_count
+        if n <= 0:
+            raise ValueError(f"POI count must be positive, got {n}")
+        rng = random.Random(f"{self._seed}:{city.code}")
+        bounds = city.bounds
+        n_clusters = max(3, len(city.neighborhoods) // 2)
+        clusters = [
+            (
+                rng.uniform(bounds.min_lat, bounds.max_lat),
+                rng.uniform(bounds.min_lon, bounds.max_lon),
+            )
+            for _ in range(n_clusters)
+        ]
+        # Pin one cluster to the city centre so downtown is dense.
+        clusters[0] = (city.center.lat, city.center.lon)
+
+        records: list[POIRecord] = []
+        for i in range(n):
+            profile = self._sample_profile(rng)
+            concept = self._graph.get(profile.category)
+            name, _leaks = generate_name(profile.category, concept.label, rng)
+            stars = self._sample_stars(profile, rng)
+            lat, lon = self._sample_location(city, clusters, rng)
+            hours = generate_hours(profile.category, profile.aspects, rng)
+            tips = generate_tips(profile, stars, self._lexicon, rng)
+            records.append(
+                POIRecord(
+                    business_id=_business_id(city.code, i, self._seed),
+                    name=name,
+                    address=generate_street_address(rng),
+                    city=city.name,
+                    state=city.state,
+                    latitude=lat,
+                    longitude=lon,
+                    stars=stars,
+                    is_open=1 if rng.random() < 0.95 else 0,
+                    categories=self._categories_attribute(profile),
+                    hours=hours,
+                    tips=tips,
+                    profile=profile,
+                )
+            )
+        return records

@@ -1,0 +1,13 @@
+"""Demo UI (paper Figure 3): SVG map rendering and HTML demo app."""
+
+from repro.demo.app import DemoContext, DemoServer, build_demo_page
+from repro.demo.render import Marker, build_markers, render_map_svg
+
+__all__ = [
+    "DemoContext",
+    "DemoServer",
+    "Marker",
+    "build_demo_page",
+    "build_markers",
+    "render_map_svg",
+]

@@ -1,0 +1,125 @@
+"""SVG map rendering for the demo UI (paper Figure 3, offline).
+
+The paper's demo shows query answers on a map: green markers for POIs the
+LLM recommends, blue for POIs fetched by embedding similarity but filtered
+out by the LLM. With no tile server available offline, the map is a clean
+SVG scatter over the query range with the same marker semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import QueryResult
+from repro.data.dataset import Dataset
+from repro.geo.bbox import BoundingBox
+
+_GREEN = "#2e8b57"
+_BLUE = "#4169e1"
+_GRAY = "#c9c9c9"
+
+
+@dataclass(frozen=True)
+class Marker:
+    """One map marker."""
+
+    x: float
+    y: float
+    color: str
+    label: str
+    radius: float
+
+
+def _project(
+    lat: float, lon: float, box: BoundingBox, width: int, height: int
+) -> tuple[float, float]:
+    span_lat = box.max_lat - box.min_lat or 1e-9
+    span_lon = box.max_lon - box.min_lon or 1e-9
+    x = (lon - box.min_lon) / span_lon * width
+    y = (1.0 - (lat - box.min_lat) / span_lat) * height
+    return x, y
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def build_markers(
+    result: QueryResult,
+    dataset: Dataset,
+    box: BoundingBox,
+    width: int = 640,
+    height: int = 640,
+    include_background: bool = True,
+) -> list[Marker]:
+    """Markers for a query result: green/blue/background-gray."""
+    markers: list[Marker] = []
+    shown = {e.business_id for e in result.entries} | {
+        e.business_id for e in result.filtered_out
+    }
+    if include_background:
+        for record in dataset.in_range(box):
+            if record.business_id in shown:
+                continue
+            x, y = _project(record.latitude, record.longitude, box, width, height)
+            markers.append(Marker(x, y, _GRAY, record.name, 2.5))
+    for entry in result.filtered_out:
+        record = dataset.get(entry.business_id)
+        x, y = _project(record.latitude, record.longitude, box, width, height)
+        markers.append(Marker(x, y, _BLUE, record.name, 5.5))
+    for entry in result.entries:
+        record = dataset.get(entry.business_id)
+        x, y = _project(record.latitude, record.longitude, box, width, height)
+        markers.append(Marker(x, y, _GREEN, record.name, 7.0))
+    return markers
+
+
+def render_map_svg(
+    result: QueryResult,
+    dataset: Dataset,
+    box: BoundingBox,
+    width: int = 640,
+    height: int = 640,
+) -> str:
+    """Render the query-result map as a standalone SVG document."""
+    markers = build_markers(result, dataset, box, width, height)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#f4f1ea" '
+        'stroke="#999"/>',
+    ]
+    # Light grid for map texture.
+    for i in range(1, 8):
+        gx = width * i / 8
+        gy = height * i / 8
+        parts.append(
+            f'<line x1="{gx:.0f}" y1="0" x2="{gx:.0f}" y2="{height}" '
+            'stroke="#e3ded2" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<line x1="0" y1="{gy:.0f}" x2="{width}" y2="{gy:.0f}" '
+            'stroke="#e3ded2" stroke-width="1"/>'
+        )
+    for marker in markers:
+        parts.append(
+            f'<circle cx="{marker.x:.1f}" cy="{marker.y:.1f}" '
+            f'r="{marker.radius}" fill="{marker.color}" stroke="white" '
+            f'stroke-width="1"><title>{_escape(marker.label)}</title></circle>'
+        )
+    # Legend.
+    parts.append(
+        f'<g font-family="sans-serif" font-size="12">'
+        f'<rect x="10" y="{height - 64}" width="200" height="54" '
+        'fill="white" opacity="0.85" stroke="#999"/>'
+        f'<circle cx="24" cy="{height - 48}" r="6" fill="{_GREEN}"/>'
+        f'<text x="36" y="{height - 44}">Recommended by the LLM</text>'
+        f'<circle cx="24" cy="{height - 28}" r="5" fill="{_BLUE}"/>'
+        f'<text x="36" y="{height - 24}">Fetched, filtered out by LLM</text>'
+        "</g>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,14 @@
+"""Embedding substrate: simulated text-embedding-3-small and utilities."""
+
+from repro.embeddings.base import EmbeddingModel
+from repro.embeddings.cache import CachingEmbedder
+from repro.embeddings.hashed import HashedNgramEmbedder
+from repro.embeddings.semantic import DEFAULT_EMBEDDING_KNOWLEDGE, SemanticEmbedder
+
+__all__ = [
+    "CachingEmbedder",
+    "DEFAULT_EMBEDDING_KNOWLEDGE",
+    "EmbeddingModel",
+    "HashedNgramEmbedder",
+    "SemanticEmbedder",
+]

@@ -1,0 +1,43 @@
+"""Embedding model interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class EmbeddingModel(ABC):
+    """Maps text to a fixed-dimension, unit-norm dense vector."""
+
+    #: Model identifier (mirrors OpenAI-style model ids).
+    model_id: str = "abstract"
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError(f"embedding dimension must be positive, got {dim}")
+        self._dim = dim
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of produced vectors."""
+        return self._dim
+
+    @abstractmethod
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text into a float32 unit vector of length :attr:`dim`."""
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed ``texts`` into an ``(n, dim)`` float32 matrix."""
+        if not texts:
+            return np.zeros((0, self._dim), dtype=np.float32)
+        return np.stack([self.embed(t) for t in texts])
+
+    @staticmethod
+    def _normalize(vector: np.ndarray) -> np.ndarray:
+        """Unit-normalize, mapping the zero vector to itself."""
+        norm = float(np.linalg.norm(vector))
+        if norm == 0.0:
+            return vector.astype(np.float32)
+        return (vector / norm).astype(np.float32)

@@ -1,0 +1,53 @@
+"""A small LRU cache wrapper for embedding models.
+
+The data-preparation pipeline embeds each POI document once, but query
+processing may re-embed repeated query texts (benchmark sweeps re-run the
+same 30 queries many times); caching keeps that honest-but-cheap.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.embeddings.base import EmbeddingModel
+
+
+class CachingEmbedder(EmbeddingModel):
+    """Wraps any :class:`EmbeddingModel` with an LRU cache on text."""
+
+    def __init__(self, inner: EmbeddingModel, max_entries: int = 50_000) -> None:
+        super().__init__(inner.dim)
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.model_id = inner.model_id
+        self._inner = inner
+        self._max_entries = max_entries
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def inner(self) -> EmbeddingModel:
+        """The wrapped model."""
+        return self._inner
+
+    def embed(self, text: str) -> np.ndarray:
+        cached = self._cache.get(text)
+        if cached is not None:
+            self._cache.move_to_end(text)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        vector = self._inner.embed(text)
+        self._cache[text] = vector
+        if len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return vector
+
+    def clear(self) -> None:
+        """Drop all cached vectors and reset counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,60 @@
+"""Hashed n-gram embedder: a purely lexical dense representation.
+
+Feature hashing with sign hashing (Weinberger et al., 2009) over word
+unigrams and character trigrams. Two texts are similar under this model
+iff they share vocabulary — it has no semantics at all, and serves as the
+lexical component inside :class:`~repro.embeddings.semantic.SemanticEmbedder`
+as well as a baseline embedding in ablations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.embeddings.base import EmbeddingModel
+from repro.text.stopwords import remove_stopwords
+from repro.text.tokenize import char_ngrams, tokenize
+
+
+def _bucket_and_sign(feature: str, dim: int, salt: str) -> tuple[int, float]:
+    digest = hashlib.blake2b(
+        f"{salt}:{feature}".encode(), digest_size=8
+    ).digest()
+    value = int.from_bytes(digest, "big")
+    bucket = value % dim
+    sign = 1.0 if (value >> 63) & 1 else -1.0
+    return bucket, sign
+
+
+class HashedNgramEmbedder(EmbeddingModel):
+    """Signed feature hashing of word unigrams and char trigrams."""
+
+    model_id = "hashed-ngram"
+
+    def __init__(
+        self,
+        dim: int = 256,
+        char_ngram_weight: float = 0.35,
+        salt: str = "hashed-ngram-v1",
+    ) -> None:
+        super().__init__(dim)
+        if char_ngram_weight < 0:
+            raise ValueError("char_ngram_weight must be non-negative")
+        self._char_weight = char_ngram_weight
+        self._salt = salt
+
+    def embed(self, text: str) -> np.ndarray:
+        vector = np.zeros(self._dim, dtype=np.float64)
+        tokens = remove_stopwords(tokenize(text))
+        for token in tokens:
+            bucket, sign = _bucket_and_sign(f"w:{token}", self._dim, self._salt)
+            vector[bucket] += sign
+            if self._char_weight > 0:
+                for gram in char_ngrams(token, 3):
+                    bucket, sign = _bucket_and_sign(
+                        f"c:{gram}", self._dim, self._salt
+                    )
+                    vector[bucket] += sign * self._char_weight
+        return self._normalize(vector)

@@ -1,0 +1,119 @@
+"""The simulated ``text-embedding-3-small`` model.
+
+A real sentence-embedding model places semantically related texts near each
+other because it has internalized distributional knowledge: "flat white"
+and "café" co-occur with the same contexts. This simulation makes that
+knowledge explicit and *partial*:
+
+* the text is scanned for known surface forms under the model's
+  :class:`~repro.semantics.lexicon.KnowledgeProfile` (a graded, hashed
+  subset of the lexicon — harder paraphrases are more likely missed);
+* recognized concepts contribute stable random unit vectors, with
+  is-a ancestors added at decayed weight (so "espresso" partially matches
+  a "coffee" query even in concept space);
+* a lexical hashed-ngram component is mixed in, which is what carries
+  similarity for out-of-lexicon vocabulary (names, streets).
+
+The resulting retrieval quality sits between pure lexical matching and the
+simulated LLM's judgment — the slot the paper's SemaSK-EM variant occupies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.embeddings.base import EmbeddingModel
+from repro.embeddings.hashed import HashedNgramEmbedder
+from repro.semantics.concepts import ConceptGraph
+from repro.semantics.lexicon import (
+    ConceptExtractor,
+    KnowledgeProfile,
+    Lexicon,
+    linear_knowledge,
+)
+from repro.semantics.ontology.build import default_ontology
+
+#: Default knowledge curve of the embedding model: perfect on literal
+#: labels, ~30% on the hardest paraphrases.
+DEFAULT_EMBEDDING_KNOWLEDGE = ("text-embedding-3-small", 1.05, 0.8)
+
+
+def _concept_vector(concept_id: str, dim: int, salt: str) -> np.ndarray:
+    """A stable Gaussian unit vector for a concept."""
+    digest = hashlib.sha256(f"{salt}:{concept_id}".encode()).digest()
+    seed = int.from_bytes(digest[:8], "big")
+    rng = np.random.default_rng(seed)
+    vector = rng.standard_normal(dim)
+    return vector / np.linalg.norm(vector)
+
+
+class SemanticEmbedder(EmbeddingModel):
+    """Concept-projection embedder standing in for text-embedding-3-small."""
+
+    model_id = "text-embedding-3-small"
+
+    def __init__(
+        self,
+        dim: int = 256,
+        graph: ConceptGraph | None = None,
+        lexicon: Lexicon | None = None,
+        knowledge: KnowledgeProfile | None = None,
+        concept_weight: float = 1.0,
+        lexical_weight: float = 0.4,
+        ancestor_decay: float = 0.5,
+        salt: str = "sem-embed-v1",
+    ) -> None:
+        super().__init__(dim)
+        if graph is None or lexicon is None:
+            graph, lexicon = default_ontology()
+        if knowledge is None:
+            name, base, slope = DEFAULT_EMBEDDING_KNOWLEDGE
+            knowledge = linear_knowledge(name, base, slope)
+        self._graph = graph
+        self._extractor = ConceptExtractor(lexicon, knowledge)
+        self._concept_weight = concept_weight
+        self._lexical_weight = lexical_weight
+        self._ancestor_decay = ancestor_decay
+        self._salt = salt
+        self._lexical = HashedNgramEmbedder(dim=dim, salt=f"{salt}:lex")
+        self._concept_cache: dict[str, np.ndarray] = {}
+
+    @property
+    def knowledge(self) -> KnowledgeProfile:
+        """The lexicon-coverage profile of this embedding model."""
+        return self._extractor.knowledge
+
+    def _vector_of(self, concept_id: str) -> np.ndarray:
+        cached = self._concept_cache.get(concept_id)
+        if cached is None:
+            cached = _concept_vector(concept_id, self._dim, self._salt)
+            self._concept_cache[concept_id] = cached
+        return cached
+
+    def embed(self, text: str) -> np.ndarray:
+        mentions = self._extractor.extract(text)
+        vector = np.zeros(self._dim, dtype=np.float64)
+        # Accumulate per-concept weights first so repeated mentions saturate
+        # sub-linearly (sqrt), like TF weighting in real encoders.
+        weights: dict[str, float] = {}
+        for mention in mentions:
+            weights[mention.concept_id] = weights.get(mention.concept_id, 0.0) + 1.0
+            if mention.concept_id in self._graph:
+                for ancestor in self._graph.ancestors(mention.concept_id):
+                    weights[ancestor] = (
+                        weights.get(ancestor, 0.0) + self._ancestor_decay
+                    )
+        for concept_id, weight in weights.items():
+            vector += np.sqrt(weight) * self._vector_of(concept_id)
+        if weights:
+            vector = vector / np.linalg.norm(vector)
+
+        lexical = self._lexical.embed(text).astype(np.float64)
+        combined = self._concept_weight * vector + self._lexical_weight * lexical
+        return self._normalize(combined)
+
+    def concepts_in(self, text: str) -> frozenset[str]:
+        """Concepts this model recognizes in ``text`` (diagnostics/ablations)."""
+        return self._extractor.extract_concepts(text)

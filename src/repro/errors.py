@@ -1,0 +1,80 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library errors without
+accidentally swallowing genuine programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SchemaError(ReproError):
+    """A record does not conform to the geo-textual object schema."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or saved."""
+
+
+class CollectionError(ReproError):
+    """A vector-database collection operation failed."""
+
+
+class CollectionNotFound(CollectionError):
+    """The named collection does not exist."""
+
+
+class CollectionExists(CollectionError):
+    """A collection with the given name already exists."""
+
+
+class PointNotFound(CollectionError):
+    """The requested point id is not present in the collection."""
+
+
+class DimensionMismatch(CollectionError):
+    """A vector's dimensionality does not match the collection's."""
+
+
+class FilterError(ReproError):
+    """A payload filter expression is malformed."""
+
+
+class IndexError_(ReproError):
+    """A spatial or vector index operation failed.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class LLMError(ReproError):
+    """A simulated LLM call failed."""
+
+
+class UnknownModelError(LLMError):
+    """The requested LLM or embedding model id is not registered."""
+
+
+class PromptError(LLMError):
+    """A prompt could not be understood by the simulated LLM."""
+
+
+class ParseError(LLMError):
+    """An LLM response could not be parsed into the expected structure."""
+
+
+class QueryError(ReproError):
+    """A spatial keyword query is malformed or cannot be executed."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation/benchmark harness step failed."""

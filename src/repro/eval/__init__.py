@@ -1,0 +1,86 @@
+"""Evaluation harness: metrics, ground truth, query sets, experiments."""
+
+from repro.eval.ablations import (
+    LLMQualityPoint,
+    llm_quality_sweep,
+    summary_ablation,
+)
+from repro.eval.corpus import EvalCorpus, build_corpus, clear_corpus_cache, get_corpus
+from repro.eval.experiments import (
+    PAPER_TABLE2,
+    TABLE2_CITIES,
+    TABLE2_K,
+    TABLE2_SYSTEMS,
+    CityEvaluation,
+    Table2Result,
+    build_test_queries,
+    evaluate_city,
+    run_table2,
+)
+from repro.eval.figures import bar_chart, line_plot
+from repro.eval.groundtruth import GroundTruthBuilder, true_concepts
+from repro.eval.metrics import (
+    average_precision,
+    f1_at_k,
+    mean,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.eval.queries import (
+    QUERIES_PER_CITY,
+    QUERYGEN_MODEL,
+    QuerySetStats,
+    EvalQuery,
+    EvalQueryBuilder,
+)
+from repro.eval.report import format_table, format_table2
+from repro.eval.stats import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    cohens_d_paired,
+    paired_permutation_pvalue,
+)
+from repro.eval.timing import TimingReport, measure_query_times
+
+__all__ = [
+    "CityEvaluation",
+    "ConfidenceInterval",
+    "EvalCorpus",
+    "GroundTruthBuilder",
+    "PAPER_TABLE2",
+    "QUERIES_PER_CITY",
+    "QUERYGEN_MODEL",
+    "QuerySetStats",
+    "TABLE2_CITIES",
+    "TABLE2_K",
+    "TABLE2_SYSTEMS",
+    "Table2Result",
+    "EvalQuery",
+    "EvalQueryBuilder",
+    "LLMQualityPoint",
+    "TimingReport",
+    "average_precision",
+    "bar_chart",
+    "bootstrap_mean_ci",
+    "cohens_d_paired",
+    "build_corpus",
+    "build_test_queries",
+    "clear_corpus_cache",
+    "evaluate_city",
+    "f1_at_k",
+    "format_table",
+    "format_table2",
+    "get_corpus",
+    "line_plot",
+    "llm_quality_sweep",
+    "paired_permutation_pvalue",
+    "summary_ablation",
+    "true_concepts",
+    "mean",
+    "measure_query_times",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "run_table2",
+]

@@ -1,0 +1,131 @@
+"""Ablation experiments over the design choices DESIGN.md calls out.
+
+* :func:`llm_quality_sweep` — how good does the refinement LLM need to be?
+  Sweeps the judgment-noise and lexicon-coverage knobs of the simulated
+  model and measures F1@10, interpolating between SemaSK-EM (no LLM) and
+  the full system.
+* :func:`summary_ablation` — does the tip-summarization step matter?
+  Compares embedding retrieval built on summaries vs raw tips.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.pipeline import SemaSK, SemaSKConfig
+from repro.core.query import SpatialKeywordQuery
+from repro.eval.corpus import EvalCorpus
+from repro.eval.metrics import f1_at_k, mean, recall_at_k
+from repro.eval.queries import EvalQuery
+from repro.llm.models import ModelSpec, register_model
+from repro.semantics.lexicon import linear_knowledge
+
+
+@dataclass(frozen=True)
+class LLMQualityPoint:
+    """One point of the LLM-quality sweep."""
+
+    label: str
+    drop_rate: float
+    knowledge_slope: float
+    f1: float
+    recall: float
+
+
+def _degraded_model(label: str, drop_rate: float, knowledge_slope: float) -> str:
+    """Register (idempotently) a degraded refinement model; returns its id."""
+    model_id = f"ablate-{label}"
+    register_model(
+        ModelSpec(
+            model_id=model_id,
+            knowledge=linear_knowledge(model_id, 1.0, knowledge_slope),
+            drop_rate=drop_rate,
+            hallucination_rate=drop_rate,
+            usd_per_1m_input=2.5,
+            usd_per_1m_output=10.0,
+            latency_base_s=1.0,
+            latency_per_output_token_s=0.01,
+        )
+    )
+    return model_id
+
+
+def _score_system(
+    system: SemaSK, queries: Sequence[EvalQuery], k: int = 10
+) -> tuple[float, float]:
+    f1s, recalls = [], []
+    for query in queries:
+        result = system.query(
+            SpatialKeywordQuery(range=query.box, text=query.text)
+        )
+        ids = result.ids(k)
+        f1s.append(f1_at_k(ids, query.answer_ids, k))
+        recalls.append(recall_at_k(ids, query.answer_ids, k))
+    return mean(f1s), mean(recalls)
+
+
+def llm_quality_sweep(
+    corpus: EvalCorpus,
+    queries: Sequence[EvalQuery],
+    noise_levels: Sequence[tuple[float, float]] = (
+        (0.0, 0.0), (0.05, 0.1), (0.15, 0.3), (0.3, 0.6), (0.5, 0.9),
+    ),
+) -> list[LLMQualityPoint]:
+    """F1@10 as the refinement model degrades.
+
+    ``noise_levels`` pairs are ``(drop_rate, knowledge_slope)``; the first
+    entry (0, 0) is an ideal judge, the last a badly degraded one.
+    """
+    points = []
+    for drop_rate, slope in noise_levels:
+        label = f"d{drop_rate:g}-s{slope:g}"
+        model_id = _degraded_model(label, drop_rate, slope)
+        system = SemaSK(
+            corpus.prepared,
+            SemaSKConfig(refine_model=model_id),
+            llm=corpus.llm,
+        )
+        f1, recall = _score_system(system, queries)
+        points.append(
+            LLMQualityPoint(
+                label=label, drop_rate=drop_rate, knowledge_slope=slope,
+                f1=f1, recall=recall,
+            )
+        )
+    return points
+
+
+def summary_ablation(
+    corpus: EvalCorpus, queries: Sequence[EvalQuery]
+) -> dict[str, float]:
+    """Embedding-retrieval recall with vs without tip summaries.
+
+    Rebuilds document vectors from raw tips (``use_summary=False``) and
+    compares in-range recall@10 against the summary-based pipeline,
+    isolating the effect of the paper's summarization step.
+    """
+    import numpy as np
+
+    from repro.vectordb.distance import similarity
+
+    embedder = corpus.prepared.embedder
+    results = {}
+    for label, use_summary in (("summary", True), ("raw_tips", False)):
+        recalls = []
+        for query in queries:
+            in_range = corpus.dataset.in_range(query.box)
+            if not in_range:
+                continue
+            doc_vectors = np.stack(
+                [
+                    embedder.embed(r.document_text(use_summary=use_summary))
+                    for r in in_range
+                ]
+            )
+            sims = similarity(embedder.embed(query.text), doc_vectors)
+            order = np.argsort(-sims)[:10]
+            ids = [in_range[i].business_id for i in order]
+            recalls.append(recall_at_k(ids, query.answer_ids, 10))
+        results[label] = mean(recalls)
+    return results

@@ -1,0 +1,221 @@
+"""Experiment runners for every table/figure/claim in the paper's §4.
+
+The central artifact is Table 2: F1@10 per city for LDA, TF-IDF,
+SemaSK-EM, SemaSK-O1, and SemaSK, plus averages and gains over the best
+baseline. :func:`run_table2` reproduces it end to end; the k-sensitivity
+and timing claims reuse the same machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.baselines.lda import LdaRanker
+from repro.baselines.ranker import TextRanker
+from repro.baselines.tfidf import TfIdfRanker
+from repro.core.pipeline import SemaSK
+from repro.core.query import SpatialKeywordQuery
+from repro.core.variants import semask, semask_em, semask_o1
+from repro.eval.corpus import EvalCorpus, get_corpus
+from repro.eval.metrics import f1_at_k, mean, precision_at_k, recall_at_k
+from repro.eval.queries import QUERIES_PER_CITY, EvalQuery, EvalQueryBuilder
+
+#: The paper's five test cities, in Table 2 row order.
+TABLE2_CITIES: tuple[str, ...] = ("IN", "NS", "PH", "SB", "SL")
+#: Table 2 reports k = 10.
+TABLE2_K = 10
+#: Paper numbers for Table 2 (used in reports for side-by-side comparison).
+PAPER_TABLE2: dict[str, dict[str, float]] = {
+    "IN": {"LDA": 0.11, "TF-IDF": 0.22, "SemaSK-EM": 0.28, "SemaSK-O1": 0.62, "SemaSK": 0.72},
+    "NS": {"LDA": 0.03, "TF-IDF": 0.22, "SemaSK-EM": 0.31, "SemaSK-O1": 0.57, "SemaSK": 0.56},
+    "PH": {"LDA": 0.03, "TF-IDF": 0.17, "SemaSK-EM": 0.29, "SemaSK-O1": 0.54, "SemaSK": 0.50},
+    "SB": {"LDA": 0.01, "TF-IDF": 0.15, "SemaSK-EM": 0.23, "SemaSK-O1": 0.44, "SemaSK": 0.49},
+    "SL": {"LDA": 0.09, "TF-IDF": 0.20, "SemaSK-EM": 0.30, "SemaSK-O1": 0.63, "SemaSK": 0.69},
+    "Avg.": {"LDA": 0.05, "TF-IDF": 0.19, "SemaSK-EM": 0.28, "SemaSK-O1": 0.56, "SemaSK": 0.59},
+}
+#: Column order of Table 2.
+TABLE2_SYSTEMS: tuple[str, ...] = (
+    "LDA", "TF-IDF", "SemaSK-EM", "SemaSK-O1", "SemaSK",
+)
+
+
+@dataclass
+class CityEvaluation:
+    """Per-city scores of every system."""
+
+    city_code: str
+    n_queries: int
+    f1: dict[str, float] = field(default_factory=dict)
+    precision: dict[str, float] = field(default_factory=dict)
+    recall: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Table2Result:
+    """The reproduced Table 2."""
+
+    k: int
+    cities: list[CityEvaluation]
+    averages: dict[str, float]
+    gains_vs_best_baseline: dict[str, float]
+    elapsed_s: float
+
+    def row(self, city_code: str) -> dict[str, float]:
+        """F1 row of one city."""
+        for city in self.cities:
+            if city.city_code == city_code:
+                return dict(city.f1)
+        raise KeyError(f"no evaluation for city {city_code!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (for result files and notebooks)."""
+        return {
+            "k": self.k,
+            "cities": {
+                c.city_code: {
+                    "n_queries": c.n_queries,
+                    "f1": dict(c.f1),
+                    "precision": dict(c.precision),
+                    "recall": dict(c.recall),
+                }
+                for c in self.cities
+            },
+            "averages": dict(self.averages),
+            "gains_vs_best_baseline": dict(self.gains_vs_best_baseline),
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def build_test_queries(corpus: EvalCorpus, count: int = QUERIES_PER_CITY) -> list[EvalQuery]:
+    """Harvest the vetted query set for a corpus."""
+    builder = EvalQueryBuilder(corpus.llm, corpus.ground_truth)
+    queries, _ = builder.build_for_city(
+        corpus.city, corpus.dataset, count=count, seed=corpus.seed
+    )
+    return queries
+
+
+def _evaluate_ranker(
+    ranker: TextRanker,
+    corpus: EvalCorpus,
+    queries: Sequence[EvalQuery],
+    k: int,
+) -> tuple[list[float], list[float], list[float]]:
+    f1s, ps, rs = [], [], []
+    for query in queries:
+        candidates = corpus.dataset.in_range(query.box)
+        ranked = ranker.rank(query.text, candidates, k)
+        ids = [r.business_id for r in ranked]
+        f1s.append(f1_at_k(ids, query.answer_ids, k))
+        ps.append(precision_at_k(ids, query.answer_ids, k))
+        rs.append(recall_at_k(ids, query.answer_ids, k))
+    return f1s, ps, rs
+
+
+def _evaluate_semask(
+    system: SemaSK,
+    queries: Sequence[EvalQuery],
+    k: int,
+) -> tuple[list[float], list[float], list[float]]:
+    f1s, ps, rs = [], [], []
+    for query in queries:
+        result = system.query(SpatialKeywordQuery(range=query.box, text=query.text))
+        ids = result.ids(k)
+        f1s.append(f1_at_k(ids, query.answer_ids, k))
+        ps.append(precision_at_k(ids, query.answer_ids, k))
+        rs.append(recall_at_k(ids, query.answer_ids, k))
+    return f1s, ps, rs
+
+
+def evaluate_city(
+    corpus: EvalCorpus,
+    queries: Sequence[EvalQuery],
+    k: int = TABLE2_K,
+    systems: Sequence[str] = TABLE2_SYSTEMS,
+    candidate_k: int = TABLE2_K,
+    lda_topics: int = 20,
+    lda_iterations: int = 20,
+) -> CityEvaluation:
+    """Score the requested systems on one city's query set."""
+    records = list(corpus.dataset)
+    evaluation = CityEvaluation(city_code=corpus.city.code, n_queries=len(queries))
+
+    for system_name in systems:
+        if system_name == "LDA":
+            ranker: TextRanker = LdaRanker(
+                n_topics=lda_topics, max_iterations=lda_iterations,
+                seed=corpus.seed,
+            ).fit(records)
+            f1s, ps, rs = _evaluate_ranker(ranker, corpus, queries, k)
+        elif system_name == "TF-IDF":
+            ranker = TfIdfRanker().fit(records)
+            f1s, ps, rs = _evaluate_ranker(ranker, corpus, queries, k)
+        elif system_name == "SemaSK-EM":
+            f1s, ps, rs = _evaluate_semask(
+                semask_em(corpus.prepared, candidate_k=candidate_k), queries, k
+            )
+        elif system_name == "SemaSK-O1":
+            f1s, ps, rs = _evaluate_semask(
+                semask_o1(corpus.prepared, llm=corpus.llm, candidate_k=candidate_k),
+                queries, k,
+            )
+        elif system_name == "SemaSK":
+            f1s, ps, rs = _evaluate_semask(
+                semask(corpus.prepared, llm=corpus.llm, candidate_k=candidate_k),
+                queries, k,
+            )
+        else:
+            raise ValueError(f"unknown system {system_name!r}")
+        evaluation.f1[system_name] = mean(f1s)
+        evaluation.precision[system_name] = mean(ps)
+        evaluation.recall[system_name] = mean(rs)
+    return evaluation
+
+
+def run_table2(
+    cities: Sequence[str] = TABLE2_CITIES,
+    k: int = TABLE2_K,
+    queries_per_city: int = QUERIES_PER_CITY,
+    seed: int = 7,
+    poi_count: int | None = None,
+    systems: Sequence[str] = TABLE2_SYSTEMS,
+    candidate_k: int = TABLE2_K,
+) -> Table2Result:
+    """Reproduce Table 2 (optionally downsized for quick runs).
+
+    ``poi_count=None`` uses each city's paper-reported POI count.
+    """
+    start = time.perf_counter()
+    evaluations = []
+    for code in cities:
+        corpus = get_corpus(code, seed=seed, count=poi_count)
+        queries = build_test_queries(corpus, count=queries_per_city)
+        evaluations.append(
+            evaluate_city(corpus, queries, k=k, systems=systems,
+                          candidate_k=candidate_k)
+        )
+
+    averages = {
+        system: mean([e.f1[system] for e in evaluations])
+        for system in systems
+    }
+    baselines = [s for s in ("LDA", "TF-IDF") if s in averages]
+    best_baseline = max(
+        (averages[b] for b in baselines), default=0.0
+    )
+    gains = {}
+    if best_baseline > 0:
+        for system in systems:
+            if system not in ("LDA", "TF-IDF"):
+                gains[system] = (
+                    (averages[system] - best_baseline) / best_baseline
+                )
+    return Table2Result(
+        k=k,
+        cities=evaluations,
+        averages=averages,
+        gains_vs_best_baseline=gains,
+        elapsed_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,79 @@
+"""Plain-text chart rendering for ablation curves.
+
+The benchmarks attach ablation curves as ``extra_info``; examples and
+EXPERIMENTS.md use these little ASCII renderers so curves are readable
+without a plotting stack (nothing beyond the standard library).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    max_value: float | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    >>> print(bar_chart({"a": 1.0, "b": 0.5}, width=4))
+    a  1.00 ████
+    b  0.50 ██
+    """
+    if not values:
+        return "(no data)"
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max_value if max_value is not None else max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(width * min(value, peak) / peak))
+        lines.append(
+            f"{str(label).ljust(label_width)}  {value:.2f}{unit} "
+            + "█" * filled
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 10,
+    width: int = 50,
+    y_label: str = "",
+) -> str:
+    """A coarse ASCII scatter/line plot of one series."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    if not xs:
+        return "(no data)"
+    if height <= 1 or width <= 1:
+        raise ValueError("height and width must exceed 1")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((1.0 - (y - y_min) / y_span) * (height - 1)))
+        grid[row][col] = "*"
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_max:7.2f} |"
+        elif i == height - 1:
+            prefix = f"{y_min:7.2f} |"
+        else:
+            prefix = "        |"
+        lines.append(prefix + "".join(row))
+    lines.append("        +" + "-" * width)
+    lines.append(f"         {x_min:g}{' ' * max(1, width - 12)}{x_max:g}")
+    if y_label:
+        lines.insert(0, f"  {y_label}")
+    return "\n".join(lines)

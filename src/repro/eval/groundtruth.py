@@ -1,0 +1,72 @@
+"""Ground-truth answer sets for test queries.
+
+The paper constructs answer sets by *manual inspection* of the query range
+("we manually inspect the corresponding query range to determine the
+answer set"). Offline, the synthetic corpus makes the inspection exact:
+each POI carries the latent concept profile it was generated from, so the
+answer set is *every POI in the range whose true concepts satisfy the
+query's intent* — including POIs other than the generation target, exactly
+as the paper notes ("there may be other POIs besides the target POI").
+
+Structured truths count too: a POI whose opening hours genuinely run past
+midnight satisfies an "open late" intent even if no tip says so.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.data.gen.hours import is_open_late, opens_early
+from repro.data.model import POIRecord
+from repro.errors import EvaluationError
+from repro.geo.bbox import BoundingBox
+from repro.semantics.concepts import ConceptGraph
+from repro.semantics.intent import QueryIntent
+from repro.semantics.lexicon import ConceptExtractor, Lexicon, full_knowledge
+
+
+def true_concepts(record: POIRecord) -> frozenset[str]:
+    """A POI's ground-truth concepts: latent profile + structured truths."""
+    if record.profile is None:
+        raise EvaluationError(
+            f"POI {record.business_id} has no latent profile; ground truth "
+            "requires generator-produced records"
+        )
+    concepts = set(record.profile.all_concepts())
+    if is_open_late(record.hours):
+        concepts.add("late_night")
+    if opens_early(record.hours):
+        concepts.add("open_early")
+    return frozenset(concepts)
+
+
+class GroundTruthBuilder:
+    """Derives intents from query text and answer sets from latent profiles."""
+
+    def __init__(self, graph: ConceptGraph, lexicon: Lexicon) -> None:
+        self._graph = graph
+        self._oracle = ConceptExtractor(lexicon, full_knowledge())
+
+    def intent_of(self, query_text: str) -> QueryIntent | None:
+        """The intent an all-knowing reader derives from the query text.
+
+        Returns None when the text mentions no known concept (such queries
+        are rejected during test-set construction, mirroring the paper's
+        manual filtering).
+        """
+        required = self._oracle.extract_concepts(query_text)
+        if not required:
+            return None
+        return QueryIntent(required=required)
+
+    def answer_set(
+        self,
+        dataset: Dataset,
+        box: BoundingBox,
+        intent: QueryIntent,
+    ) -> frozenset[str]:
+        """Business ids of all in-range POIs truly satisfying ``intent``."""
+        answers = set()
+        for record in dataset.in_range(box):
+            if intent.is_satisfied_by(true_concepts(record), self._graph):
+                answers.add(record.business_id)
+        return frozenset(answers)

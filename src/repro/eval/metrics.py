@@ -1,0 +1,77 @@
+"""Retrieval metrics: precision/recall/F1@k (the paper's measure) and nDCG."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence, Set
+
+
+def precision_at_k(retrieved: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the first ``k`` retrieved items that are relevant.
+
+    Matches the paper's usage: systems may return fewer than ``k`` items
+    (SemaSK's LLM filters), in which case precision is over what was
+    returned — an empty return with non-empty ground truth scores 0.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    top = list(retrieved[:k])
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(top)
+
+
+def recall_at_k(retrieved: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of relevant items found in the first ``k`` retrieved."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not relevant:
+        return 1.0 if not retrieved else 0.0
+    top = set(retrieved[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def f1_at_k(retrieved: Sequence[str], relevant: Set[str], k: int) -> float:
+    """The paper's F1@k: harmonic mean of precision@k and recall@k."""
+    p = precision_at_k(retrieved, relevant, k)
+    r = recall_at_k(retrieved, relevant, k)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def average_precision(retrieved: Sequence[str], relevant: Set[str]) -> float:
+    """AP over the full retrieved list (extension metric)."""
+    if not relevant:
+        return 1.0 if not retrieved else 0.0
+    hits = 0
+    total = 0.0
+    for i, item in enumerate(retrieved):
+        if item in relevant:
+            hits += 1
+            total += hits / (i + 1)
+    return total / len(relevant)
+
+
+def ndcg_at_k(retrieved: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Binary-relevance nDCG@k (extension metric)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    dcg = sum(
+        1.0 / math.log2(i + 2)
+        for i, item in enumerate(retrieved[:k])
+        if item in relevant
+    )
+    ideal_hits = min(len(relevant), k)
+    if ideal_hits == 0:
+        return 1.0 if not retrieved else 0.0
+    idcg = sum(1.0 / math.log2(i + 2) for i in range(ideal_hits))
+    return dcg / idcg
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.eval.experiments import (
+    PAPER_TABLE2,
+    TABLE2_SYSTEMS,
+    Table2Result,
+)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_table2(
+    result: Table2Result,
+    paper: Mapping[str, Mapping[str, float]] | None = PAPER_TABLE2,
+) -> str:
+    """Render the reproduced Table 2, optionally beside the paper's numbers."""
+    systems = [s for s in TABLE2_SYSTEMS if s in result.averages]
+    headers = ["City"] + list(systems)
+    rows: list[list[object]] = []
+    for city in result.cities:
+        rows.append(
+            [city.city_code]
+            + [f"{city.f1.get(s, float('nan')):.2f}" for s in systems]
+        )
+    avg_row: list[object] = ["Avg."]
+    for system in systems:
+        value = f"{result.averages[system]:.2f}"
+        gain = result.gains_vs_best_baseline.get(system)
+        if gain is not None:
+            value += f" ({gain:+.0%})"
+        avg_row.append(value)
+    rows.append(avg_row)
+
+    out = [f"F1@{result.k} (measured, this reproduction)",
+           format_table(headers, rows)]
+    if paper is not None:
+        paper_rows = []
+        for city in result.cities:
+            row = paper.get(city.city_code)
+            if row is None:
+                continue
+            paper_rows.append(
+                [city.city_code] + [f"{row[s]:.2f}" for s in systems if s in row]
+            )
+        if "Avg." in paper:
+            paper_rows.append(
+                ["Avg."]
+                + [f"{paper['Avg.'][s]:.2f}" for s in systems if s in paper["Avg."]]
+            )
+        out += ["", "F1@10 (paper, Table 2)", format_table(headers, paper_rows)]
+    return "\n".join(out)

@@ -1,0 +1,100 @@
+"""Statistical utilities for experiment reporting (extension).
+
+The paper reports point averages over 30 queries per city. With a fully
+scripted harness we can do better: bootstrap confidence intervals on the
+per-query F1 scores, and a paired sign-flip permutation test for system
+comparisons — so EXPERIMENTS.md can state whether SemaSK's margin over the
+baselines is noise or signal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap percentile confidence interval around a mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3f} "
+            f"[{self.lower:.3f}, {self.upper:.3f}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 7,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of the mean of ``values``."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    data = np.asarray(values, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    indexes = rng.integers(0, data.size, size=(n_resamples, data.size))
+    means = data[indexes].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        mean=float(data.mean()),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+    )
+
+
+def paired_permutation_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_permutations: int = 5000,
+    seed: int = 7,
+) -> float:
+    """Two-sided sign-flip permutation test on paired per-query scores.
+
+    Tests the null hypothesis that systems ``a`` and ``b`` have the same
+    expected score, using the per-query pairing (same query, same ground
+    truth). Returns the p-value.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"paired samples must align: {len(a)} vs {len(b)} scores"
+        )
+    if not a:
+        raise ValueError("cannot test empty samples")
+    diffs = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    observed = abs(diffs.mean())
+    if np.allclose(diffs, 0.0):
+        return 1.0
+    rng = np.random.default_rng(seed)
+    signs = rng.choice((-1.0, 1.0), size=(n_permutations, diffs.size))
+    permuted = np.abs((signs * diffs).mean(axis=1))
+    # Add-one smoothing keeps the estimate conservative and never zero.
+    return float((np.sum(permuted >= observed - 1e-12) + 1) / (n_permutations + 1))
+
+
+def cohens_d_paired(a: Sequence[float], b: Sequence[float]) -> float:
+    """Paired Cohen's d (mean difference over the difference SD)."""
+    if len(a) != len(b) or not a:
+        raise ValueError("paired samples must align and be non-empty")
+    diffs = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    sd = diffs.std(ddof=1) if diffs.size > 1 else 0.0
+    mean_diff = float(diffs.mean())
+    if sd == 0.0:
+        if mean_diff == 0.0:
+            return 0.0
+        return float(np.copysign(np.inf, mean_diff))
+    return mean_diff / float(sd)

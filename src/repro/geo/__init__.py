@@ -1,0 +1,46 @@
+"""Geographic primitives: points, boxes, city regions, reverse geocoding."""
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.geocoder import Address, ReverseGeocoder
+from repro.geo.point import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    equirectangular_km,
+    haversine_km,
+    km_per_degree_lon,
+)
+from repro.geo.regions import (
+    ALL_CITIES,
+    EVALUATION_CITIES,
+    INDIANAPOLIS,
+    MELBOURNE,
+    NASHVILLE,
+    PHILADELPHIA,
+    SAINT_LOUIS,
+    SANTA_BARBARA,
+    CityRegion,
+    city_by_code,
+    city_by_name,
+)
+
+__all__ = [
+    "ALL_CITIES",
+    "Address",
+    "BoundingBox",
+    "CityRegion",
+    "EARTH_RADIUS_KM",
+    "EVALUATION_CITIES",
+    "GeoPoint",
+    "INDIANAPOLIS",
+    "MELBOURNE",
+    "NASHVILLE",
+    "PHILADELPHIA",
+    "ReverseGeocoder",
+    "SAINT_LOUIS",
+    "SANTA_BARBARA",
+    "city_by_code",
+    "city_by_name",
+    "equirectangular_km",
+    "haversine_km",
+    "km_per_degree_lon",
+]

@@ -1,0 +1,110 @@
+"""Axis-aligned geographic bounding boxes (the paper's query range ``q.r``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.point import GeoPoint, KM_PER_DEGREE_LAT, km_per_degree_lon
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """A latitude/longitude rectangle with inclusive bounds."""
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        if self.min_lat > self.max_lat:
+            raise ValueError(
+                f"min_lat {self.min_lat} exceeds max_lat {self.max_lat}"
+            )
+        if self.min_lon > self.max_lon:
+            raise ValueError(
+                f"min_lon {self.min_lon} exceeds max_lon {self.max_lon}"
+            )
+
+    @classmethod
+    def around(cls, center: GeoPoint, width_km: float, height_km: float) -> "BoundingBox":
+        """Build the ``width_km`` x ``height_km`` box centred on ``center``.
+
+        This is how the paper forms query ranges: "a 5 km x 5 km region
+        centered at the point".
+        """
+        if width_km <= 0 or height_km <= 0:
+            raise ValueError("box dimensions must be positive")
+        half_h = (height_km / 2.0) / KM_PER_DEGREE_LAT
+        half_w = (width_km / 2.0) / km_per_degree_lon(center.lat)
+        return cls(
+            min_lat=center.lat - half_h,
+            min_lon=center.lon - half_w,
+            max_lat=center.lat + half_h,
+            max_lon=center.lon + half_w,
+        )
+
+    @classmethod
+    def of_points(cls, points: list[GeoPoint]) -> "BoundingBox":
+        """Minimal box covering ``points`` (which must be non-empty)."""
+        if not points:
+            raise ValueError("cannot build a bounding box of zero points")
+        lats = [p.lat for p in points]
+        lons = [p.lon for p in points]
+        return cls(min(lats), min(lons), max(lats), max(lons))
+
+    @property
+    def center(self) -> GeoPoint:
+        """The box's midpoint."""
+        return GeoPoint(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Whether ``point`` lies inside the box (bounds inclusive)."""
+        return (
+            self.min_lat <= point.lat <= self.max_lat
+            and self.min_lon <= point.lon <= self.max_lon
+        )
+
+    def contains_coords(self, lat: float, lon: float) -> bool:
+        """Like :meth:`contains` without constructing a :class:`GeoPoint`."""
+        return (
+            self.min_lat <= lat <= self.max_lat
+            and self.min_lon <= lon <= self.max_lon
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes overlap (shared edges count)."""
+        return not (
+            other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+            or other.min_lon > self.max_lon
+            or other.max_lon < self.min_lon
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """The minimal box covering both boxes."""
+        return BoundingBox(
+            min(self.min_lat, other.min_lat),
+            min(self.min_lon, other.min_lon),
+            max(self.max_lat, other.max_lat),
+            max(self.max_lon, other.max_lon),
+        )
+
+    def area_deg2(self) -> float:
+        """Area in squared degrees (used by R-tree split heuristics)."""
+        return (self.max_lat - self.min_lat) * (self.max_lon - self.min_lon)
+
+    def enlargement(self, other: "BoundingBox") -> float:
+        """Area increase needed for this box to also cover ``other``."""
+        return self.union(other).area_deg2() - self.area_deg2()
+
+    def width_km(self) -> float:
+        """East-west extent in kilometres (measured at the centre latitude)."""
+        return (self.max_lon - self.min_lon) * km_per_degree_lon(self.center.lat)
+
+    def height_km(self) -> float:
+        """North-south extent in kilometres."""
+        return (self.max_lat - self.min_lat) * KM_PER_DEGREE_LAT

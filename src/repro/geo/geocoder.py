@@ -1,0 +1,139 @@
+"""A deterministic synthetic reverse geocoder.
+
+The paper completes incomplete Yelp addresses via the geocode.maps.co
+reverse-geocoding API, obtaining city, county, suburb, and neighborhood for
+each coordinate pair. That service is unavailable offline, so this module
+provides a stand-in with the same interface: coordinates in, administrative
+names out.
+
+Each city is partitioned into neighbourhoods by a seeded Voronoi diagram —
+neighbourhood *seed sites* are placed deterministically inside the city
+bounds, and a coordinate belongs to the nearest site. Suburbs are a coarser
+partition built the same way (fewer sites). The partition is stable across
+runs for a given seed, which is all the data-preparation pipeline needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.point import GeoPoint, equirectangular_km
+from repro.geo.regions import ALL_CITIES, CityRegion
+
+
+@dataclass(frozen=True, slots=True)
+class Address:
+    """A completed administrative address for a coordinate pair."""
+
+    city: str
+    state: str
+    county: str
+    suburb: str
+    neighborhood: str
+
+    def formatted(self, street: str | None = None) -> str:
+        """Human-readable single-line address."""
+        parts = [street] if street else []
+        parts += [self.neighborhood, self.city, self.state]
+        return ", ".join(parts)
+
+
+class _VoronoiPartition:
+    """Nearest-site partition of a city's bounding box."""
+
+    def __init__(self, city: CityRegion, names: tuple[str, ...], seed: int) -> None:
+        if not names:
+            raise ValueError(f"city {city.name} has no region names to assign")
+        rng = np.random.default_rng(seed)
+        bounds = city.bounds
+        n = len(names)
+        # Downtown (index 0 by convention in regions.py) is pinned to the
+        # city centre; remaining sites are drawn uniformly in the bounds.
+        lats = rng.uniform(bounds.min_lat, bounds.max_lat, size=n)
+        lons = rng.uniform(bounds.min_lon, bounds.max_lon, size=n)
+        lats[0] = city.center.lat
+        lons[0] = city.center.lon
+        self._lats = lats
+        self._lons = lons
+        self._names = names
+
+    def assign(self, lat: float, lon: float) -> str:
+        """Name of the partition cell containing ``(lat, lon)``."""
+        best_name = self._names[0]
+        best_dist = math.inf
+        for i, name in enumerate(self._names):
+            d = equirectangular_km(lat, lon, self._lats[i], self._lons[i])
+            if d < best_dist:
+                best_dist = d
+                best_name = name
+        return best_name
+
+    def site_of(self, name: str) -> GeoPoint:
+        """Seed site of the named cell (used to centre demo queries)."""
+        idx = self._names.index(name)
+        return GeoPoint(float(self._lats[idx]), float(self._lons[idx]))
+
+
+class ReverseGeocoder:
+    """Coordinates -> (city, county, suburb, neighborhood), deterministically.
+
+    Mirrors the role of the reverse-geocoding step in the paper's address
+    completion. A coordinate outside every known city's bounds geocodes to
+    the *nearest* city (by centre distance), which keeps the API total —
+    address completion never fails, as with the real service.
+    """
+
+    #: Ratio of neighbourhood sites grouped under one suburb site.
+    _SUBURB_FRACTION = 3
+
+    def __init__(self, cities: tuple[CityRegion, ...] = ALL_CITIES, seed: int = 7) -> None:
+        self._cities = cities
+        self._neighborhoods: dict[str, _VoronoiPartition] = {}
+        self._suburbs: dict[str, _VoronoiPartition] = {}
+        for i, city in enumerate(cities):
+            n_names = city.neighborhoods
+            s_count = max(1, len(n_names) // self._SUBURB_FRACTION)
+            s_names = tuple(f"{n} District" for n in n_names[:s_count])
+            self._neighborhoods[city.code] = _VoronoiPartition(
+                city, n_names, seed=seed * 1000 + i * 2
+            )
+            self._suburbs[city.code] = _VoronoiPartition(
+                city, s_names, seed=seed * 1000 + i * 2 + 1
+            )
+
+    def _nearest_city(self, lat: float, lon: float) -> CityRegion:
+        for city in self._cities:
+            if city.bounds.contains_coords(lat, lon):
+                return city
+        return min(
+            self._cities,
+            key=lambda c: equirectangular_km(lat, lon, c.center.lat, c.center.lon),
+        )
+
+    def reverse(self, lat: float, lon: float) -> Address:
+        """Complete the address for ``(lat, lon)``."""
+        city = self._nearest_city(lat, lon)
+        return Address(
+            city=city.name,
+            state=city.state,
+            county=city.county,
+            suburb=self._suburbs[city.code].assign(lat, lon),
+            neighborhood=self._neighborhoods[city.code].assign(lat, lon),
+        )
+
+    def neighborhoods_of(self, city_code: str) -> tuple[str, ...]:
+        """All neighbourhood names of a city (demo UI region picker)."""
+        for city in self._cities:
+            if city.code == city_code.upper():
+                return city.neighborhoods
+        raise KeyError(f"unknown city code {city_code!r}")
+
+    def neighborhood_center(self, city_code: str, neighborhood: str) -> GeoPoint:
+        """Representative point of a neighbourhood (demo query centring)."""
+        partition = self._neighborhoods.get(city_code.upper())
+        if partition is None:
+            raise KeyError(f"unknown city code {city_code!r}")
+        return partition.site_of(neighborhood)

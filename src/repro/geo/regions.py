@@ -1,0 +1,148 @@
+"""City region definitions used by the synthetic dataset and geocoder.
+
+The five evaluation cities match the paper's test sets (city, state, POI
+count): Indianapolis/IN 4,235; Nashville/TN 3,716; Philadelphia/PA 7,592;
+Santa Barbara/CA 1,790; Saint Louis/MO 2,462. Melbourne is included for the
+Figure-1 motivating scenario ("café" in Melbourne CBD).
+
+Real city-centre coordinates anchor each region; neighbourhood names are
+synthetic-but-plausible and deterministic, generated from curated name
+pools, since the geocoding service the paper used is unavailable offline
+(see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+
+
+@dataclass(frozen=True)
+class CityRegion:
+    """A named city with its extent and administrative naming material."""
+
+    code: str                 # paper's two-letter test-set code, e.g. "IN"
+    name: str                 # e.g. "Indianapolis"
+    state: str                # e.g. "IN" (postal state, may differ from code)
+    county: str
+    center: GeoPoint
+    extent_km: float          # side length of the square city extent
+    poi_count: int            # paper-reported number of POIs
+    neighborhoods: tuple[str, ...] = field(default=())
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """The square bounding box the city's POIs are generated within."""
+        return BoundingBox.around(self.center, self.extent_km, self.extent_km)
+
+
+def _downtown_first(city: str, names: tuple[str, ...]) -> tuple[str, ...]:
+    """Prefix the pool with the canonical downtown neighbourhood name."""
+    return (f"Downtown {city}",) + names
+
+
+_COMMON_SUFFIXES = (
+    "Heights", "Park", "Grove", "Village", "Square", "Hill", "Gardens",
+    "Crossing", "Commons", "Point", "Ridge", "Meadows", "Landing", "Court",
+)
+
+_DIRECTIONALS = ("North", "South", "East", "West", "Old", "New", "Upper", "Lower")
+
+_CITY_STEMS: dict[str, tuple[str, ...]] = {
+    "IN": ("Monument", "Fountain", "Broad Ripple", "Irvington", "Mass Ave",
+           "Speedway", "Garfield", "Riverside", "Haughville", "Woodruff"),
+    "NS": ("Music Row", "Germantown", "The Gulch", "Berry", "Sylvan",
+           "Inglewood", "Donelson", "Melrose", "Wedgewood", "Salemtown"),
+    "PH": ("Center City", "Fishtown", "Manayunk", "Passyunk", "Fairmount",
+           "Kensington", "Queen", "Society", "Spruce", "Brewerytown",
+           "Chestnut", "Callowhill"),
+    "SB": ("Mesa", "Mission", "Funk Zone", "Riviera", "Milpas",
+           "Oak", "Laguna", "Haley"),
+    "SL": ("Soulard", "Lafayette", "Tower Grove", "Central West",
+           "The Hill", "Benton", "Carondelet", "Cherokee", "Delmar",
+           "Forest"),
+    "MEL": ("Collins", "Flinders", "Carlton", "Fitzroy", "Southbank",
+            "Docklands", "Richmond", "Brunswick"),
+}
+
+
+def _neighborhood_pool(code: str, city: str, count: int) -> tuple[str, ...]:
+    """Deterministically compose ``count`` neighbourhood names for a city."""
+    stems = _CITY_STEMS[code]
+    names: list[str] = []
+    for i, stem in enumerate(stems):
+        names.append(f"{stem} {_COMMON_SUFFIXES[i % len(_COMMON_SUFFIXES)]}")
+    i = 0
+    while len(names) < count:
+        stem = stems[i % len(stems)]
+        direction = _DIRECTIONALS[(i // len(stems)) % len(_DIRECTIONALS)]
+        suffix = _COMMON_SUFFIXES[(i + 3) % len(_COMMON_SUFFIXES)]
+        names.append(f"{direction} {stem} {suffix}")
+        i += 1
+    return _downtown_first(city, tuple(names[: count - 1]))
+
+
+INDIANAPOLIS = CityRegion(
+    code="IN", name="Indianapolis", state="IN", county="Marion County",
+    center=GeoPoint(39.7684, -86.1581), extent_km=18.0, poi_count=4235,
+    neighborhoods=_neighborhood_pool("IN", "Indianapolis", 24),
+)
+
+NASHVILLE = CityRegion(
+    code="NS", name="Nashville", state="TN", county="Davidson County",
+    center=GeoPoint(36.1627, -86.7816), extent_km=18.0, poi_count=3716,
+    neighborhoods=_neighborhood_pool("NS", "Nashville", 22),
+)
+
+PHILADELPHIA = CityRegion(
+    code="PH", name="Philadelphia", state="PA", county="Philadelphia County",
+    center=GeoPoint(39.9526, -75.1652), extent_km=20.0, poi_count=7592,
+    neighborhoods=_neighborhood_pool("PH", "Philadelphia", 30),
+)
+
+SANTA_BARBARA = CityRegion(
+    code="SB", name="Santa Barbara", state="CA", county="Santa Barbara County",
+    center=GeoPoint(34.4208, -119.6982), extent_km=12.0, poi_count=1790,
+    neighborhoods=_neighborhood_pool("SB", "Santa Barbara", 14),
+)
+
+SAINT_LOUIS = CityRegion(
+    code="SL", name="Saint Louis", state="MO", county="St. Louis City",
+    center=GeoPoint(38.6270, -90.1994), extent_km=16.0, poi_count=2462,
+    neighborhoods=_neighborhood_pool("SL", "Saint Louis", 18),
+)
+
+MELBOURNE = CityRegion(
+    code="MEL", name="Melbourne", state="VIC", county="City of Melbourne",
+    center=GeoPoint(-37.8136, 144.9631), extent_km=8.0, poi_count=600,
+    neighborhoods=_neighborhood_pool("MEL", "Melbourne", 10),
+)
+
+EVALUATION_CITIES: tuple[CityRegion, ...] = (
+    INDIANAPOLIS, NASHVILLE, PHILADELPHIA, SANTA_BARBARA, SAINT_LOUIS,
+)
+
+ALL_CITIES: tuple[CityRegion, ...] = EVALUATION_CITIES + (MELBOURNE,)
+
+_BY_CODE = {c.code: c for c in ALL_CITIES}
+_BY_NAME = {c.name.lower(): c for c in ALL_CITIES}
+
+
+def city_by_code(code: str) -> CityRegion:
+    """Look up a city by its paper test-set code (``"IN"``, ``"NS"``, ...)."""
+    try:
+        return _BY_CODE[code.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_CODE))
+        raise KeyError(f"unknown city code {code!r}; known codes: {known}") from None
+
+
+def city_by_name(name: str) -> CityRegion:
+    """Look up a city by full name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(c.name for c in ALL_CITIES))
+        raise KeyError(f"unknown city {name!r}; known cities: {known}") from None

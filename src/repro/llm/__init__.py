@@ -1,0 +1,58 @@
+"""Simulated LLM substrate: chat client, prompts, task behaviours."""
+
+from repro.llm.base import (
+    ChatCompletion,
+    ChatMessage,
+    LLMClient,
+    Usage,
+    UsageLedger,
+)
+from repro.llm.models import (
+    GPT_35_TURBO,
+    GPT_4O,
+    O1_MINI,
+    ModelSpec,
+    available_models,
+    get_model,
+    register_model,
+)
+from repro.llm.parsing import parse_ranked_dict, parse_summary
+from repro.llm.prompts import (
+    build_querygen_prompt,
+    build_rerank_prompt,
+    build_summarize_prompt,
+    describe_poi_for_querygen,
+)
+from repro.llm.querygen import QueryGenerator
+from repro.llm.response_cache import CachingLLMClient
+from repro.llm.reranker import Reranker
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.summarizer import TipSummarizer
+from repro.llm.tokens import estimate_tokens
+
+__all__ = [
+    "CachingLLMClient",
+    "ChatCompletion",
+    "ChatMessage",
+    "GPT_35_TURBO",
+    "GPT_4O",
+    "LLMClient",
+    "ModelSpec",
+    "O1_MINI",
+    "QueryGenerator",
+    "Reranker",
+    "SimulatedLLM",
+    "TipSummarizer",
+    "Usage",
+    "UsageLedger",
+    "available_models",
+    "build_querygen_prompt",
+    "build_rerank_prompt",
+    "build_summarize_prompt",
+    "describe_poi_for_querygen",
+    "estimate_tokens",
+    "get_model",
+    "parse_ranked_dict",
+    "parse_summary",
+    "register_model",
+]

@@ -1,0 +1,111 @@
+"""Registry of simulated LLM and their quality/cost/latency profiles.
+
+Each simulated model has:
+
+* a *knowledge profile* — which fraction of the surface-form lexicon it
+  understands, graded by difficulty (see :mod:`repro.semantics.lexicon`);
+* *judgment noise* — per-decision probabilities of dropping a relevant POI
+  or including an irrelevant-but-plausible one, decided deterministically
+  per (model, query, POI) by hashing, so runs are reproducible;
+* *cost* per million input/output tokens (mirroring the public price
+  sheet at the time of the paper, for the cost accounting the paper
+  mentions when choosing GPT-3.5 and preferring GPT-4o over o1-mini);
+* a *latency model* ``base + per_output_token * n`` used to report the
+  "2-3 seconds per query" refinement timing without actually sleeping.
+
+The relative ordering encodes the paper's findings: gpt-4o has the best
+judgment; o1-mini is close (better on some cities by chance of its own
+noise channel) but pricier; gpt-3.5-turbo is cheap and only used for
+summarization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownModelError
+from repro.semantics.lexicon import KnowledgeProfile, linear_knowledge
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static profile of one simulated model."""
+
+    model_id: str
+    knowledge: KnowledgeProfile
+    drop_rate: float          # P(drop a truly relevant candidate)
+    hallucination_rate: float  # P(keep a partially-matching irrelevant one)
+    usd_per_1m_input: float
+    usd_per_1m_output: float
+    latency_base_s: float
+    latency_per_output_token_s: float
+
+    def latency_for(self, output_tokens: int) -> float:
+        """Modelled wall-clock seconds for a completion of given length."""
+        return self.latency_base_s + self.latency_per_output_token_s * output_tokens
+
+    def cost_usd(self, input_tokens: int, output_tokens: int) -> float:
+        """API cost in USD for one call."""
+        return (
+            input_tokens * self.usd_per_1m_input
+            + output_tokens * self.usd_per_1m_output
+        ) / 1_000_000.0
+
+
+GPT_4O = ModelSpec(
+    model_id="gpt-4o",
+    knowledge=linear_knowledge("gpt-4o", 1.02, 0.08),
+    drop_rate=0.055,
+    hallucination_rate=0.045,
+    usd_per_1m_input=2.50,
+    usd_per_1m_output=10.00,
+    latency_base_s=0.9,
+    latency_per_output_token_s=0.011,
+)
+
+O1_MINI = ModelSpec(
+    model_id="o1-mini",
+    knowledge=linear_knowledge("o1-mini", 1.0, 0.12),
+    drop_rate=0.08,
+    hallucination_rate=0.075,
+    usd_per_1m_input=3.00,
+    usd_per_1m_output=12.00,
+    latency_base_s=2.2,
+    latency_per_output_token_s=0.016,
+)
+
+GPT_35_TURBO = ModelSpec(
+    model_id="gpt-3.5-turbo",
+    knowledge=linear_knowledge("gpt-3.5-turbo", 1.0, 0.3),
+    drop_rate=0.15,
+    hallucination_rate=0.12,
+    usd_per_1m_input=0.50,
+    usd_per_1m_output=1.50,
+    latency_base_s=0.4,
+    latency_per_output_token_s=0.006,
+)
+
+_REGISTRY: dict[str, ModelSpec] = {
+    spec.model_id: spec for spec in (GPT_4O, O1_MINI, GPT_35_TURBO)
+}
+
+
+def get_model(model_id: str) -> ModelSpec:
+    """Look up a model spec by id."""
+    spec = _REGISTRY.get(model_id)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownModelError(
+            f"unknown model {model_id!r}; registered models: {known}"
+        )
+    return spec
+
+
+def register_model(spec: ModelSpec) -> None:
+    """Register a custom model spec (ablations define degraded models)."""
+    _REGISTRY[spec.model_id] = spec
+
+
+def available_models() -> list[str]:
+    """Ids of all registered models, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,60 @@
+"""Parsing of simulated-LLM outputs (the dict the refinement prompt demands)."""
+
+from __future__ import annotations
+
+import ast
+import json
+
+from repro.errors import ParseError
+
+
+def parse_ranked_dict(content: str) -> list[tuple[str, str]]:
+    """Parse a ``{"name": "reason", ...}`` response, preserving order.
+
+    Accepts strict JSON and Python-literal dicts (the prompt says "Python
+    dictionary", and real LLMs emit either). Raises :class:`ParseError` on
+    anything else.
+    """
+    text = content.strip()
+    if text.startswith("```"):
+        # Strip a fenced code block, tolerating a language tag.
+        lines = text.splitlines()
+        if lines[-1].strip().startswith("```"):
+            lines = lines[1:-1]
+        else:
+            lines = lines[1:]
+        text = "\n".join(lines).strip()
+    if not text:
+        raise ParseError("empty LLM response where a dict was expected")
+
+    data: object
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        try:
+            data = ast.literal_eval(text)
+        except (ValueError, SyntaxError) as exc:
+            raise ParseError(
+                f"response is neither JSON nor a Python literal: {text[:120]!r}"
+            ) from exc
+
+    if not isinstance(data, dict):
+        raise ParseError(
+            f"expected a dict response, got {type(data).__name__}"
+        )
+    result: list[tuple[str, str]] = []
+    for key, value in data.items():
+        if not isinstance(key, str):
+            raise ParseError(f"dict key is not a string: {key!r}")
+        result.append((key, str(value)))
+    return result
+
+
+def parse_summary(content: str) -> str:
+    """Parse a summarization response (strip an echoed 'Summary:' prefix)."""
+    text = content.strip()
+    if text.lower().startswith("summary:"):
+        text = text[len("summary:"):].strip()
+    if not text:
+        raise ParseError("empty summary response")
+    return text

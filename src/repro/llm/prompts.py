@@ -1,0 +1,78 @@
+"""The paper's LLM prompts, verbatim, and their builders.
+
+The three prompts below are quoted from the SemaSK paper (§3.1, §3.2, §4).
+The pipeline sends these *actual texts* to the simulated LLM, which routes
+on the instruction header — so the architecture exercised here is exactly
+the paper's: prompt in, free-text/dict out, parse, use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+SUMMARIZE_HEADER = "You are a master of summarizing reviews."
+
+SUMMARIZE_PROMPT = """You are a master of summarizing reviews. Now I have some reviews, they are in the form of lists in Python and split with commas. I would like you to help me make a summary. Here are some examples:
+list:['Love Sonic but orders are constantly wrong', 'Foods always been good. Shakes r delicious!']
+Summary: The feedback highlights a mix of experiences at Sonic. While there is love for the brand and appreciation for the quality of food and delicious shakes, there is also frustration over frequent inaccuracies in order fulfillment.
+list:['Great patio for people watching', 'The staff remembered my order', 'Closed too early on Sundays']
+Summary: Reviewers enjoy the patio and praise the attentive staff, though the early Sunday closing time draws some complaints.
+Now it is your turn: {tips}
+Summary:"""
+
+RERANK_HEADER = "You are an assistant for location information sorting tasks."
+
+RERANK_PROMPT = """You are an assistant for location information sorting tasks. Below is the location information retrieved from the database, which will be given to you in JSON format. You are asked to filter and sort this information based on the question asked. You first need to determine whether the information is relevant to the question, and then sort all the relevant information. The ones that best match the question and help answer it have the highest priority. The format of your output must be a Python dictionary, where the key is the name of the location and the value is the reason why you chose this location and ranked it there. The location with the highest priority is placed higher, i.e., index is 0. Please note that there could be more than one result in the dictionary. If the information about a location could only partially match the question asked, you could also put it in the dictionary, but specify the advantages and disadvantages of this place in the value of the dictionary. If you could not complete the task or do not know the answer, just return the empty dictionary and don't refer to any additional knowledge.
+Information: {information}
+Query: {query}"""
+
+QUERYGEN_HEADER = "You are an expert in spatial keyword searching"
+
+QUERYGEN_PROMPT = """You are an expert in spatial keyword searching and I am now trying to perform spatial keyword searching using a large language model. In order to get a test set, I need you to help me write query questions based on the information I provide. In particular, I am asking to think of some questions that are difficult to answer with simple keyword matching, but are easier with the semantic capabilities of large language models, such as "Find Japanese restaurants in Center City that offer a variety of sushi options", where "Japanese restaurants" and "sushi" can be easily handled by keyword matching, while "a variety of options" may require semantic understanding. Also, please don't mention any location information in the query!
+Information: Pep Boys is located at Lafayette Road and primarily serves the category of Automotive, Tires, Oil Change Stations, Auto Parts & Supplies, Auto Repair. It is open for business at these hours: ['Monday': '8:0-19:0', 'Tuesday': '8:0-19:0', 'Wednesday': '8:0-19:0', 'Thursday': '8:0-19:0', 'Friday': '8:0-19:0', 'Saturday': '8:0-19:0', 'Sunday': '9:0-17:0']. Customers often highlight: 'The reviews consistently praise the staff for being friendly, knowledgeable, and helpful, creating a positive and welcoming atmosphere for customers.'
+Question: My car needs repair. Which service center is the most reliable?
+Information: Mike's Ice Cream is located at 129 2nd Ave N and primarily serves the category of Ice Cream & Frozen Yogurt, Fast Food. Customers often highlight: 'Amazing ice cream! So creamy.'
+Question: Where can my kids and I get a creamy frozen treat on a hot afternoon?
+Now it is your turn.
+Information: {information}
+Question:"""
+
+
+def build_summarize_prompt(tips: list[str]) -> str:
+    """Fill the summarization prompt with a POI's tips."""
+    rendered = "list:" + json.dumps(list(tips), ensure_ascii=False)
+    return SUMMARIZE_PROMPT.format(tips=rendered)
+
+
+def build_rerank_prompt(information: list[dict[str, Any]], query: str) -> str:
+    """Fill the refinement prompt with candidate POI attributes and the query."""
+    return RERANK_PROMPT.format(
+        information=json.dumps(information, ensure_ascii=False), query=query
+    )
+
+
+def build_querygen_prompt(information: str) -> str:
+    """Fill the query-generation prompt with one POI's description."""
+    return QUERYGEN_PROMPT.format(information=information)
+
+
+def describe_poi_for_querygen(attributes: dict[str, Any]) -> str:
+    """Render a POI's attributes into the prose form the prompt expects."""
+    name = attributes.get("name", "This business")
+    address = attributes.get("address", "an undisclosed address")
+    categories = attributes.get("categories", "")
+    hours = attributes.get("hours", {})
+    summary = attributes.get("tip_summary") or " ".join(
+        attributes.get("tips", [])[:3]
+    )
+    parts = [
+        f"{name} is located at {address} and primarily serves the category "
+        f"of {categories}."
+    ]
+    if hours:
+        rendered = ", ".join(f"'{d}': '{h}'" for d, h in hours.items())
+        parts.append(f"It is open for business at these hours: [{rendered}].")
+    if summary:
+        parts.append(f"Customers often highlight: '{summary}'")
+    return " ".join(parts)

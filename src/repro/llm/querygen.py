@@ -1,0 +1,163 @@
+"""Test-query generation behaviour (the paper's o1-mini usage in §4).
+
+Given a POI description (prose, as embedded in the query-generation
+prompt), the simulated model:
+
+1. reads the POI's concepts from the prose through its own lexicon;
+2. picks a small concept combination (ideally the category plus one or two
+   offerings/traits);
+3. phrases a question using only *oblique* surface forms — paraphrases at
+   or above a difficulty threshold that share no content token with the
+   POI's own description — honouring the prompt's twin constraints
+   ("difficult to answer with simple keyword matching" and "don't mention
+   any location information").
+
+Generation is deterministic per prompt text (seeded from its hash), so
+test sets are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.semantics.concepts import ConceptGraph, ConceptKind
+from repro.semantics.lexicon import ConceptExtractor, Lexicon, SurfaceForm
+from repro.text.stopwords import remove_stopwords
+from repro.text.tokenize import tokenize
+
+#: Minimum difficulty of surface forms used in generated queries.
+QUERY_FORM_MIN_DIFFICULTY = 0.45
+
+_TEMPLATES_TWO: tuple[str, ...] = (
+    "I'm looking for {a} where I can enjoy {b}. Any recommendations?",
+    "Where can I find {a} known for {b}?",
+    "Can you suggest {a} that offers {b}?",
+    "Is there {a} around with {b}?",
+    "I want {a} famous for {b}. What do you suggest?",
+)
+
+_TEMPLATES_THREE: tuple[str, ...] = (
+    "I'm after {a} with {b} that also has {c}. Ideas?",
+    "Where should I go for {a} offering {b} and {c}?",
+    "Can you recommend {a} that combines {b} with {c}?",
+)
+
+_TEMPLATES_SINGLE: tuple[str, ...] = (
+    "Where can I find a place known for {a}?",
+    "I really need {a} right now. Who does it best?",
+    "Any spot around that excels at {a}?",
+)
+
+
+#: Leading words after which an indefinite article would read wrong.
+_NO_ARTICLE_STARTS = frozenset(
+    {"a", "an", "the", "somewhere", "some", "grab", "catch", "watch",
+     "get", "buy", "play", "learn", "fill", "fix", "sing", "knock"}
+)
+
+
+def _article(phrase: str) -> str:
+    """Prefix an indefinite article when the phrase reads like a noun."""
+    if phrase.split()[0] in _NO_ARTICLE_STARTS:
+        return phrase
+    return ("an " if phrase[0] in "aeiou" else "a ") + phrase
+
+
+class QueryGenerator:
+    """Paraphrase-based query writer with keyword-overlap avoidance."""
+
+    def __init__(
+        self,
+        extractor: ConceptExtractor,
+        graph: ConceptGraph,
+        lexicon: Lexicon,
+        min_difficulty: float = QUERY_FORM_MIN_DIFFICULTY,
+    ) -> None:
+        self._extractor = extractor
+        self._graph = graph
+        self._lexicon = lexicon
+        self._min_difficulty = min_difficulty
+
+    def _oblique_form(
+        self,
+        concept_id: str,
+        banned_tokens: frozenset[str],
+        rng: random.Random,
+    ) -> SurfaceForm | None:
+        """A hard-to-keyword-match form sharing no content token with the POI."""
+        forms = self._lexicon.oblique_forms_of(concept_id, self._min_difficulty)
+        usable = [
+            f
+            for f in forms
+            if not (
+                set(remove_stopwords(list(f.tokens))) & banned_tokens
+            )
+        ]
+        if not usable:
+            return None
+        return rng.choice(usable)
+
+    def generate(self, information: str) -> str:
+        """Write one test question for the POI described by ``information``."""
+        seed = int.from_bytes(
+            hashlib.sha256(information.encode()).digest()[:8], "big"
+        )
+        rng = random.Random(seed)
+
+        mentions = self._extractor.extract(information)
+        by_kind: dict[ConceptKind, list[str]] = {
+            ConceptKind.CATEGORY: [],
+            ConceptKind.ITEM: [],
+            ConceptKind.ASPECT: [],
+        }
+        seen: set[str] = set()
+        for mention in mentions:
+            cid = mention.concept_id
+            if cid in seen or cid not in self._graph:
+                continue
+            seen.add(cid)
+            concept = self._graph.get(cid)
+            # Skip near-universal aspects that make queries unselective.
+            if concept.parents == () and concept.kind == ConceptKind.CATEGORY:
+                continue
+            by_kind[concept.kind].append(cid)
+
+        banned = frozenset(remove_stopwords(tokenize(information)))
+
+        # Choose: a category anchor plus 1-2 item/aspect constraints.
+        chosen: list[tuple[str, SurfaceForm]] = []
+        categories = by_kind[ConceptKind.CATEGORY]
+        rng.shuffle(categories)
+        for cid in categories:
+            form = self._oblique_form(cid, banned, rng)
+            if form is not None:
+                chosen.append((cid, form))
+                break
+        extras = by_kind[ConceptKind.ITEM] + by_kind[ConceptKind.ASPECT]
+        rng.shuffle(extras)
+        want_extras = 2 if rng.random() < 0.45 else 1
+        for cid in extras:
+            if len(chosen) >= 1 + want_extras:
+                break
+            form = self._oblique_form(cid, banned, rng)
+            if form is not None and all(cid != c for c, _ in chosen):
+                chosen.append((cid, form))
+
+        if not chosen:
+            # The model knows no oblique phrasing for this POI; fall back to
+            # a generic question (the paper's authors filtered such queries
+            # manually — the harness does the same via validation).
+            return "Where should I go for something special nearby?"
+
+        phrases = [form.phrase for _, form in chosen]
+        if len(phrases) == 1:
+            template = rng.choice(_TEMPLATES_SINGLE)
+            return template.format(a=phrases[0])
+        if len(phrases) == 2:
+            template = rng.choice(_TEMPLATES_TWO)
+            return template.format(a=_article(phrases[0]), b=phrases[1])
+        template = rng.choice(_TEMPLATES_THREE)
+        return template.format(
+            a=_article(phrases[0]), b=phrases[1], c=phrases[2]
+        )

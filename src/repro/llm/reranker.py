@@ -1,0 +1,213 @@
+"""Refinement behaviour: the simulated LLM's re-ranking judgment.
+
+Given the candidate POIs (as the JSON the refinement prompt embeds) and
+the query, the simulated model:
+
+1. reads the query's concepts through its knowledge profile (a weaker
+   model misses oblique phrasings — this is where o1-mini and gpt-4o
+   genuinely differ);
+2. reads each candidate's concepts from its *textual attributes only*
+   (name, categories, tips/summary, neighborhood) — never from generator
+   ground truth;
+3. reasons over structured attributes the way the paper's prompt invites:
+   closing hours answer "open late", opening hours answer "early",
+   star ratings support "reliable/best" style asks;
+4. judges each candidate: full matches are relevant, near-misses may be
+   included as partial matches "specifying advantages and disadvantages"
+   (per the prompt), everything else is filtered out;
+5. applies its judgment-noise channel — a deterministic per-(model,
+   query, candidate) coin that occasionally drops a relevant result or
+   keeps a plausible irrelevant one, reproducing imperfect LLM behaviour
+   without nondeterminism.
+
+The output is the Python-dict-formatted string the paper's prompt demands:
+``{"name": "reason", ...}`` in priority order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.gen.hours import is_open_late, opens_early
+from repro.llm.models import ModelSpec
+from repro.semantics.concepts import ConceptGraph
+from repro.semantics.lexicon import ConceptExtractor
+
+#: Query concepts that structured attributes can satisfy.
+_HOURS_LATE = "late_night"
+_HOURS_EARLY = "open_early"
+_QUALITY_CONCEPTS = frozenset({"reliable_service", "local_favorite"})
+#: Minimum satisfied-fraction for a partial match to be mentioned at all.
+_PARTIAL_FLOOR = 0.5
+
+
+def _stable_unit(model_id: str, query: str, name: str, salt: str) -> float:
+    digest = hashlib.sha256(
+        f"{model_id}|{salt}|{query}|{name}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class _Judgment:
+    name: str
+    satisfied: list[str]
+    missing: list[str]
+    evidence: dict[str, str]  # concept id -> phrase/attribute that matched
+    stars: float
+    full: bool
+    score: float
+
+
+class Reranker:
+    """Concept-level relevance judgment with a model-specific noise channel."""
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        extractor: ConceptExtractor,
+        graph: ConceptGraph,
+    ) -> None:
+        self._spec = spec
+        self._extractor = extractor
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+    # concept reading
+    # ------------------------------------------------------------------
+
+    def query_concepts(self, query: str) -> list[str]:
+        """Concepts this model recognizes in the query text (sorted)."""
+        return sorted(self._extractor.extract_concepts(query))
+
+    def _candidate_text(self, info: dict[str, Any]) -> str:
+        parts = [
+            str(info.get("name", "")),
+            str(info.get("categories", "")),
+            str(info.get("neighborhood", "")),
+        ]
+        summary = info.get("tip_summary")
+        if summary:
+            parts.append(str(summary))
+        tips = info.get("tips")
+        if isinstance(tips, list):
+            parts.extend(str(t) for t in tips)
+        return ". ".join(p for p in parts if p)
+
+    def _judge(self, info: dict[str, Any], required: list[str]) -> _Judgment:
+        text = self._candidate_text(info)
+        mentions = self._extractor.extract(text)
+        candidate_concepts = {m.concept_id for m in mentions}
+        evidence_phrases = {m.concept_id: m.phrase for m in mentions}
+        hours = info.get("hours") if isinstance(info.get("hours"), dict) else {}
+        stars = float(info.get("stars", 3.0) or 3.0)
+
+        satisfied: list[str] = []
+        missing: list[str] = []
+        evidence: dict[str, str] = {}
+        for concept in required:
+            matched_by = next(
+                (
+                    c
+                    for c in sorted(candidate_concepts)
+                    if self._graph.satisfies(c, concept)
+                ),
+                None,
+            )
+            if matched_by is not None:
+                satisfied.append(concept)
+                evidence[concept] = evidence_phrases.get(matched_by, matched_by)
+                continue
+            # Structured-attribute reasoning beyond the text.
+            if concept == _HOURS_LATE and hours and is_open_late(hours):
+                satisfied.append(concept)
+                evidence[concept] = "closing hours past midnight"
+                continue
+            if concept == _HOURS_EARLY and hours and opens_early(hours):
+                satisfied.append(concept)
+                evidence[concept] = "early opening hours"
+                continue
+            if concept in _QUALITY_CONCEPTS and stars >= 4.5:
+                satisfied.append(concept)
+                evidence[concept] = f"a {stars} star rating"
+                continue
+            missing.append(concept)
+
+        score = len(satisfied) / len(required) if required else 0.0
+        return _Judgment(
+            name=str(info.get("name", "unknown")),
+            satisfied=satisfied,
+            missing=missing,
+            evidence=evidence,
+            stars=stars,
+            full=not missing,
+            score=score,
+        )
+
+    # ------------------------------------------------------------------
+    # reasons (the dict values the prompt demands)
+    # ------------------------------------------------------------------
+
+    def _label(self, concept_id: str) -> str:
+        if concept_id in self._graph:
+            return self._graph.get(concept_id).label.lower()
+        return concept_id.replace("_", " ")
+
+    def _full_reason(self, judgment: _Judgment) -> str:
+        matched = ", ".join(
+            f"{self._label(c)} (mentions {judgment.evidence[c]!r})"
+            for c in judgment.satisfied
+        )
+        return (
+            f"Strong match: the record shows {matched}. "
+            f"Rated {judgment.stars} stars."
+        )
+
+    def _partial_reason(self, judgment: _Judgment) -> str:
+        pros = ", ".join(self._label(c) for c in judgment.satisfied) or "little"
+        cons = ", ".join(self._label(c) for c in judgment.missing)
+        return (
+            f"Partial match: offers {pros}, but there is no evidence of "
+            f"{cons} in the available information."
+        )
+
+    # ------------------------------------------------------------------
+    # main entry
+    # ------------------------------------------------------------------
+
+    def rerank(self, information: list[dict[str, Any]], query: str) -> str:
+        """Produce the prompt's required output: a dict string, best first."""
+        required = self.query_concepts(query)
+        if not required:
+            return "{}"
+
+        kept: list[tuple[float, _Judgment, str]] = []
+        for info in information:
+            judgment = self._judge(info, required)
+            coin = _stable_unit(
+                self._spec.model_id, query, judgment.name, "judgment"
+            )
+            if judgment.full:
+                if coin < self._spec.drop_rate:
+                    continue  # noise channel: misses a true match
+                priority = 2.0 + judgment.score + judgment.stars / 100.0
+                kept.append((priority, judgment, self._full_reason(judgment)))
+            elif judgment.score >= _PARTIAL_FLOOR:
+                if coin < self._spec.hallucination_rate:
+                    # Noise channel: overstates a partial match as a hit.
+                    priority = 1.9 + judgment.score + judgment.stars / 100.0
+                    kept.append(
+                        (priority, judgment, self._full_reason(judgment))
+                    )
+                elif coin > 1.0 - self._spec.hallucination_rate * 2:
+                    priority = judgment.score + judgment.stars / 100.0
+                    kept.append(
+                        (priority, judgment, self._partial_reason(judgment))
+                    )
+
+        kept.sort(key=lambda item: (-item[0], item[1].name))
+        ordered = {judgment.name: reason for _, judgment, reason in kept}
+        return json.dumps(ordered, ensure_ascii=False)

@@ -1,0 +1,127 @@
+"""The simulated chat-completions provider.
+
+:class:`SimulatedLLM` receives the paper's *actual prompt texts* (see
+:mod:`repro.llm.prompts`), recognizes which task is being asked by the
+instruction header, re-extracts the embedded inputs, and produces the
+response a capable-but-imperfect model would: canonicalizing summaries,
+concept-level re-ranking with noise, paraphrase query generation.
+
+Keeping the prompt round-trip (build prompt -> "send" -> parse response)
+means the pipeline code is structured exactly like the paper's system; a
+real OpenAI client could be dropped in behind the same interface.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.errors import PromptError
+from repro.llm.base import ChatMessage, LLMClient
+from repro.llm.models import get_model
+from repro.llm.prompts import (
+    QUERYGEN_HEADER,
+    RERANK_HEADER,
+    SUMMARIZE_HEADER,
+)
+from repro.llm.querygen import QueryGenerator
+from repro.llm.reranker import Reranker
+from repro.llm.summarizer import TipSummarizer
+from repro.semantics.concepts import ConceptGraph
+from repro.semantics.lexicon import ConceptExtractor, Lexicon
+from repro.semantics.ontology.build import default_ontology
+
+_RERANK_RE = re.compile(
+    r"Information:\s*(?P<info>\[.*\])\s*\nQuery:\s*(?P<query>.+)\s*$",
+    re.DOTALL,
+)
+_SUMMARIZE_RE = re.compile(
+    r"Now it is your turn:\s*list:(?P<tips>\[.*\])\s*\nSummary:\s*$",
+    re.DOTALL,
+)
+_QUERYGEN_RE = re.compile(
+    r"Now it is your turn\.\s*\nInformation:\s*(?P<info>.+)\nQuestion:\s*$",
+    re.DOTALL,
+)
+
+
+class SimulatedLLM(LLMClient):
+    """Deterministic, offline stand-in for the OpenAI chat API."""
+
+    def __init__(
+        self,
+        graph: ConceptGraph | None = None,
+        lexicon: Lexicon | None = None,
+    ) -> None:
+        super().__init__()
+        if graph is None or lexicon is None:
+            graph, lexicon = default_ontology()
+        self._graph = graph
+        self._lexicon = lexicon
+        self._extractors: dict[str, ConceptExtractor] = {}
+
+    def _extractor_for(self, model: str) -> ConceptExtractor:
+        extractor = self._extractors.get(model)
+        if extractor is None:
+            spec = get_model(model)
+            extractor = ConceptExtractor(self._lexicon, spec.knowledge)
+            self._extractors[model] = extractor
+        return extractor
+
+    def _complete(self, model: str, messages: list[ChatMessage]) -> str:
+        prompt = messages[-1].content
+        if prompt.startswith(SUMMARIZE_HEADER):
+            return self._summarize(model, prompt)
+        if prompt.startswith(RERANK_HEADER):
+            return self._rerank(model, prompt)
+        if prompt.startswith(QUERYGEN_HEADER):
+            return self._querygen(model, prompt)
+        raise PromptError(
+            "the simulated LLM does not recognize this task; prompts must "
+            "be built with repro.llm.prompts (got: "
+            f"{prompt[:80]!r}...)"
+        )
+
+    # ------------------------------------------------------------------
+    # task handlers
+    # ------------------------------------------------------------------
+
+    def _summarize(self, model: str, prompt: str) -> str:
+        match = _SUMMARIZE_RE.search(prompt)
+        if match is None:
+            raise PromptError("malformed summarization prompt")
+        try:
+            tips = json.loads(match.group("tips"))
+        except json.JSONDecodeError as exc:
+            raise PromptError(f"unparseable tips list in prompt: {exc}") from exc
+        if not isinstance(tips, list):
+            raise PromptError("tips payload is not a list")
+        summarizer = TipSummarizer(self._extractor_for(model), self._graph)
+        return summarizer.summarize([str(t) for t in tips])
+
+    def _rerank(self, model: str, prompt: str) -> str:
+        match = _RERANK_RE.search(prompt)
+        if match is None:
+            raise PromptError("malformed refinement prompt")
+        try:
+            information = json.loads(match.group("info"))
+        except json.JSONDecodeError as exc:
+            raise PromptError(
+                f"unparseable information JSON in prompt: {exc}"
+            ) from exc
+        if not isinstance(information, list):
+            raise PromptError("information payload is not a list")
+        query = match.group("query").strip()
+        reranker = Reranker(
+            get_model(model), self._extractor_for(model), self._graph
+        )
+        return reranker.rerank(information, query)
+
+    def _querygen(self, model: str, prompt: str) -> str:
+        match = _QUERYGEN_RE.search(prompt)
+        if match is None:
+            raise PromptError("malformed query-generation prompt")
+        generator = QueryGenerator(
+            self._extractor_for(model), self._graph, self._lexicon
+        )
+        return generator.generate(match.group("info").strip())

@@ -1,0 +1,53 @@
+"""Concept ontology, surface-form lexicon, and query intents.
+
+This package makes the latent semantic space of the synthetic corpus
+explicit; see :mod:`repro.semantics.concepts` for the rationale.
+"""
+
+from repro.semantics.concepts import (
+    Concept,
+    ConceptGraph,
+    ConceptKind,
+    ConceptProfile,
+)
+from repro.semantics.intent import QueryIntent
+from repro.semantics.lexicon import (
+    ConceptExtractor,
+    ConceptMention,
+    KnowledgeProfile,
+    Lexicon,
+    SurfaceForm,
+    full_knowledge,
+    linear_knowledge,
+)
+from repro.semantics.ontology.build import (
+    LABEL_DIFFICULTY,
+    build_concept_graph,
+    build_lexicon,
+    category_aspects,
+    category_items,
+    default_ontology,
+    primary_categories,
+)
+
+__all__ = [
+    "Concept",
+    "ConceptExtractor",
+    "ConceptGraph",
+    "ConceptKind",
+    "ConceptMention",
+    "ConceptProfile",
+    "KnowledgeProfile",
+    "LABEL_DIFFICULTY",
+    "Lexicon",
+    "QueryIntent",
+    "SurfaceForm",
+    "build_concept_graph",
+    "build_lexicon",
+    "category_aspects",
+    "category_items",
+    "default_ontology",
+    "full_knowledge",
+    "linear_knowledge",
+    "primary_categories",
+]

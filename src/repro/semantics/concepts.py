@@ -1,0 +1,158 @@
+"""Concept graph: the latent semantic space behind the synthetic corpus.
+
+The paper's thesis is that query text and POI text describe the same
+*concepts* with different *words* ("café" vs "flat white and pastries"),
+which defeats keyword matching but not semantic models. To reproduce that
+gap offline we make the concept space explicit:
+
+* every synthetic POI is generated *from* a set of latent concepts,
+* query generation paraphrases concepts while avoiding the POI's words,
+* ground truth is defined by concept satisfaction,
+* the simulated embedding model and LLM recover concepts from text with
+  model-specific fidelity (see :mod:`repro.semantics.lexicon`).
+
+Concepts form a DAG via *is-a* edges (``sports_bar`` is-a ``bar`` is-a
+``nightlife``). A required concept is satisfied by any equal-or-more-
+specific concept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import lru_cache
+
+
+class ConceptKind(str, Enum):
+    """Role a concept plays in a POI description."""
+
+    CATEGORY = "category"   # business type: cafe, sports_bar, auto_repair
+    ITEM = "item"           # product/menu item: espresso, wings, sushi
+    ASPECT = "aspect"       # service/quality trait: watch_sports, pet_friendly
+
+
+@dataclass(frozen=True, slots=True)
+class Concept:
+    """A node in the concept graph."""
+
+    id: str
+    kind: ConceptKind
+    label: str                      # human-readable, e.g. "Sports Bar"
+    parents: tuple[str, ...] = ()   # is-a edges (ids of broader concepts)
+
+
+class ConceptGraph:
+    """An immutable-after-build is-a DAG over :class:`Concept` nodes."""
+
+    def __init__(self) -> None:
+        self._concepts: dict[str, Concept] = {}
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __contains__(self, concept_id: str) -> bool:
+        return concept_id in self._concepts
+
+    def __iter__(self):
+        return iter(self._concepts.values())
+
+    def add(self, concept: Concept) -> None:
+        """Register ``concept``; parents must already be registered."""
+        if concept.id in self._concepts:
+            raise ValueError(f"duplicate concept id {concept.id!r}")
+        for parent in concept.parents:
+            if parent not in self._concepts:
+                raise ValueError(
+                    f"concept {concept.id!r} references unknown parent {parent!r}"
+                )
+        self._concepts[concept.id] = concept
+
+    def get(self, concept_id: str) -> Concept:
+        """Return the concept with ``concept_id`` (KeyError when missing)."""
+        return self._concepts[concept_id]
+
+    def ids(self) -> list[str]:
+        """All concept ids in registration order (deterministic)."""
+        return list(self._concepts)
+
+    def of_kind(self, kind: ConceptKind) -> list[Concept]:
+        """All concepts of the given kind, in registration order."""
+        return [c for c in self._concepts.values() if c.kind == kind]
+
+    def ancestors(self, concept_id: str) -> frozenset[str]:
+        """All transitive is-a ancestors of ``concept_id`` (exclusive)."""
+        return self._ancestors_cached(concept_id)
+
+    @lru_cache(maxsize=None)  # noqa: B019 — graph is append-only; adds are pre-query
+    def _ancestors_cached(self, concept_id: str) -> frozenset[str]:
+        concept = self._concepts[concept_id]
+        result: set[str] = set()
+        for parent in concept.parents:
+            result.add(parent)
+            result |= self._ancestors_cached(parent)
+        return frozenset(result)
+
+    def satisfies(self, candidate_id: str, required_id: str) -> bool:
+        """Whether ``candidate_id`` is the same as or a kind of ``required_id``.
+
+        A POI tagged ``sports_bar`` satisfies a query for ``bar``; a POI
+        tagged only ``bar`` does not satisfy a query for ``sports_bar``.
+        """
+        if candidate_id == required_id:
+            return True
+        if candidate_id not in self._concepts or required_id not in self._concepts:
+            return False
+        return required_id in self.ancestors(candidate_id)
+
+    def any_satisfies(self, candidates: frozenset[str] | set[str], required_id: str) -> bool:
+        """Whether any of ``candidates`` satisfies ``required_id``."""
+        return any(self.satisfies(c, required_id) for c in candidates)
+
+    def expand(self, concept_ids: set[str] | frozenset[str]) -> frozenset[str]:
+        """Close ``concept_ids`` under ancestors (used for soft matching)."""
+        result = set(concept_ids)
+        for cid in concept_ids:
+            if cid in self._concepts:
+                result |= self.ancestors(cid)
+        return frozenset(result)
+
+    def relatedness(self, a: str, b: str) -> float:
+        """A [0, 1] similarity from shared ancestry.
+
+        1.0 for identical concepts, 0.75 when one subsumes the other,
+        otherwise the Jaccard overlap of their ancestor-closures. Gives the
+        simulated LLM a notion of "partially matches" for its explanations.
+        """
+        if a == b:
+            return 1.0
+        if a not in self._concepts or b not in self._concepts:
+            return 0.0
+        if self.satisfies(a, b) or self.satisfies(b, a):
+            return 0.75
+        closure_a = self.ancestors(a) | {a}
+        closure_b = self.ancestors(b) | {b}
+        inter = len(closure_a & closure_b)
+        if inter == 0:
+            return 0.0
+        return 0.5 * inter / len(closure_a | closure_b)
+
+
+@dataclass(frozen=True)
+class ConceptProfile:
+    """The latent semantics of one POI: what it *is* and what it *offers*.
+
+    ``category`` is the primary business type; ``items`` and ``aspects``
+    are the offerings/traits its tips talk about. The union is the POI's
+    ground-truth concept set used for answer-set construction.
+    """
+
+    category: str
+    items: tuple[str, ...] = ()
+    aspects: tuple[str, ...] = ()
+    secondary_categories: tuple[str, ...] = field(default=())
+
+    def all_concepts(self) -> frozenset[str]:
+        """Every concept the POI genuinely carries."""
+        return frozenset(
+            (self.category, *self.secondary_categories, *self.items, *self.aspects)
+        )

@@ -1,0 +1,63 @@
+"""Query intent: the latent meaning behind a natural-language query.
+
+A semantics-aware spatial keyword query in this reproduction carries a
+latent :class:`QueryIntent` — the set of concepts the user is asking for.
+The intent is what ground truth is defined against; the query *text* is a
+paraphrase of the intent generated to defeat keyword matching (per the
+paper's test-set construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.semantics.concepts import ConceptGraph
+
+
+@dataclass(frozen=True)
+class QueryIntent:
+    """The concepts a query demands of a matching POI.
+
+    ``required`` concepts must all be satisfied (hypernym-aware) for a POI
+    to belong to the answer set; ``preferred`` concepts only contribute to
+    ranking, mirroring the paper's "could only partially match" language
+    in the refinement prompt.
+    """
+
+    required: frozenset[str]
+    preferred: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.required:
+            raise ValueError("a query intent needs at least one required concept")
+        overlap = self.required & self.preferred
+        if overlap:
+            raise ValueError(
+                f"concepts cannot be both required and preferred: {sorted(overlap)}"
+            )
+
+    def is_satisfied_by(self, concepts: frozenset[str], graph: ConceptGraph) -> bool:
+        """Whether a POI carrying ``concepts`` fully answers the intent."""
+        return all(graph.any_satisfies(concepts, req) for req in self.required)
+
+    def match_score(self, concepts: frozenset[str], graph: ConceptGraph) -> float:
+        """Graded relevance in [0, 1].
+
+        Required concepts dominate (weight 0.85 split equally); preferred
+        concepts contribute the remaining 0.15. Used by the simulated LLM
+        to rank candidates and to decide partial matches.
+        """
+        req = sorted(self.required)
+        req_hit = sum(1 for r in req if graph.any_satisfies(concepts, r))
+        score = 0.85 * req_hit / len(req)
+        if self.preferred:
+            pref = sorted(self.preferred)
+            pref_hit = sum(1 for p in pref if graph.any_satisfies(concepts, p))
+            score += 0.15 * pref_hit / len(pref)
+        else:
+            score += 0.15 * (req_hit == len(req))
+        return score
+
+    def all_concepts(self) -> frozenset[str]:
+        """Required and preferred concepts together."""
+        return self.required | self.preferred

@@ -1,0 +1,19 @@
+"""Declarative concept inventory: categories, items, aspects, surface forms."""
+
+from repro.semantics.ontology.build import (
+    build_concept_graph,
+    build_lexicon,
+    category_aspects,
+    category_items,
+    default_ontology,
+    primary_categories,
+)
+
+__all__ = [
+    "build_concept_graph",
+    "build_lexicon",
+    "category_aspects",
+    "category_items",
+    "default_ontology",
+    "primary_categories",
+]

@@ -1,0 +1,70 @@
+"""Assemble the concept graph and lexicon from the declarative tables."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.semantics.concepts import Concept, ConceptGraph, ConceptKind
+from repro.semantics.lexicon import Lexicon
+from repro.semantics.ontology.aspects import (
+    ASPECT_DEFS,
+    CATEGORY_ASPECTS,
+    UNIVERSAL_ASPECTS,
+)
+from repro.semantics.ontology.categories import CATEGORY_DEFS, PRIMARY_CATEGORY_IDS
+from repro.semantics.ontology.items import CATEGORY_ITEMS, ITEM_DEFS
+from repro.semantics.ontology.surface import SURFACE_FORMS
+
+#: Difficulty assigned to a concept's own label when no explicit form
+#: overrides it — a label is trivially matchable by keyword search.
+LABEL_DIFFICULTY = 0.05
+
+
+def build_concept_graph() -> ConceptGraph:
+    """Build the full concept DAG.
+
+    Aspects and items are registered before categories because a few
+    categories have aspect parents (e.g. ``sports_bar`` is-a
+    ``watch_sports``).
+    """
+    graph = ConceptGraph()
+    for cid, label, parents in ASPECT_DEFS:
+        graph.add(Concept(cid, ConceptKind.ASPECT, label, parents))
+    for cid, label, parents in ITEM_DEFS:
+        graph.add(Concept(cid, ConceptKind.ITEM, label, parents))
+    for cid, label, parents in CATEGORY_DEFS:
+        graph.add(Concept(cid, ConceptKind.CATEGORY, label, parents))
+    return graph
+
+
+def build_lexicon(graph: ConceptGraph) -> Lexicon:
+    """Build the lexicon: explicit surface forms plus each concept's label."""
+    lexicon = Lexicon()
+    for concept in graph:
+        lexicon.add_phrase(concept.label, concept.id, LABEL_DIFFICULTY)
+        for phrase, difficulty in SURFACE_FORMS.get(concept.id, ()):
+            lexicon.add_phrase(phrase, concept.id, difficulty)
+    return lexicon
+
+
+def category_items(category_id: str) -> tuple[str, ...]:
+    """Items a category plausibly offers (empty tuple when none)."""
+    return CATEGORY_ITEMS.get(category_id, ())
+
+
+def category_aspects(category_id: str) -> tuple[str, ...]:
+    """Aspects that fit a category, including the universal ones."""
+    specific = CATEGORY_ASPECTS.get(category_id, ())
+    return specific + tuple(a for a in UNIVERSAL_ASPECTS if a not in specific)
+
+
+def primary_categories() -> tuple[str, ...]:
+    """Category ids eligible as a POI's primary category."""
+    return PRIMARY_CATEGORY_IDS
+
+
+@lru_cache(maxsize=1)
+def default_ontology() -> tuple[ConceptGraph, Lexicon]:
+    """The shared (graph, lexicon) pair, built once per process."""
+    graph = build_concept_graph()
+    return graph, build_lexicon(graph)

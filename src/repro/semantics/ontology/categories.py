@@ -1,0 +1,194 @@
+"""Business-category concepts (the Yelp-style category taxonomy).
+
+Each entry is ``(id, label, parents)``. Labels double as the strings in the
+synthetic record's ``categories`` attribute, so they are phrased the way
+Yelp phrases them ("Sports Bars", "Ice Cream & Frozen Yogurt", ...).
+Parents are is-a edges; roots are the top-level Yelp domains. A few
+categories also have *aspect* parents (a sports bar is definitionally good
+for watching sports), letting aspect-level queries be satisfied by the
+right categories.
+"""
+
+from __future__ import annotations
+
+# (concept id, Yelp-style label, parent ids)
+CATEGORY_DEFS: tuple[tuple[str, str, tuple[str, ...]], ...] = (
+    # ---- top-level domains -------------------------------------------------
+    ("food_drink", "Food", ()),
+    ("restaurants", "Restaurants", ("food_drink",)),
+    ("nightlife", "Nightlife", ()),
+    ("shopping", "Shopping", ()),
+    ("automotive", "Automotive", ()),
+    ("beauty_spas", "Beauty & Spas", ()),
+    ("health_medical", "Health & Medical", ()),
+    ("active_life", "Active Life", ()),
+    ("arts_entertainment", "Arts & Entertainment", ()),
+    ("local_services", "Local Services", ()),
+    ("home_services", "Home Services", ()),
+    ("hotels_travel", "Hotels & Travel", ()),
+    ("pets", "Pets", ()),
+    ("education", "Education", ()),
+    # ---- restaurants -------------------------------------------------------
+    ("italian_restaurant", "Italian", ("restaurants",)),
+    ("japanese_restaurant", "Japanese", ("restaurants",)),
+    ("sushi_bar", "Sushi Bars", ("japanese_restaurant",)),
+    ("ramen_shop", "Ramen", ("japanese_restaurant",)),
+    ("chinese_restaurant", "Chinese", ("restaurants",)),
+    ("mexican_restaurant", "Mexican", ("restaurants",)),
+    ("taqueria", "Taquerias", ("mexican_restaurant",)),
+    ("thai_restaurant", "Thai", ("restaurants",)),
+    ("indian_restaurant", "Indian", ("restaurants",)),
+    ("vietnamese_restaurant", "Vietnamese", ("restaurants",)),
+    ("korean_restaurant", "Korean", ("restaurants",)),
+    ("mediterranean_restaurant", "Mediterranean", ("restaurants",)),
+    ("greek_restaurant", "Greek", ("mediterranean_restaurant",)),
+    ("french_restaurant", "French", ("restaurants",)),
+    ("american_restaurant", "American (Traditional)", ("restaurants",)),
+    ("new_american_restaurant", "American (New)", ("restaurants",)),
+    ("southern_restaurant", "Southern", ("restaurants",)),
+    ("cajun_restaurant", "Cajun/Creole", ("restaurants",)),
+    ("bbq_joint", "Barbeque", ("restaurants",)),
+    ("steakhouse", "Steakhouses", ("restaurants",)),
+    ("seafood_restaurant", "Seafood", ("restaurants",)),
+    ("pizza_place", "Pizza", ("restaurants",)),
+    ("burger_joint", "Burgers", ("restaurants",)),
+    ("sandwich_shop", "Sandwiches", ("restaurants",)),
+    ("deli", "Delis", ("sandwich_shop",)),
+    ("diner", "Diners", ("american_restaurant",)),
+    ("breakfast_brunch", "Breakfast & Brunch", ("restaurants", "brunch_service")),
+    ("vegan_restaurant", "Vegan", ("restaurants",)),
+    ("vegetarian_restaurant", "Vegetarian", ("restaurants",)),
+    ("food_truck", "Food Trucks", ("food_drink",)),
+    ("buffet", "Buffets", ("restaurants",)),
+    ("fast_food", "Fast Food", ("restaurants", "fast_service")),
+    ("chicken_wings_joint", "Chicken Wings", ("restaurants",)),
+    ("soup_spot", "Soup", ("restaurants",)),
+    ("salad_bar", "Salad", ("restaurants",)),
+    ("tapas_bar", "Tapas/Small Plates", ("restaurants",)),
+    ("noodle_house", "Noodles", ("restaurants",)),
+    # ---- cafés & sweets ----------------------------------------------------
+    ("cafe", "Cafes", ("food_drink",)),
+    ("coffee_shop", "Coffee & Tea", ("cafe",)),
+    ("tea_house", "Tea Rooms", ("cafe",)),
+    ("bakery", "Bakeries", ("food_drink",)),
+    ("ice_cream_shop", "Ice Cream & Frozen Yogurt", ("food_drink",)),
+    ("donut_shop", "Donuts", ("bakery",)),
+    ("juice_bar", "Juice Bars & Smoothies", ("food_drink",)),
+    ("dessert_shop", "Desserts", ("food_drink",)),
+    ("bubble_tea_shop", "Bubble Tea", ("food_drink",)),
+    # ---- nightlife ---------------------------------------------------------
+    ("bar", "Bars", ("nightlife",)),
+    ("sports_bar", "Sports Bars", ("bar", "watch_sports")),
+    ("dive_bar", "Dive Bars", ("bar",)),
+    ("wine_bar", "Wine Bars", ("bar",)),
+    ("cocktail_bar", "Cocktail Bars", ("bar",)),
+    ("pub", "Pubs", ("bar",)),
+    ("gastropub", "Gastropubs", ("pub", "restaurants")),
+    ("brewery", "Breweries", ("nightlife", "food_drink")),
+    ("nightclub", "Dance Clubs", ("nightlife",)),
+    ("karaoke_bar", "Karaoke", ("nightlife",)),
+    ("music_venue", "Music Venues", ("nightlife", "arts_entertainment")),
+    ("comedy_club", "Comedy Clubs", ("nightlife", "arts_entertainment")),
+    # ---- shopping ----------------------------------------------------------
+    ("grocery_store", "Grocery", ("shopping", "food_drink")),
+    ("farmers_market", "Farmers Market", ("shopping", "food_drink")),
+    ("convenience_store", "Convenience Stores", ("shopping",)),
+    ("bookstore", "Bookstores", ("shopping",)),
+    ("clothing_store", "Women's Clothing", ("shopping",)),
+    ("mens_clothing_store", "Men's Clothing", ("shopping",)),
+    ("shoe_store", "Shoe Stores", ("shopping",)),
+    ("jewelry_store", "Jewelry", ("shopping",)),
+    ("florist", "Florists", ("shopping",)),
+    ("gift_shop", "Gift Shops", ("shopping",)),
+    ("toy_store", "Toy Stores", ("shopping",)),
+    ("hardware_store", "Hardware Stores", ("shopping", "home_services")),
+    ("electronics_store", "Electronics", ("shopping",)),
+    ("record_store", "Vinyl Records", ("shopping",)),
+    ("thrift_store", "Thrift Stores", ("shopping",)),
+    ("furniture_store", "Furniture Stores", ("shopping", "home_services")),
+    ("sporting_goods_store", "Sporting Goods", ("shopping",)),
+    ("liquor_store", "Beer, Wine & Spirits", ("shopping", "food_drink")),
+    # ---- automotive ----------------------------------------------------------
+    ("auto_repair", "Auto Repair", ("automotive",)),
+    ("tire_shop", "Tires", ("automotive",)),
+    ("oil_change_station", "Oil Change Stations", ("automotive",)),
+    ("car_wash", "Car Wash", ("automotive",)),
+    ("gas_station", "Gas Stations", ("automotive",)),
+    ("car_dealer", "Car Dealers", ("automotive",)),
+    ("auto_parts_store", "Auto Parts & Supplies", ("automotive", "shopping")),
+    ("body_shop", "Body Shops", ("automotive",)),
+    # ---- beauty & spas -------------------------------------------------------
+    ("hair_salon", "Hair Salons", ("beauty_spas",)),
+    ("barber_shop", "Barbers", ("beauty_spas",)),
+    ("nail_salon", "Nail Salons", ("beauty_spas",)),
+    ("day_spa", "Day Spas", ("beauty_spas",)),
+    ("massage_studio", "Massage", ("beauty_spas",)),
+    ("tattoo_parlor", "Tattoo", ("beauty_spas",)),
+    # ---- health --------------------------------------------------------------
+    ("dentist", "Dentists", ("health_medical",)),
+    ("family_doctor", "Family Practice", ("health_medical",)),
+    ("urgent_care", "Urgent Care", ("health_medical",)),
+    ("optometrist", "Optometrists", ("health_medical",)),
+    ("chiropractor", "Chiropractors", ("health_medical",)),
+    ("pharmacy", "Drugstores", ("health_medical", "shopping")),
+    ("physical_therapy", "Physical Therapy", ("health_medical",)),
+    # ---- active life ---------------------------------------------------------
+    ("gym", "Gyms", ("active_life",)),
+    ("yoga_studio", "Yoga", ("active_life",)),
+    ("pilates_studio", "Pilates", ("active_life",)),
+    ("climbing_gym", "Rock Climbing", ("active_life",)),
+    ("swimming_pool", "Swimming Pools", ("active_life",)),
+    ("bowling_alley", "Bowling", ("active_life", "arts_entertainment")),
+    ("golf_course", "Golf", ("active_life",)),
+    ("bike_shop", "Bikes", ("active_life", "shopping")),
+    ("dance_studio", "Dance Studios", ("active_life", "arts_entertainment")),
+    ("martial_arts_studio", "Martial Arts", ("active_life",)),
+    # ---- arts & entertainment --------------------------------------------------
+    ("movie_theater", "Cinema", ("arts_entertainment",)),
+    ("museum", "Museums", ("arts_entertainment",)),
+    ("art_gallery", "Art Galleries", ("arts_entertainment",)),
+    ("arcade", "Arcades", ("arts_entertainment",)),
+    ("escape_room", "Escape Games", ("arts_entertainment",)),
+    ("theater", "Performing Arts", ("arts_entertainment",)),
+    # ---- local & home services ---------------------------------------------
+    ("laundromat", "Laundromat", ("local_services",)),
+    ("dry_cleaner", "Dry Cleaning", ("local_services",)),
+    ("bank", "Banks & Credit Unions", ("local_services",)),
+    ("post_office", "Post Offices", ("local_services",)),
+    ("library", "Libraries", ("local_services", "education")),
+    ("locksmith", "Keys & Locksmiths", ("local_services", "home_services")),
+    ("plumber", "Plumbing", ("home_services",)),
+    ("electrician", "Electricians", ("home_services",)),
+    ("landscaper", "Landscaping", ("home_services",)),
+    ("cleaning_service", "Home Cleaning", ("home_services",)),
+    ("storage_facility", "Self Storage", ("local_services",)),
+    ("phone_repair_shop", "Mobile Phone Repair", ("local_services",)),
+    ("shoe_repair_shop", "Shoe Repair", ("local_services",)),
+    ("tailor", "Sewing & Alterations", ("local_services",)),
+    # ---- hotels, pets, education ------------------------------------------
+    ("hotel", "Hotels", ("hotels_travel",)),
+    ("hostel", "Hostels", ("hotels_travel",)),
+    ("bed_breakfast", "Bed & Breakfast", ("hotels_travel",)),
+    ("veterinarian", "Veterinarians", ("pets", "health_medical")),
+    ("pet_groomer", "Pet Groomers", ("pets",)),
+    ("pet_store", "Pet Stores", ("pets", "shopping")),
+    ("dog_park", "Dog Parks", ("pets", "active_life")),
+    ("music_school", "Music Schools", ("education",)),
+    ("tutoring_center", "Tutoring Centers", ("education",)),
+    ("driving_school", "Driving Schools", ("education",)),
+    ("daycare", "Child Care & Day Care", ("local_services", "education")),
+)
+
+#: Category ids that the dataset generator may assign as a POI's primary
+#: category (leaf-ish nodes; top-level domains are never primary).
+PRIMARY_CATEGORY_IDS: tuple[str, ...] = tuple(
+    cid
+    for cid, _, parents in CATEGORY_DEFS
+    if parents  # roots are not primary
+    and cid
+    not in {
+        "restaurants",  # too generic to be a believable Yelp primary category
+        "bar",
+        "cafe",
+    }
+)

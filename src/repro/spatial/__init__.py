@@ -1,0 +1,8 @@
+"""Spatial index substrate: R-tree, IR-tree, grid, inverted index."""
+
+from repro.spatial.grid import GridIndex
+from repro.spatial.inverted import InvertedIndex
+from repro.spatial.irtree import IRTree
+from repro.spatial.rtree import RTree, RTreeEntry
+
+__all__ = ["GridIndex", "IRTree", "InvertedIndex", "RTree", "RTreeEntry"]

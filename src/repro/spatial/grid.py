@@ -1,0 +1,80 @@
+"""A uniform grid index over geographic points.
+
+Simpler alternative to the R-tree for range filtering; used in ablations
+to show the filtering stage is index-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.geo.bbox import BoundingBox
+
+
+class GridIndex:
+    """Fixed-resolution lat/lon grid with per-cell object buckets."""
+
+    def __init__(self, bounds: BoundingBox, cells_per_axis: int = 64) -> None:
+        if cells_per_axis <= 0:
+            raise ValueError(
+                f"cells_per_axis must be positive, got {cells_per_axis}"
+            )
+        self._bounds = bounds
+        self._n = cells_per_axis
+        self._lat_step = (bounds.max_lat - bounds.min_lat) / cells_per_axis or 1e-9
+        self._lon_step = (bounds.max_lon - bounds.min_lon) / cells_per_axis or 1e-9
+        self._cells: dict[tuple[int, int], list[tuple[Any, float, float]]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _cell_of(self, lat: float, lon: float) -> tuple[int, int]:
+        row = int((lat - self._bounds.min_lat) / self._lat_step)
+        col = int((lon - self._bounds.min_lon) / self._lon_step)
+        return (
+            min(max(row, 0), self._n - 1),
+            min(max(col, 0), self._n - 1),
+        )
+
+    def insert(self, object_id: Any, lat: float, lon: float) -> None:
+        """Insert a point object (points outside bounds clamp to edge cells)."""
+        cell = self._cell_of(lat, lon)
+        self._cells.setdefault(cell, []).append((object_id, lat, lon))
+        self._size += 1
+
+    def range_query(self, box: BoundingBox) -> list[Any]:
+        """Ids of all objects inside ``box``."""
+        lo_row = int(
+            math.floor((box.min_lat - self._bounds.min_lat) / self._lat_step)
+        )
+        hi_row = int(
+            math.floor((box.max_lat - self._bounds.min_lat) / self._lat_step)
+        )
+        lo_col = int(
+            math.floor((box.min_lon - self._bounds.min_lon) / self._lon_step)
+        )
+        hi_col = int(
+            math.floor((box.max_lon - self._bounds.min_lon) / self._lon_step)
+        )
+        lo_row, hi_row = max(lo_row, 0), min(hi_row, self._n - 1)
+        lo_col, hi_col = max(lo_col, 0), min(hi_col, self._n - 1)
+        results: list[Any] = []
+        for row in range(lo_row, hi_row + 1):
+            for col in range(lo_col, hi_col + 1):
+                for object_id, lat, lon in self._cells.get((row, col), ()):
+                    if box.contains_coords(lat, lon):
+                        results.append(object_id)
+        return results
+
+    def occupancy(self) -> dict[str, float]:
+        """Cell occupancy statistics (diagnostics)."""
+        if not self._cells:
+            return {"cells_used": 0, "max_bucket": 0, "avg_bucket": 0.0}
+        sizes = [len(bucket) for bucket in self._cells.values()]
+        return {
+            "cells_used": len(sizes),
+            "max_bucket": max(sizes),
+            "avg_bucket": sum(sizes) / len(sizes),
+        }

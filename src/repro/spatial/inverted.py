@@ -1,0 +1,73 @@
+"""A classic inverted index from terms to document ids."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from typing import Any
+
+
+class InvertedIndex:
+    """Term -> posting list (document ids with term frequencies)."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[Any, int]] = {}
+        self._doc_lengths: dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    def add_document(self, doc_id: Any, tokens: Iterable[str]) -> None:
+        """Index a document's tokens (re-adding an id raises)."""
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        counts = Counter(tokens)
+        self._doc_lengths[doc_id] = sum(counts.values())
+        for term, count in counts.items():
+            self._postings.setdefault(term, {})[doc_id] = count
+
+    def postings(self, term: str) -> dict[Any, int]:
+        """Posting list of ``term`` (copy; empty when unseen)."""
+        return dict(self._postings.get(term, {}))
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, {}))
+
+    def doc_length(self, doc_id: Any) -> int:
+        """Token count of an indexed document (0 when unknown)."""
+        return self._doc_lengths.get(doc_id, 0)
+
+    def average_doc_length(self) -> float:
+        """Mean document length (0.0 for an empty index)."""
+        if not self._doc_lengths:
+            return 0.0
+        return sum(self._doc_lengths.values()) / len(self._doc_lengths)
+
+    def documents_with_any(self, terms: Iterable[str]) -> set[Any]:
+        """Ids of documents containing at least one of ``terms``."""
+        result: set[Any] = set()
+        for term in terms:
+            result.update(self._postings.get(term, {}))
+        return result
+
+    def documents_with_all(self, terms: Iterable[str]) -> set[Any]:
+        """Ids of documents containing every one of ``terms``."""
+        term_list = list(terms)
+        if not term_list:
+            return set()
+        posting_sets = [
+            set(self._postings.get(term, {})) for term in term_list
+        ]
+        posting_sets.sort(key=len)
+        result = posting_sets[0]
+        for postings in posting_sets[1:]:
+            result &= postings
+            if not result:
+                break
+        return result

@@ -1,0 +1,156 @@
+"""IR-tree: an R-tree whose nodes carry inverted files (Li et al., 2011).
+
+The IR-tree is the canonical efficient index for spatial keyword queries
+and the paper's main point of reference for prior work. Each node stores
+the union of keywords appearing in its subtree, so subtrees containing no
+query keyword are pruned during traversal.
+
+This implementation builds on :class:`repro.spatial.rtree.RTree` (STR
+bulk-loaded) and adds per-node keyword sets plus a document-level inverted
+index at the leaves, supporting boolean keyword range queries and top-k
+keyword kNN queries — the operations SemaSK's keyword-matching strawman
+(Figure 1) and the related-work baselines exercise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from typing import Any
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import equirectangular_km
+from repro.spatial.rtree import RTree, _min_dist_km, _Node
+from repro.text.tokenize import tokenize
+
+
+class IRTree:
+    """R-tree with per-node keyword summaries for keyword-aware pruning."""
+
+    def __init__(
+        self,
+        items: Sequence[tuple[Any, float, float, str]],
+        max_entries: int = 16,
+    ) -> None:
+        """Build from ``(object_id, lat, lon, text)`` tuples (bulk load)."""
+        self._doc_tokens: dict[Any, frozenset[str]] = {
+            oid: frozenset(tokenize(text)) for oid, lat, lon, text in items
+        }
+        self._tree = RTree.bulk_load(
+            [(oid, lat, lon) for oid, lat, lon, _ in items],
+            max_entries=max_entries,
+        )
+        self._node_keywords: dict[int, frozenset[str]] = {}
+        self._annotate(self._tree.root)
+
+    def __len__(self) -> int:
+        return len(self._doc_tokens)
+
+    def _annotate(self, node: _Node) -> frozenset[str]:
+        """Attach the subtree keyword union to every node (post-order)."""
+        if node.is_leaf:
+            keywords: set[str] = set()
+            for entry in node.entries:
+                keywords |= self._doc_tokens[entry.object_id]
+            result = frozenset(keywords)
+        else:
+            keywords = set()
+            for child in node.children:
+                keywords |= self._annotate(child)
+            result = frozenset(keywords)
+        self._node_keywords[id(node)] = result
+        return result
+
+    def node_keywords(self, node: _Node) -> frozenset[str]:
+        """Keyword union of a node's subtree."""
+        return self._node_keywords[id(node)]
+
+    def keywords_of(self, object_id: Any) -> frozenset[str]:
+        """Indexed tokens of one object."""
+        return self._doc_tokens[object_id]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range_keyword_query(
+        self, box: BoundingBox, keywords: Sequence[str], match_all: bool = True
+    ) -> list[Any]:
+        """Objects in ``box`` containing the query keywords.
+
+        ``match_all=True`` is boolean-AND semantics (the Google-Maps-style
+        matching of the paper's Figure 1); ``False`` is boolean-OR.
+        Subtrees whose keyword union misses a required keyword are pruned.
+        """
+        terms = [t for kw in keywords for t in tokenize(kw)]
+        if not terms:
+            return []
+        term_set = frozenset(terms)
+        results: list[Any] = []
+        stack = [self._tree.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(box):
+                continue
+            available = self._node_keywords[id(node)]
+            if match_all and not term_set <= available:
+                continue
+            if not match_all and not (term_set & available):
+                continue
+            if node.is_leaf:
+                for entry in node.entries:
+                    if not box.contains_coords(entry.lat, entry.lon):
+                        continue
+                    doc = self._doc_tokens[entry.object_id]
+                    ok = (
+                        term_set <= doc if match_all else bool(term_set & doc)
+                    )
+                    if ok:
+                        results.append(entry.object_id)
+            else:
+                stack.extend(node.children)
+        return results
+
+    def nearest_keyword_query(
+        self, lat: float, lon: float, keywords: Sequence[str], k: int = 10
+    ) -> list[tuple[Any, float]]:
+        """k nearest objects containing *all* query keywords.
+
+        Best-first traversal with keyword pruning — the classic top-k
+        spatial keyword query (Cong et al., 2009) the IR-tree targets.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        terms = frozenset(t for kw in keywords for t in tokenize(kw))
+        if not terms:
+            return []
+        counter = 0
+        heap: list[tuple[float, int, bool, Any]] = []
+        root = self._tree.root
+        if root.mbr is not None and terms <= self._node_keywords[id(root)]:
+            heap.append((0.0, counter, False, root))
+        results: list[tuple[Any, float]] = []
+        while heap and len(results) < k:
+            dist, _, is_object, payload = heapq.heappop(heap)
+            if is_object:
+                results.append((payload, dist))
+                continue
+            node: _Node = payload
+            if node.is_leaf:
+                for entry in node.entries:
+                    if terms <= self._doc_tokens[entry.object_id]:
+                        counter += 1
+                        d = equirectangular_km(lat, lon, entry.lat, entry.lon)
+                        heapq.heappush(heap, (d, counter, True, entry.object_id))
+            else:
+                for child in node.children:
+                    if child.mbr is None:
+                        continue
+                    if not terms <= self._node_keywords[id(child)]:
+                        continue
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (_min_dist_km(lat, lon, child.mbr), counter, False, child),
+                    )
+        return results

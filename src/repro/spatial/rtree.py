@@ -1,0 +1,342 @@
+"""An R-tree over geographic points, with quadratic split and STR packing.
+
+This is the classic spatial index the spatial-keyword literature builds on
+(the IR-tree of Li et al. 2011 is an R-tree whose nodes carry inverted
+files — see :mod:`repro.spatial.irtree`). Supports incremental insertion
+(Guttman's quadratic split) and bulk loading with the Sort-Tile-Recursive
+algorithm, plus range and kNN queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import equirectangular_km
+
+
+@dataclass
+class RTreeEntry:
+    """A leaf entry: one data object at a point location."""
+
+    object_id: Any
+    lat: float
+    lon: float
+
+    @property
+    def mbr(self) -> BoundingBox:
+        """Degenerate bounding box of the point."""
+        return BoundingBox(self.lat, self.lon, self.lat, self.lon)
+
+
+class _Node:
+    """An R-tree node; leaves hold entries, internal nodes hold children."""
+
+    __slots__ = ("entries", "children", "mbr")
+
+    def __init__(self, leaf: bool) -> None:
+        self.entries: list[RTreeEntry] = [] if leaf else None  # type: ignore[assignment]
+        self.children: list[_Node] | None = None if leaf else []
+        self.mbr: BoundingBox | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def recompute_mbr(self) -> None:
+        boxes: list[BoundingBox]
+        if self.is_leaf:
+            boxes = [e.mbr for e in self.entries]
+        else:
+            boxes = [c.mbr for c in self.children if c.mbr is not None]
+        if not boxes:
+            self.mbr = None
+            return
+        mbr = boxes[0]
+        for box in boxes[1:]:
+            mbr = mbr.union(box)
+        self.mbr = mbr
+
+
+def _min_dist_km(lat: float, lon: float, box: BoundingBox) -> float:
+    """Minimum distance from a point to a box (0 when inside)."""
+    clamped_lat = min(max(lat, box.min_lat), box.max_lat)
+    clamped_lon = min(max(lon, box.min_lon), box.max_lon)
+    return equirectangular_km(lat, lon, clamped_lat, clamped_lon)
+
+
+class RTree:
+    """Point R-tree with configurable fanout."""
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4, got {max_entries}")
+        self._max = max_entries
+        self._min = max(2, max_entries // 3)
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def root(self) -> _Node:
+        """Root node (exposed for IR-tree and tests)."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    # insertion (Guttman, quadratic split)
+    # ------------------------------------------------------------------
+
+    def insert(self, object_id: Any, lat: float, lon: float) -> None:
+        """Insert one point object."""
+        entry = RTreeEntry(object_id, lat, lon)
+        split = self._insert_into(self._root, entry)
+        if split is not None:
+            new_root = _Node(leaf=False)
+            new_root.children = [self._root, split]
+            new_root.recompute_mbr()
+            self._root = new_root
+        self._size += 1
+
+    def _insert_into(self, node: _Node, entry: RTreeEntry) -> _Node | None:
+        if node.is_leaf:
+            node.entries.append(entry)
+            node.mbr = entry.mbr if node.mbr is None else node.mbr.union(entry.mbr)
+            if len(node.entries) > self._max:
+                return self._split_leaf(node)
+            return None
+
+        best = self._choose_subtree(node, entry)
+        split = self._insert_into(best, entry)
+        node.mbr = entry.mbr if node.mbr is None else node.mbr.union(entry.mbr)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self._max:
+                return self._split_internal(node)
+        return None
+
+    def _choose_subtree(self, node: _Node, entry: RTreeEntry) -> _Node:
+        best = None
+        best_enlargement = math.inf
+        best_area = math.inf
+        for child in node.children:
+            if child.mbr is None:
+                return child
+            enlargement = child.mbr.enlargement(entry.mbr)
+            area = child.mbr.area_deg2()
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best, best_enlargement, best_area = child, enlargement, area
+        assert best is not None  # children is non-empty by construction
+        return best
+
+    @staticmethod
+    def _pick_seeds(boxes: list[BoundingBox]) -> tuple[int, int]:
+        """Quadratic pick-seeds: the pair wasting the most area together."""
+        worst_pair = (0, 1)
+        worst_waste = -math.inf
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                waste = (
+                    boxes[i].union(boxes[j]).area_deg2()
+                    - boxes[i].area_deg2()
+                    - boxes[j].area_deg2()
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    def _quadratic_partition(
+        self, boxes: list[BoundingBox]
+    ) -> tuple[list[int], list[int]]:
+        seed_a, seed_b = self._pick_seeds(boxes)
+        group_a, group_b = [seed_a], [seed_b]
+        mbr_a, mbr_b = boxes[seed_a], boxes[seed_b]
+        remaining = [i for i in range(len(boxes)) if i not in (seed_a, seed_b)]
+        while remaining:
+            # Force-assign when one group must absorb the rest to reach min.
+            if len(group_a) + len(remaining) <= self._min:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) <= self._min:
+                group_b.extend(remaining)
+                break
+            # Pick the box with the strongest preference.
+            best_idx, best_diff, prefer_a = -1, -math.inf, True
+            for idx in remaining:
+                d_a = mbr_a.enlargement(boxes[idx])
+                d_b = mbr_b.enlargement(boxes[idx])
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_idx, best_diff, prefer_a = idx, diff, d_a <= d_b
+            remaining.remove(best_idx)
+            if prefer_a:
+                group_a.append(best_idx)
+                mbr_a = mbr_a.union(boxes[best_idx])
+            else:
+                group_b.append(best_idx)
+                mbr_b = mbr_b.union(boxes[best_idx])
+        return group_a, group_b
+
+    def _split_leaf(self, node: _Node) -> _Node:
+        entries = node.entries
+        group_a, group_b = self._quadratic_partition([e.mbr for e in entries])
+        sibling = _Node(leaf=True)
+        node.entries = [entries[i] for i in group_a]
+        sibling.entries = [entries[i] for i in group_b]
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    def _split_internal(self, node: _Node) -> _Node:
+        children = node.children
+        boxes = [c.mbr for c in children]
+        group_a, group_b = self._quadratic_partition(boxes)
+        sibling = _Node(leaf=False)
+        node.children = [children[i] for i in group_a]
+        sibling.children = [children[i] for i in group_b]
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    # ------------------------------------------------------------------
+    # bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[tuple[Any, float, float]],
+        max_entries: int = 16,
+    ) -> "RTree":
+        """Build a packed R-tree from ``(object_id, lat, lon)`` triples."""
+        tree = cls(max_entries=max_entries)
+        if not items:
+            return tree
+        entries = [RTreeEntry(oid, lat, lon) for oid, lat, lon in items]
+        tree._root = tree._str_pack(entries)
+        tree._size = len(entries)
+        return tree
+
+    def _str_pack(self, entries: list[RTreeEntry]) -> _Node:
+        cap = self._max
+        if len(entries) <= cap:
+            leaf = _Node(leaf=True)
+            leaf.entries = list(entries)
+            leaf.recompute_mbr()
+            return leaf
+
+        # STR: sort by lon, slice into vertical strips, sort strips by lat.
+        n_leaves = math.ceil(len(entries) / cap)
+        n_strips = math.ceil(math.sqrt(n_leaves))
+        by_lon = sorted(entries, key=lambda e: (e.lon, e.lat))
+        strip_size = math.ceil(len(entries) / n_strips)
+        leaves: list[_Node] = []
+        for s in range(0, len(by_lon), strip_size):
+            strip = sorted(by_lon[s : s + strip_size], key=lambda e: (e.lat, e.lon))
+            for t in range(0, len(strip), cap):
+                leaf = _Node(leaf=True)
+                leaf.entries = strip[t : t + cap]
+                leaf.recompute_mbr()
+                leaves.append(leaf)
+        return self._pack_upwards(leaves)
+
+    def _pack_upwards(self, nodes: list[_Node]) -> _Node:
+        cap = self._max
+        while len(nodes) > 1:
+            nodes.sort(
+                key=lambda node: (
+                    (node.mbr.min_lon + node.mbr.max_lon) / 2,
+                    (node.mbr.min_lat + node.mbr.max_lat) / 2,
+                )
+            )
+            parents: list[_Node] = []
+            for i in range(0, len(nodes), cap):
+                parent = _Node(leaf=False)
+                parent.children = nodes[i : i + cap]
+                parent.recompute_mbr()
+                parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range_query(self, box: BoundingBox) -> list[Any]:
+        """Ids of all objects inside ``box``."""
+        results: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(box):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    e.object_id
+                    for e in node.entries
+                    if box.contains_coords(e.lat, e.lon)
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def nearest(self, lat: float, lon: float, k: int = 1) -> list[tuple[Any, float]]:
+        """k nearest objects as ``(object_id, distance_km)``, best first.
+
+        Best-first branch-and-bound over node MBRs (Hjaltason & Samet).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if self._size == 0:
+            return []
+        counter = 0  # tie-breaker to keep heap comparisons well-defined
+        heap: list[tuple[float, int, bool, Any]] = []
+        if self._root.mbr is not None:
+            heap.append((0.0, counter, False, self._root))
+        results: list[tuple[Any, float]] = []
+        while heap and len(results) < k:
+            dist, _, is_object, payload = heapq.heappop(heap)
+            if is_object:
+                results.append((payload, dist))
+                continue
+            node: _Node = payload
+            if node.is_leaf:
+                for entry in node.entries:
+                    counter += 1
+                    d = equirectangular_km(lat, lon, entry.lat, entry.lon)
+                    heapq.heappush(heap, (d, counter, True, entry.object_id))
+            else:
+                for child in node.children:
+                    if child.mbr is None:
+                        continue
+                    counter += 1
+                    d = _min_dist_km(lat, lon, child.mbr)
+                    heapq.heappush(heap, (d, counter, False, child))
+        return results
+
+    def iter_entries(self) -> Iterator[RTreeEntry]:
+        """All leaf entries (arbitrary order)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+    def height(self) -> int:
+        """Tree height (1 for a lone leaf root)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        return height

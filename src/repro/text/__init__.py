@@ -1,0 +1,44 @@
+"""Text processing utilities shared by every retrieval component."""
+
+from repro.text.similarity import (
+    cosine_dense,
+    cosine_sparse,
+    dice,
+    jaccard,
+    jensen_shannon,
+    jensen_shannon_similarity,
+    overlap_coefficient,
+)
+from repro.text.stemming import stem, stem_tokens
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.text.tokenize import (
+    char_ngrams,
+    count_tokens,
+    ngrams,
+    normalize,
+    sentences,
+    tokenize,
+)
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "STOPWORDS",
+    "Vocabulary",
+    "char_ngrams",
+    "cosine_dense",
+    "cosine_sparse",
+    "count_tokens",
+    "dice",
+    "is_stopword",
+    "jaccard",
+    "jensen_shannon",
+    "jensen_shannon_similarity",
+    "ngrams",
+    "normalize",
+    "overlap_coefficient",
+    "remove_stopwords",
+    "sentences",
+    "stem",
+    "stem_tokens",
+    "tokenize",
+]

@@ -1,0 +1,93 @@
+"""Similarity measures over sparse and dense text representations."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+
+def cosine_sparse(a: Mapping[int, float], b: Mapping[int, float]) -> float:
+    """Cosine similarity between two sparse ``{term_id: weight}`` vectors.
+
+    Returns 0.0 when either vector is empty or all-zero.
+    """
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(w * b[t] for t, w in a.items() if t in b)
+    if dot == 0.0:
+        return 0.0
+    norm_a = math.sqrt(sum(w * w for w in a.values()))
+    norm_b = math.sqrt(sum(w * w for w in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def cosine_dense(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two dense vectors (0.0 on zero norm)."""
+    norm = float(np.linalg.norm(a)) * float(np.linalg.norm(b))
+    if norm == 0.0:
+        return 0.0
+    return float(np.dot(a, b)) / norm
+
+
+def jaccard(a: set[str] | frozenset[str], b: set[str] | frozenset[str]) -> float:
+    """Jaccard similarity of two token sets (1.0 for two empty sets)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def overlap_coefficient(a: set[str], b: set[str]) -> float:
+    """Szymkiewicz–Simpson overlap: |a ∩ b| / min(|a|, |b|)."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def dice(a: set[str], b: set[str]) -> float:
+    """Sørensen–Dice coefficient of two token sets."""
+    if not a and not b:
+        return 1.0
+    total = len(a) + len(b)
+    if total == 0:
+        return 1.0
+    return 2.0 * len(a & b) / total
+
+
+def jensen_shannon(p: Sequence[float], q: Sequence[float]) -> float:
+    """Jensen–Shannon divergence between two discrete distributions.
+
+    Used to compare LDA topic distributions; symmetric and bounded by
+    ``log(2)`` (natural log base). Inputs need not be normalized.
+    """
+    p_arr = np.asarray(p, dtype=np.float64)
+    q_arr = np.asarray(q, dtype=np.float64)
+    if p_arr.shape != q_arr.shape:
+        raise ValueError(
+            f"distribution shapes differ: {p_arr.shape} vs {q_arr.shape}"
+        )
+    p_sum, q_sum = p_arr.sum(), q_arr.sum()
+    if p_sum <= 0 or q_sum <= 0:
+        return math.log(2.0)
+    p_arr = p_arr / p_sum
+    q_arr = q_arr / q_sum
+    m = 0.5 * (p_arr + q_arr)
+
+    def _kl(x: np.ndarray, y: np.ndarray) -> float:
+        mask = x > 0
+        return float(np.sum(x[mask] * np.log(x[mask] / y[mask])))
+
+    return 0.5 * _kl(p_arr, m) + 0.5 * _kl(q_arr, m)
+
+
+def jensen_shannon_similarity(p: Sequence[float], q: Sequence[float]) -> float:
+    """Similarity in [0, 1] derived from the JS divergence (1 = identical)."""
+    return 1.0 - jensen_shannon(p, q) / math.log(2.0)

@@ -1,0 +1,96 @@
+"""Vocabulary: a bidirectional token <-> integer-id mapping.
+
+Shared by the TF-IDF vectorizer, the LDA sampler, and the inverted index so
+that term ids are consistent wherever sparse representations are exchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+
+class Vocabulary:
+    """A growable mapping between tokens and dense integer ids.
+
+    Ids are assigned in first-seen order, so building a vocabulary from the
+    same corpus in the same order is deterministic.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._frequencies: Counter[str] = Counter()
+        for token in tokens:
+            self.add(token)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def add(self, token: str) -> int:
+        """Add ``token`` (idempotent) and return its id."""
+        self._frequencies[token] += 1
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def add_document(self, tokens: Iterable[str]) -> list[int]:
+        """Add every token of a document; return the id sequence."""
+        return [self.add(t) for t in tokens]
+
+    def id_of(self, token: str) -> int | None:
+        """Return the id of ``token`` or ``None`` when unknown."""
+        return self._token_to_id.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        """Return the token with id ``token_id``.
+
+        Raises :class:`IndexError` for out-of-range ids.
+        """
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map ``tokens`` to ids, silently dropping unknown tokens."""
+        ids = []
+        for token in tokens:
+            token_id = self._token_to_id.get(token)
+            if token_id is not None:
+                ids.append(token_id)
+        return ids
+
+    def frequency(self, token: str) -> int:
+        """Number of times ``token`` was added (corpus frequency)."""
+        return self._frequencies[token]
+
+    def prune(self, min_frequency: int = 1, max_size: int | None = None) -> "Vocabulary":
+        """Return a new vocabulary keeping frequent tokens only.
+
+        Tokens are kept when seen at least ``min_frequency`` times; when
+        ``max_size`` is given, only the most frequent ``max_size`` tokens
+        survive (ties broken by first-seen order, keeping determinism).
+        """
+        candidates = [
+            t for t in self._id_to_token if self._frequencies[t] >= min_frequency
+        ]
+        if max_size is not None and len(candidates) > max_size:
+            candidates.sort(
+                key=lambda t: (-self._frequencies[t], self._token_to_id[t])
+            )
+            candidates = candidates[:max_size]
+            candidates.sort(key=lambda t: self._token_to_id[t])
+        pruned = Vocabulary()
+        for token in candidates:
+            pruned._token_to_id[token] = len(pruned._id_to_token)
+            pruned._id_to_token.append(token)
+            pruned._frequencies[token] = self._frequencies[token]
+        return pruned

@@ -1,0 +1,48 @@
+"""Vector database substrate (Qdrant stand-in): collections, filters, HNSW."""
+
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import (
+    Collection,
+    HnswConfig,
+    PointStruct,
+    SearchHit,
+)
+from repro.vectordb.distance import Metric, normalize_rows, similarity
+from repro.vectordb.filters import (
+    And,
+    FieldIn,
+    FieldMatch,
+    FieldRange,
+    Filter,
+    GeoBoundingBoxFilter,
+    GeoRadiusFilter,
+    Not,
+    Or,
+)
+from repro.vectordb.flat import FlatIndex
+from repro.vectordb.hnsw import HNSWIndex
+from repro.vectordb.persistence import load_collection, save_collection
+
+__all__ = [
+    "And",
+    "Collection",
+    "FieldIn",
+    "FieldMatch",
+    "FieldRange",
+    "Filter",
+    "FlatIndex",
+    "GeoBoundingBoxFilter",
+    "GeoRadiusFilter",
+    "HNSWIndex",
+    "HnswConfig",
+    "Metric",
+    "Not",
+    "Or",
+    "PointStruct",
+    "SearchHit",
+    "VectorDBClient",
+    "load_collection",
+    "normalize_rows",
+    "save_collection",
+    "similarity",
+]

@@ -1,0 +1,98 @@
+"""The vector-database client: a Qdrant-like multi-collection facade."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CollectionExists, CollectionNotFound
+from repro.vectordb.collection import (
+    Collection,
+    HnswConfig,
+    PointStruct,
+    SearchHit,
+)
+from repro.vectordb.distance import Metric
+from repro.vectordb.filters import Filter
+
+
+class VectorDBClient:
+    """Manages named collections, in the style of a Qdrant client."""
+
+    def __init__(self) -> None:
+        self._collections: dict[str, Collection] = {}
+
+    def create_collection(
+        self,
+        name: str,
+        dim: int,
+        metric: Metric = Metric.COSINE,
+        hnsw: HnswConfig | None = None,
+        exist_ok: bool = False,
+    ) -> Collection:
+        """Create a collection; ``exist_ok`` returns the existing one."""
+        existing = self._collections.get(name)
+        if existing is not None:
+            if exist_ok:
+                return existing
+            raise CollectionExists(f"collection {name!r} already exists")
+        collection = Collection(name, dim, metric=metric, hnsw=hnsw)
+        self._collections[name] = collection
+        return collection
+
+    def attach_collection(self, collection: Collection) -> Collection:
+        """Register an externally built collection (e.g. a loaded snapshot).
+
+        Replaces any existing collection with the same name.
+        """
+        self._collections[collection.name] = collection
+        return collection
+
+    def get_collection(self, name: str) -> Collection:
+        """Look up a collection by name."""
+        collection = self._collections.get(name)
+        if collection is None:
+            known = ", ".join(sorted(self._collections)) or "(none)"
+            raise CollectionNotFound(
+                f"collection {name!r} not found; existing: {known}"
+            )
+        return collection
+
+    def delete_collection(self, name: str) -> None:
+        """Drop a collection (missing name raises)."""
+        if name not in self._collections:
+            raise CollectionNotFound(f"collection {name!r} not found")
+        del self._collections[name]
+
+    def list_collections(self) -> list[str]:
+        """Names of all collections, sorted."""
+        return sorted(self._collections)
+
+    def has_collection(self, name: str) -> bool:
+        """Whether a collection with ``name`` exists."""
+        return name in self._collections
+
+    # convenience passthroughs ------------------------------------------------
+
+    def upsert(self, name: str, points: Iterable[PointStruct]) -> int:
+        """Upsert points into the named collection."""
+        return self.get_collection(name).upsert(points)
+
+    def search(
+        self,
+        name: str,
+        vector: np.ndarray | Sequence[float],
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+    ) -> list[SearchHit]:
+        """Search the named collection (see :meth:`Collection.search`)."""
+        return self.get_collection(name).search(
+            vector, k, flt=flt, exact=exact, ef=ef
+        )
+
+    def count(self, name: str, flt: Filter | None = None) -> int:
+        """Count points in the named collection matching ``flt``."""
+        return self.get_collection(name).count(flt)

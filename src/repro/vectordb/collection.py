@@ -1,0 +1,299 @@
+"""A vector-database collection: points with payloads, HNSW + exact search.
+
+Mirrors the Qdrant surface the SemaSK pipeline uses: upsert points with
+payloads, then run (optionally filtered) kNN searches. Filtered searches
+follow the same strategy real engines use: when the filter is selective,
+score the matching subset exactly; when it is broad, traverse the HNSW
+graph with a predicate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CollectionError, DimensionMismatch, PointNotFound
+from repro.vectordb.distance import Metric
+from repro.vectordb.filters import Filter
+from repro.vectordb.flat import FlatIndex
+from repro.vectordb.hnsw import HNSWIndex
+from repro.vectordb.payload_index import PayloadIndexRegistry
+
+
+@dataclass(frozen=True)
+class PointStruct:
+    """One point to upsert: id, vector, and JSON-like payload."""
+
+    id: str
+    vector: np.ndarray
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result (score is a similarity; higher is better)."""
+
+    id: str
+    score: float
+    payload: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class HnswConfig:
+    """Tunables forwarded to the HNSW index."""
+
+    m: int = 16
+    ef_construction: int = 100
+    ef_search: int = 64
+    seed: int = 7
+
+
+class Collection:
+    """A named set of points over a fixed-dimension vector space."""
+
+    #: Filtered searches over at most this many matches use exact scoring.
+    BRUTE_FORCE_THRESHOLD = 8192
+
+    def __init__(
+        self,
+        name: str,
+        dim: int,
+        metric: Metric = Metric.COSINE,
+        hnsw: HnswConfig | None = None,
+    ) -> None:
+        if not name:
+            raise CollectionError("collection name must be non-empty")
+        self.name = name
+        self._metric = metric
+        self._hnsw_config = hnsw or HnswConfig()
+        self._flat = FlatIndex(dim, metric)
+        self._hnsw: HNSWIndex | None = None
+        self._ids: list[str] = []
+        self._payloads: list[dict[str, Any]] = []
+        self._id_to_node: dict[str, int] = {}
+        self._payload_indexes = PayloadIndexRegistry()
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality of the collection."""
+        return self._flat.dim
+
+    @property
+    def metric(self) -> Metric:
+        """The similarity metric."""
+        return self._metric
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def upsert(self, points: Iterable[PointStruct]) -> int:
+        """Insert new points (payload-only updates allowed for known ids).
+
+        Returns the number of points inserted. Re-upserting an existing id
+        with a *different* vector raises: HNSW graphs do not support vector
+        replacement, and the SemaSK pipeline never needs it.
+        """
+        inserted = 0
+        for point in points:
+            vector = np.asarray(point.vector, dtype=np.float32)
+            if vector.shape != (self.dim,):
+                raise DimensionMismatch(
+                    f"collection {self.name!r} expects dim {self.dim}, "
+                    f"point {point.id!r} has shape {vector.shape}"
+                )
+            existing = self._id_to_node.get(point.id)
+            if existing is not None:
+                if not np.allclose(self._flat.vector(existing), vector):
+                    raise CollectionError(
+                        f"point {point.id!r} already exists with a different "
+                        "vector; vector replacement is not supported"
+                    )
+                old_payload = self._payloads[existing]
+                self._payloads[existing] = dict(point.payload)
+                self._payload_indexes.reindex_point(
+                    existing, old_payload, point.payload
+                )
+                continue
+            node = self._flat.add(vector)
+            if self._hnsw is not None:
+                self._hnsw.add(vector)
+            self._ids.append(point.id)
+            self._payloads.append(dict(point.payload))
+            self._id_to_node[point.id] = node
+            self._payload_indexes.index_point(node, point.payload)
+            inserted += 1
+        return inserted
+
+    def create_payload_index(self, field: str) -> None:
+        """Build a hash index over ``field`` (backfills existing points).
+
+        Mirrors Qdrant's payload indexes: selective equality/membership
+        filters over indexed fields skip the full payload scan.
+        """
+        self._payload_indexes.create_index(field)
+        for node, payload in enumerate(self._payloads):
+            self._payload_indexes.index_point(node, payload)
+
+    @property
+    def indexed_payload_fields(self) -> frozenset[str]:
+        """Payload fields with a secondary index."""
+        return self._payload_indexes.indexed_fields
+
+    def set_payload(self, point_id: str, payload: dict[str, Any]) -> None:
+        """Merge ``payload`` into an existing point's payload."""
+        node = self._id_to_node.get(point_id)
+        if node is None:
+            raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
+        old_payload = dict(self._payloads[node])
+        self._payloads[node].update(payload)
+        self._payload_indexes.reindex_point(
+            node, old_payload, self._payloads[node]
+        )
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def retrieve(self, point_id: str) -> SearchHit:
+        """Fetch one point's payload (score 1.0 placeholder)."""
+        node = self._id_to_node.get(point_id)
+        if node is None:
+            raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
+        return SearchHit(id=point_id, score=1.0, payload=dict(self._payloads[node]))
+
+    def scroll(self, flt: Filter | None = None) -> list[SearchHit]:
+        """All points (optionally filtered), in insertion order."""
+        hits = []
+        for node, point_id in enumerate(self._ids):
+            payload = self._payloads[node]
+            if flt is None or flt.matches(payload):
+                hits.append(SearchHit(id=point_id, score=1.0, payload=dict(payload)))
+        return hits
+
+    def count(self, flt: Filter | None = None) -> int:
+        """Number of points matching ``flt`` (all points when None)."""
+        if flt is None:
+            return len(self._ids)
+        return sum(1 for payload in self._payloads if flt.matches(payload))
+
+    def _ensure_hnsw(self) -> HNSWIndex:
+        if self._hnsw is None:
+            cfg = self._hnsw_config
+            index = HNSWIndex(
+                self.dim, m=cfg.m, ef_construction=cfg.ef_construction,
+                seed=cfg.seed,
+            )
+            for node in range(len(self._ids)):
+                index.add(self._flat.vector(node))
+            self._hnsw = index
+        return self._hnsw
+
+    def search(
+        self,
+        vector: np.ndarray | Sequence[float],
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+    ) -> list[SearchHit]:
+        """Top-``k`` most similar points, optionally filtered.
+
+        ``exact=True`` forces brute-force scoring (used to measure HNSW
+        recall). Otherwise, selective filters use exact scoring over the
+        matching subset and broad/absent filters use the HNSW graph.
+        """
+        if len(self._ids) == 0:
+            return []
+        query = np.asarray(vector, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise DimensionMismatch(
+                f"query shape {query.shape} != ({self.dim},)"
+            )
+
+        if flt is not None:
+            candidates = self._payload_indexes.candidates_for(flt)
+            scan = (
+                sorted(candidates)
+                if candidates is not None
+                else range(len(self._ids))
+            )
+            matching = np.fromiter(
+                (node for node in scan if flt.matches(self._payloads[node])),
+                dtype=np.int64,
+            )
+            if matching.size == 0:
+                return []
+            if exact or matching.size <= self.BRUTE_FORCE_THRESHOLD:
+                raw = self._flat.search(query, k, subset=matching)
+            else:
+                match_set = set(matching.tolist())
+                raw = self._ensure_hnsw().search(
+                    query, k, ef=ef or self._hnsw_config.ef_search,
+                    predicate=lambda n: n in match_set,
+                )
+        elif exact:
+            raw = self._flat.search(query, k)
+        else:
+            raw = self._ensure_hnsw().search(
+                query, k, ef=ef or self._hnsw_config.ef_search
+            )
+
+        return [
+            SearchHit(
+                id=self._ids[node],
+                score=score,
+                payload=dict(self._payloads[node]),
+            )
+            for node, score in raw
+        ]
+
+    # ------------------------------------------------------------------
+    # persistence support (used by repro.vectordb.persistence)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> tuple[np.ndarray, list[str], list[dict[str, Any]]]:
+        """``(vectors, ids, payloads)`` snapshot for serialization."""
+        n = len(self._ids)
+        vectors = np.stack([self._flat.vector(i) for i in range(n)]) if n else (
+            np.zeros((0, self.dim), dtype=np.float32)
+        )
+        return vectors, list(self._ids), [dict(p) for p in self._payloads]
+
+    @classmethod
+    def from_state(
+        cls,
+        name: str,
+        vectors: np.ndarray,
+        ids: list[str],
+        payloads: list[dict[str, Any]],
+        metric: Metric = Metric.COSINE,
+        hnsw: HnswConfig | None = None,
+    ) -> "Collection":
+        """Rebuild a collection from :meth:`export_state` output.
+
+        The HNSW graph is rebuilt lazily on first approximate search.
+        """
+        if len(ids) != len(payloads) or len(ids) != vectors.shape[0]:
+            raise CollectionError(
+                "inconsistent state: vectors/ids/payloads lengths differ"
+            )
+        collection = cls(name, vectors.shape[1] if vectors.size else 1,
+                         metric=metric, hnsw=hnsw)
+        if vectors.size:
+            collection.upsert(
+                PointStruct(id=i, vector=v, payload=p)
+                for i, v, p in zip(ids, vectors, payloads)
+            )
+        return collection
+
+
+def build_predicate(payloads: list[Mapping[str, Any]], flt: Filter):
+    """Node-id predicate over ``payloads`` for raw HNSW searches."""
+    return lambda node: flt.matches(payloads[node])

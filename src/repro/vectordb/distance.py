@@ -1,0 +1,54 @@
+"""Distance/similarity metrics for the vector database.
+
+Vectors are stored L2-normalized (the embedding models emit unit vectors),
+so cosine similarity reduces to a dot product. Scores returned by searches
+are *similarities* (higher is better), as in Qdrant's cosine mode.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class Metric(str, Enum):
+    """Supported similarity metrics."""
+
+    COSINE = "cosine"
+    DOT = "dot"
+    EUCLIDEAN = "euclidean"
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalize ``matrix``, leaving zero rows untouched."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return (matrix / norms).astype(np.float32)
+
+
+def similarity(
+    query: np.ndarray, vectors: np.ndarray, metric: Metric = Metric.COSINE
+) -> np.ndarray:
+    """Similarity of ``query`` to each row of ``vectors``.
+
+    For :attr:`Metric.COSINE` both sides are assumed unit-norm (enforced at
+    insert time by the collection). Euclidean distances are negated so that
+    "higher is better" holds for every metric.
+    """
+    if metric in (Metric.COSINE, Metric.DOT):
+        return vectors @ query
+    diffs = vectors - query
+    return -np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+
+
+def pairwise_similarity(
+    a: np.ndarray, b: np.ndarray, metric: Metric = Metric.COSINE
+) -> np.ndarray:
+    """Similarity matrix between rows of ``a`` and rows of ``b``."""
+    if metric in (Metric.COSINE, Metric.DOT):
+        return a @ b.T
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    sq = np.maximum(a_sq + b_sq - 2.0 * (a @ b.T), 0.0)
+    return -np.sqrt(sq)

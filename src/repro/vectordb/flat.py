@@ -1,0 +1,92 @@
+"""Exact (brute-force) vector search, the ground truth for HNSW recall."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.vectordb.distance import Metric, similarity
+
+
+class FlatIndex:
+    """Exact kNN over a dense matrix; O(n·d) per query."""
+
+    def __init__(self, dim: int, metric: Metric = Metric.COSINE,
+                 initial_capacity: int = 1024) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self._dim = dim
+        self._metric = metric
+        self._vectors = np.zeros((initial_capacity, dim), dtype=np.float32)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    def add(self, vector: np.ndarray) -> int:
+        """Append a vector; returns its node id."""
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.shape != (self._dim,):
+            raise ValueError(f"vector shape {vector.shape} != ({self._dim},)")
+        if self._count == self._vectors.shape[0]:
+            grown = np.zeros(
+                (max(1024, self._vectors.shape[0] * 2), self._dim),
+                dtype=np.float32,
+            )
+            grown[: self._count] = self._vectors[: self._count]
+            self._vectors = grown
+        self._vectors[self._count] = vector
+        self._count += 1
+        return self._count - 1
+
+    def vector(self, node_id: int) -> np.ndarray:
+        """The stored vector of ``node_id``."""
+        if not 0 <= node_id < self._count:
+            raise KeyError(f"node {node_id} not in index")
+        return self._vectors[node_id]
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        predicate: Callable[[int], bool] | None = None,
+        subset: np.ndarray | None = None,
+    ) -> list[tuple[int, float]]:
+        """Exact top-``k`` as ``(node_id, similarity)`` descending.
+
+        ``subset`` restricts scoring to the given node ids (used for
+        filtered searches where the filter has already been evaluated).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if self._count == 0:
+            return []
+        query = np.asarray(query, dtype=np.float32)
+
+        if subset is not None:
+            ids = np.asarray(subset, dtype=np.int64)
+            if ids.size == 0:
+                return []
+            sims = similarity(query, self._vectors[ids], self._metric)
+        else:
+            ids = np.arange(self._count, dtype=np.int64)
+            sims = similarity(query, self._vectors[: self._count], self._metric)
+
+        if predicate is not None:
+            keep = np.fromiter(
+                (predicate(int(i)) for i in ids), dtype=bool, count=ids.size
+            )
+            ids, sims = ids[keep], sims[keep]
+            if ids.size == 0:
+                return []
+
+        top = min(k, ids.size)
+        order = np.argpartition(-sims, top - 1)[:top]
+        order = order[np.argsort(-sims[order])]
+        return [(int(ids[i]), float(sims[i])) for i in order]

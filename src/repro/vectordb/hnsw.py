@@ -1,0 +1,296 @@
+"""Hierarchical Navigable Small World (HNSW) approximate kNN index.
+
+A from-scratch implementation of Malkov & Yashunin (TPAMI 2020) — the
+algorithm Qdrant uses internally and the paper relies on for its filtering
+step ("we run an approximate kNN query using the built-in HNSW algorithm
+of Qdrant").
+
+Implemented faithfully:
+
+* exponentially-decaying level assignment with ``mL = 1/ln(M)``;
+* greedy descent from the entry point through upper layers (``ef = 1``);
+* beam search (Algorithm 2) at the insertion/search layers;
+* neighbour selection with the *heuristic* of Algorithm 4 (keeps a
+  candidate only if it is closer to the query than to every already-kept
+  neighbour — this preserves graph navigability in clustered data);
+* bidirectional link insertion with degree capping (``M`` on upper
+  layers, ``2M`` on layer 0).
+
+Scores are similarities (dot product over unit vectors; higher = better);
+internally the code works with similarity directly rather than distance.
+
+Filtered search takes a node predicate: traversal is unfiltered (as in
+Qdrant), but only predicate-passing nodes enter the result set, and the
+beam is widened so enough valid results surface.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections.abc import Callable
+
+import numpy as np
+
+
+class HNSWIndex:
+    """Approximate nearest-neighbour graph over unit vectors."""
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 16,
+        ef_construction: int = 100,
+        seed: int = 7,
+        initial_capacity: int = 1024,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if m < 2:
+            raise ValueError(f"M must be at least 2, got {m}")
+        if ef_construction < m:
+            raise ValueError(
+                f"ef_construction ({ef_construction}) must be >= M ({m})"
+            )
+        self._dim = dim
+        self._m = m
+        self._m0 = 2 * m
+        self._ef_construction = ef_construction
+        self._ml = 1.0 / np.log(m)
+        self._rng = random.Random(seed)
+
+        self._vectors = np.zeros((initial_capacity, dim), dtype=np.float32)
+        self._count = 0
+        #: per node: list of adjacency lists, one per layer (0 = base).
+        self._links: list[list[list[int]]] = []
+        self._entry_point: int = -1
+        self._max_level: int = -1
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    @property
+    def m(self) -> int:
+        """Max links per node on upper layers."""
+        return self._m
+
+    def vector(self, node_id: int) -> np.ndarray:
+        """The stored vector of ``node_id``."""
+        if not 0 <= node_id < self._count:
+            raise KeyError(f"node {node_id} not in index")
+        return self._vectors[node_id]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        new_capacity = max(1024, self._vectors.shape[0] * 2)
+        grown = np.zeros((new_capacity, self._dim), dtype=np.float32)
+        grown[: self._count] = self._vectors[: self._count]
+        self._vectors = grown
+
+    def _draw_level(self) -> int:
+        return int(-np.log(max(self._rng.random(), 1e-12)) * self._ml)
+
+    def _sims(self, query: np.ndarray, nodes: list[int]) -> np.ndarray:
+        return self._vectors[nodes] @ query
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entry_points: list[tuple[float, int]],
+        ef: int,
+        layer: int,
+    ) -> list[tuple[float, int]]:
+        """Beam search (Algorithm 2). Returns up to ``ef`` (sim, node) pairs.
+
+        ``entry_points`` are (similarity, node) seeds; result is unsorted.
+        """
+        visited = {node for _, node in entry_points}
+        # candidates: max-heap by similarity (store negated); results: min-heap.
+        candidates = [(-sim, node) for sim, node in entry_points]
+        heapq.heapify(candidates)
+        results = list(entry_points)
+        heapq.heapify(results)
+
+        while candidates:
+            neg_sim, node = heapq.heappop(candidates)
+            if -neg_sim < results[0][0] and len(results) >= ef:
+                break
+            neighbors = [
+                n for n in self._links[node][layer] if n not in visited
+            ]
+            if not neighbors:
+                continue
+            visited.update(neighbors)
+            sims = self._sims(query, neighbors)
+            worst = results[0][0]
+            for sim, neighbor in zip(sims.tolist(), neighbors):
+                if len(results) < ef or sim > worst:
+                    heapq.heappush(candidates, (-sim, neighbor))
+                    heapq.heappush(results, (sim, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = results[0][0]
+        return results
+
+    def _select_neighbors_heuristic(
+        self, query: np.ndarray, candidates: list[tuple[float, int]], m: int
+    ) -> list[int]:
+        """Algorithm 4: diversity-preserving neighbour selection."""
+        ordered = sorted(candidates, key=lambda pair: -pair[0])
+        selected: list[int] = []
+        for sim, node in ordered:
+            if len(selected) >= m:
+                break
+            if not selected:
+                selected.append(node)
+                continue
+            # Keep `node` only if it is closer to the query than to any
+            # already-selected neighbour (sim to query > sim to selected).
+            vec = self._vectors[node]
+            sims_to_selected = self._vectors[selected] @ vec
+            if np.all(sims_to_selected < sim):
+                selected.append(node)
+        # Pad with nearest skipped candidates if the heuristic was too picky.
+        if len(selected) < m:
+            chosen = set(selected)
+            for _, node in ordered:
+                if len(selected) >= m:
+                    break
+                if node not in chosen:
+                    selected.append(node)
+                    chosen.add(node)
+        return selected
+
+    def add(self, vector: np.ndarray) -> int:
+        """Insert ``vector``; returns the new node id (insertion order)."""
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.shape != (self._dim,):
+            raise ValueError(
+                f"vector shape {vector.shape} != ({self._dim},)"
+            )
+        if self._count == self._vectors.shape[0]:
+            self._grow()
+        node = self._count
+        self._vectors[node] = vector
+        self._count += 1
+
+        level = self._draw_level()
+        self._links.append([[] for _ in range(level + 1)])
+
+        if self._entry_point < 0:
+            self._entry_point = node
+            self._max_level = level
+            return node
+
+        query = vector
+        ep_sim = float(self._vectors[self._entry_point] @ query)
+        entry: list[tuple[float, int]] = [(ep_sim, self._entry_point)]
+
+        # Greedy descent through layers above the new node's level.
+        for layer in range(self._max_level, level, -1):
+            entry = self._search_layer(query, entry, ef=1, layer=layer)
+
+        # Insert with beam search on each layer from min(level, max) down.
+        for layer in range(min(level, self._max_level), -1, -1):
+            found = self._search_layer(
+                query, entry, ef=self._ef_construction, layer=layer
+            )
+            m_layer = self._m0 if layer == 0 else self._m
+            neighbors = self._select_neighbors_heuristic(
+                query, found, self._m
+            )
+            self._links[node][layer] = list(neighbors)
+            for neighbor in neighbors:
+                links = self._links[neighbor][layer]
+                links.append(node)
+                if len(links) > m_layer:
+                    nvec = self._vectors[neighbor]
+                    cand = [
+                        (float(self._vectors[x] @ nvec), x) for x in links
+                    ]
+                    self._links[neighbor][layer] = (
+                        self._select_neighbors_heuristic(nvec, cand, m_layer)
+                    )
+            entry = found
+
+        if level > self._max_level:
+            self._max_level = level
+            self._entry_point = node
+        return node
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        predicate: Callable[[int], bool] | None = None,
+    ) -> list[tuple[int, float]]:
+        """Approximate top-``k``: returns ``(node_id, similarity)`` descending.
+
+        ``ef`` controls the layer-0 beam width (default ``max(64, k)``).
+        With a ``predicate``, traversal is unfiltered but only passing nodes
+        are returned; the beam is widened to compensate, as filtered HNSW
+        implementations do.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if self._count == 0:
+            return []
+        query = np.asarray(query, dtype=np.float32)
+        if query.shape != (self._dim,):
+            raise ValueError(f"query shape {query.shape} != ({self._dim},)")
+
+        ef_search = max(ef if ef is not None else 64, k)
+        if predicate is not None:
+            ef_search = max(ef_search, 4 * k)
+
+        ep_sim = float(self._vectors[self._entry_point] @ query)
+        entry: list[tuple[float, int]] = [(ep_sim, self._entry_point)]
+        for layer in range(self._max_level, 0, -1):
+            entry = self._search_layer(query, entry, ef=1, layer=layer)
+        found = self._search_layer(query, entry, ef=ef_search, layer=0)
+
+        hits = sorted(found, key=lambda pair: -pair[0])
+        out: list[tuple[int, float]] = []
+        for sim, node in hits:
+            if predicate is not None and not predicate(node):
+                continue
+            out.append((node, float(sim)))
+            if len(out) == k:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection (used by tests and ablation benches)
+    # ------------------------------------------------------------------
+
+    def level_of(self, node_id: int) -> int:
+        """Top layer of ``node_id``."""
+        return len(self._links[node_id]) - 1
+
+    def neighbors_of(self, node_id: int, layer: int = 0) -> list[int]:
+        """Adjacency list of a node at ``layer`` (copy)."""
+        return list(self._links[node_id][layer])
+
+    def graph_stats(self) -> dict[str, float]:
+        """Degree and layer statistics for diagnostics."""
+        if self._count == 0:
+            return {"nodes": 0, "max_level": -1, "avg_degree_l0": 0.0}
+        degrees = [len(self._links[n][0]) for n in range(self._count)]
+        return {
+            "nodes": self._count,
+            "max_level": self._max_level,
+            "avg_degree_l0": sum(degrees) / len(degrees),
+        }

@@ -1,0 +1,95 @@
+"""Payload secondary indexes (Qdrant's "payload index" feature).
+
+A :class:`PayloadIndexRegistry` maintains hash indexes over chosen payload
+fields so that equality/membership filters resolve to candidate id sets
+without scanning every payload — the optimization real vector databases
+apply before falling back to per-point filter evaluation.
+
+Only exact-value fields are indexed (city, is_open, business_id, ...);
+range and geo predicates still evaluate per point, but over the reduced
+candidate set when combined under ``And``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.vectordb.filters import And, FieldIn, FieldMatch, Filter
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+class PayloadIndexRegistry:
+    """Hash indexes over payload fields, maintained incrementally."""
+
+    def __init__(self) -> None:
+        self._fields: set[str] = set()
+        self._indexes: dict[str, dict[Any, set[int]]] = {}
+
+    def create_index(self, field: str) -> None:
+        """Start indexing ``field`` (idempotent; backfilled by the caller)."""
+        self._fields.add(field)
+        self._indexes.setdefault(field, {})
+
+    @property
+    def indexed_fields(self) -> frozenset[str]:
+        """Fields currently indexed."""
+        return frozenset(self._fields)
+
+    def index_point(self, node: int, payload: Mapping[str, Any]) -> None:
+        """Add one point's indexed fields to the registry."""
+        for field in self._fields:
+            value = payload.get(field)
+            if value is None or not _hashable(value):
+                continue
+            self._indexes[field].setdefault(value, set()).add(node)
+
+    def reindex_point(
+        self,
+        node: int,
+        old_payload: Mapping[str, Any],
+        new_payload: Mapping[str, Any],
+    ) -> None:
+        """Update the registry after a payload change."""
+        for field in self._fields:
+            old_value = old_payload.get(field)
+            if old_value is not None and _hashable(old_value):
+                bucket = self._indexes[field].get(old_value)
+                if bucket is not None:
+                    bucket.discard(node)
+        self.index_point(node, new_payload)
+
+    def candidates_for(self, flt: Filter) -> set[int] | None:
+        """Node-id candidate set implied by ``flt``, or None if unknown.
+
+        Returns a *superset* of the true matches (callers still verify the
+        full filter per point). ``None`` means the filter gives no indexed
+        constraint and the caller must scan.
+        """
+        if isinstance(flt, FieldMatch) and flt.key in self._fields:
+            if not _hashable(flt.value):
+                return None
+            return set(self._indexes[flt.key].get(flt.value, ()))
+        if isinstance(flt, FieldIn) and flt.key in self._fields:
+            result: set[int] = set()
+            for value in flt.values:
+                if _hashable(value):
+                    result |= self._indexes[flt.key].get(value, set())
+            return result
+        if isinstance(flt, And):
+            best: set[int] | None = None
+            for sub in flt.filters:
+                candidates = self.candidates_for(sub)
+                if candidates is None:
+                    continue
+                if best is None or len(candidates) < len(best):
+                    best = candidates
+            return best
+        return None

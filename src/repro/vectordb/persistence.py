@@ -1,0 +1,81 @@
+"""Snapshot persistence for vector-database collections.
+
+A collection snapshot is a directory with ``vectors.npz`` (the dense
+matrix), ``payloads.jsonl`` (one payload per line, aligned with ids), and
+``meta.json`` (name, metric, dimensions). The HNSW graph is not stored; it
+is rebuilt lazily after load, trading load time for format simplicity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CollectionError
+from repro.vectordb.collection import Collection, HnswConfig
+from repro.vectordb.distance import Metric
+
+_META_FILE = "meta.json"
+_VECTORS_FILE = "vectors.npz"
+_PAYLOADS_FILE = "payloads.jsonl"
+
+
+def save_collection(collection: Collection, directory: str | Path) -> None:
+    """Write ``collection`` to ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    vectors, ids, payloads = collection.export_state()
+    np.savez_compressed(directory / _VECTORS_FILE, vectors=vectors)
+    with open(directory / _PAYLOADS_FILE, "w", encoding="utf-8") as fh:
+        for point_id, payload in zip(ids, payloads):
+            fh.write(
+                json.dumps({"id": point_id, "payload": payload},
+                           ensure_ascii=False)
+                + "\n"
+            )
+    meta = {
+        "name": collection.name,
+        "dim": collection.dim,
+        "metric": collection.metric.value,
+        "count": len(collection),
+    }
+    (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+
+
+def load_collection(
+    directory: str | Path, hnsw: HnswConfig | None = None
+) -> Collection:
+    """Read a collection written by :func:`save_collection`."""
+    directory = Path(directory)
+    meta_path = directory / _META_FILE
+    if not meta_path.exists():
+        raise CollectionError(f"no collection snapshot at {directory}")
+    meta = json.loads(meta_path.read_text())
+    with np.load(directory / _VECTORS_FILE) as npz:
+        vectors = npz["vectors"]
+    ids: list[str] = []
+    payloads: list[dict] = []
+    with open(directory / _PAYLOADS_FILE, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            ids.append(row["id"])
+            payloads.append(row["payload"])
+    if len(ids) != meta["count"] or vectors.shape[0] != meta["count"]:
+        raise CollectionError(
+            f"snapshot at {directory} is inconsistent: meta says "
+            f"{meta['count']} points, found {len(ids)} payloads / "
+            f"{vectors.shape[0]} vectors"
+        )
+    return Collection.from_state(
+        name=meta["name"],
+        vectors=vectors.astype(np.float32),
+        ids=ids,
+        payloads=payloads,
+        metric=Metric(meta["metric"]),
+        hnsw=hnsw,
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures: the ontology and a small prepared evaluation corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.corpus import EvalCorpus, build_corpus
+from repro.semantics.concepts import ConceptGraph
+from repro.semantics.lexicon import Lexicon
+from repro.semantics.ontology.build import default_ontology
+
+
+@pytest.fixture(scope="session")
+def ontology() -> tuple[ConceptGraph, Lexicon]:
+    """The shared concept graph and lexicon."""
+    return default_ontology()
+
+
+@pytest.fixture(scope="session")
+def graph(ontology: tuple[ConceptGraph, Lexicon]) -> ConceptGraph:
+    """The shared concept graph."""
+    return ontology[0]
+
+
+@pytest.fixture(scope="session")
+def lexicon(ontology: tuple[ConceptGraph, Lexicon]) -> Lexicon:
+    """The shared lexicon."""
+    return ontology[1]
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> EvalCorpus:
+    """A small fully-prepared Saint Louis corpus (600 POIs), built once."""
+    return build_corpus("SL", seed=7, count=600)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> EvalCorpus:
+    """A tiny Santa Barbara corpus (200 POIs) for faster integration tests."""
+    return build_corpus("SB", seed=11, count=200)

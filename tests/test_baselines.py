@@ -1,0 +1,228 @@
+"""Tests for the baseline rankers (TF-IDF, LDA, BM25, keyword)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bm25 import Bm25Ranker
+from repro.baselines.keyword import KeywordMatcher
+from repro.baselines.lda import LdaModel, LdaRanker
+from repro.baselines.ranker import record_text
+from repro.baselines.tfidf import TfIdfRanker, preprocess
+from repro.data.model import POIRecord
+from repro.errors import EvaluationError
+
+
+def make_poi(business_id: str, name: str, tips: tuple[str, ...],
+             categories: tuple[str, ...] = ("Food",)) -> POIRecord:
+    return POIRecord(
+        business_id=business_id, name=name, address="1 Main St",
+        city="X", state="XX", latitude=0.0, longitude=0.0, stars=4.0,
+        is_open=1, categories=categories, hours={}, tips=tips,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus() -> list[POIRecord]:
+    return [
+        make_poi("cafe1", "Corner Cafe",
+                 ("great coffee and pastries", "lovely espresso drinks"),
+                 ("Cafes", "Coffee & Tea")),
+        make_poi("cafe2", "Bean House",
+                 ("best coffee in town", "croissants are fresh"),
+                 ("Coffee & Tea",)),
+        make_poi("tire1", "Quick Tire",
+                 ("fast tire rotation", "honest brake service"),
+                 ("Tires", "Automotive")),
+        make_poi("sushi1", "Wave Sushi",
+                 ("fresh sushi rolls", "great sashimi platter"),
+                 ("Sushi Bars", "Japanese")),
+        make_poi("bar1", "Game Day Bar",
+                 ("wings and beer while watching the game", "big screens"),
+                 ("Sports Bars", "Bars")),
+    ]
+
+
+class TestPreprocess:
+    def test_stopwords_removed_and_stemmed(self):
+        tokens = preprocess("The restaurants are serving dinners")
+        assert "the" not in tokens
+        assert "restaur" in tokens
+
+    def test_empty(self):
+        assert preprocess("") == []
+
+
+class TestTfIdf:
+    def test_rank_before_fit_raises(self, corpus):
+        with pytest.raises(EvaluationError):
+            TfIdfRanker().rank("coffee", corpus, 3)
+
+    def test_lexical_match_ranks_first(self, corpus):
+        ranker = TfIdfRanker().fit(corpus)
+        top = ranker.rank("fresh sushi rolls", corpus, 3)
+        assert top[0].business_id == "sushi1"
+
+    def test_no_overlap_scores_zero(self, corpus):
+        ranker = TfIdfRanker().fit(corpus)
+        ranked = ranker.rank("xylophone zeppelin", corpus, 5)
+        assert all(r.score == 0.0 for r in ranked)
+
+    def test_synonym_blindness(self, corpus):
+        """TF-IDF cannot connect 'flat white' to the cafés — the paper's gap."""
+        ranker = TfIdfRanker().fit(corpus)
+        ranked = ranker.rank("somewhere for a flat white", corpus, 5)
+        scores = {r.business_id: r.score for r in ranked}
+        assert scores.get("cafe1", 0.0) == pytest.approx(0.0)
+
+    def test_scores_descending_and_ties_deterministic(self, corpus):
+        ranker = TfIdfRanker().fit(corpus)
+        ranked = ranker.rank("coffee", corpus, 5)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_out_of_corpus_candidate_handled(self, corpus):
+        ranker = TfIdfRanker().fit(corpus)
+        new = make_poi("new1", "Fresh Cafe", ("coffee coffee coffee",))
+        ranked = ranker.rank("coffee", [new], 1)
+        assert ranked[0].score > 0
+
+    def test_idf_downweights_common_terms(self, corpus):
+        """'coffee' appears in 2 docs, 'sashimi' in 1 — sashimi is rarer."""
+        ranker = TfIdfRanker().fit(corpus)
+        q = ranker.query_vector("coffee sashimi")
+        weights = sorted(q.values())
+        assert len(weights) == 2 and weights[0] < weights[1]
+
+    def test_k_truncation(self, corpus):
+        ranker = TfIdfRanker().fit(corpus)
+        assert len(ranker.rank("coffee", corpus, 2)) == 2
+
+
+class TestLdaModel:
+    def test_topic_word_normalized(self):
+        rng = np.random.default_rng(0)
+        docs = []
+        for _ in range(20):
+            ids = rng.integers(0, 30, size=15)
+            unique, counts = np.unique(ids, return_counts=True)
+            docs.append((unique, counts.astype(np.float64)))
+        model = LdaModel(n_topics=4, max_iterations=5, seed=1).fit(docs, 30)
+        assert model.topic_word.shape == (4, 30)
+        assert np.allclose(model.topic_word.sum(axis=1), 1.0)
+
+    def test_transform_before_fit_raises(self):
+        model = LdaModel(n_topics=3)
+        with pytest.raises(EvaluationError):
+            model.transform([(np.array([0]), np.array([1.0]))])
+
+    def test_invalid_topics(self):
+        with pytest.raises(ValueError):
+            LdaModel(n_topics=1)
+
+    def test_separates_disjoint_vocabularies(self):
+        """Two hard topic clusters should yield distinct distributions."""
+        rng = np.random.default_rng(2)
+        docs = []
+        for i in range(40):
+            base = 0 if i % 2 == 0 else 20
+            ids = base + rng.integers(0, 10, size=25)
+            unique, counts = np.unique(ids, return_counts=True)
+            docs.append((unique, counts.astype(np.float64)))
+        model = LdaModel(n_topics=2, max_iterations=25, seed=3).fit(docs, 40)
+        dists = model.transform(docs)
+        even = dists[::2].mean(axis=0)
+        odd = dists[1::2].mean(axis=0)
+        assert np.abs(even - odd).max() > 0.4
+
+    def test_deterministic_given_seed(self):
+        docs = [(np.array([0, 1]), np.array([2.0, 1.0]))] * 8
+        a = LdaModel(n_topics=3, max_iterations=4, seed=5).fit(docs, 5)
+        b = LdaModel(n_topics=3, max_iterations=4, seed=5).fit(docs, 5)
+        assert np.allclose(a.topic_word, b.topic_word)
+
+
+class TestLdaRanker:
+    def test_rank_before_fit_raises(self, corpus):
+        with pytest.raises(EvaluationError):
+            LdaRanker().rank("coffee", corpus, 3)
+
+    def test_returns_k_results_with_scores_in_range(self, corpus):
+        ranker = LdaRanker(n_topics=3, max_iterations=8,
+                           min_term_frequency=1).fit(corpus)
+        ranked = ranker.rank("fresh coffee", corpus, 4)
+        assert len(ranked) == 4
+        assert all(0.0 <= r.score <= 1.0 + 1e-9 for r in ranked)
+
+
+class TestBm25:
+    def test_rank_before_fit_raises(self, corpus):
+        with pytest.raises(EvaluationError):
+            Bm25Ranker().rank("coffee", corpus, 3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Bm25Ranker(k1=-1)
+        with pytest.raises(ValueError):
+            Bm25Ranker(b=2)
+
+    def test_lexical_match_wins(self, corpus):
+        ranker = Bm25Ranker().fit(corpus)
+        top = ranker.rank("tire rotation brake", corpus, 1)
+        assert top[0].business_id == "tire1"
+
+    def test_zero_for_no_overlap(self, corpus):
+        ranker = Bm25Ranker().fit(corpus)
+        assert ranker.score(preprocess("zeppelin"), "cafe1") == 0.0
+
+    def test_tf_saturation(self, corpus):
+        """BM25 term frequency saturates (k1 bound)."""
+        docs = [
+            make_poi("a", "A", ("coffee",)),
+            make_poi("b", "B", ("coffee " * 50,)),
+        ]
+        ranker = Bm25Ranker(b=0.0).fit(docs)
+        terms = preprocess("coffee")
+        s1 = ranker.score(terms, "a")
+        s50 = ranker.score(terms, "b")
+        assert s50 < 3 * s1  # far from 50x
+
+
+class TestKeywordMatcher:
+    def test_and_semantics(self, corpus):
+        matcher = KeywordMatcher(match_all=True).fit(corpus)
+        assert matcher.matches("sushi sashimi", corpus[3])
+        assert not matcher.matches("sushi coffee", corpus[3])
+
+    def test_or_semantics(self, corpus):
+        matcher = KeywordMatcher(match_all=False).fit(corpus)
+        assert matcher.matches("sushi coffee", corpus[3])
+
+    def test_misses_synonyms(self, corpus):
+        """The Figure-1 behaviour: 'cafe' does not find 'Bean House'."""
+        matcher = KeywordMatcher().fit(corpus)
+        bean_house = corpus[1]
+        assert not matcher.matches("cafe", bean_house)
+
+    def test_rank_excludes_non_matching(self, corpus):
+        matcher = KeywordMatcher(match_all=True).fit(corpus)
+        ranked = matcher.rank("coffee", corpus, 10)
+        assert {r.business_id for r in ranked} == {"cafe1", "cafe2"}
+
+    def test_empty_query(self, corpus):
+        matcher = KeywordMatcher().fit(corpus)
+        assert matcher.rank("", corpus, 5) == []
+        assert not matcher.matches("", corpus[0])
+
+    def test_stopword_only_query(self, corpus):
+        matcher = KeywordMatcher().fit(corpus)
+        assert matcher.rank("the and of", corpus, 5) == []
+
+
+class TestRecordText:
+    def test_includes_name_categories_tips(self, corpus):
+        text = record_text(corpus[0])
+        assert "Corner Cafe" in text
+        assert "Coffee & Tea" in text
+        assert "great coffee" in text

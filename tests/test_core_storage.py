@@ -1,0 +1,81 @@
+"""Tests for prepared-city persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.query import SpatialKeywordQuery
+from repro.core.storage import load_prepared, save_prepared
+from repro.core.variants import semask, semask_em
+from repro.embeddings.hashed import HashedNgramEmbedder
+from repro.embeddings.semantic import SemanticEmbedder
+from repro.errors import DatasetError
+from repro.geo.regions import SAINT_LOUIS
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(small_corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("prepared") / "sl"
+    save_prepared(small_corpus.prepared, directory)
+    return directory
+
+
+class TestSaveLoad:
+    def test_snapshot_files_exist(self, snapshot_dir):
+        assert (snapshot_dir / "prepared.json").exists()
+        assert (snapshot_dir / "dataset.jsonl.gz").exists()
+        assert (snapshot_dir / "collection" / "meta.json").exists()
+
+    def test_roundtrip_preserves_dataset(self, snapshot_dir, small_corpus):
+        loaded = load_prepared(snapshot_dir)
+        assert len(loaded.dataset) == len(small_corpus.dataset)
+        assert loaded.dataset[0].to_dict() == small_corpus.dataset[0].to_dict()
+
+    def test_loaded_city_answers_queries_identically(
+        self, snapshot_dir, small_corpus
+    ):
+        loaded = load_prepared(snapshot_dir)
+        query = SpatialKeywordQuery.around(
+            SAINT_LOUIS.center, "somewhere for a latte", 8, 8
+        )
+        original = semask_em(small_corpus.prepared).query(query)
+        restored = semask_em(loaded).query(query)
+        assert original.ids() == restored.ids()
+
+    def test_loaded_city_supports_llm_refinement(
+        self, snapshot_dir, small_corpus
+    ):
+        loaded = load_prepared(snapshot_dir)
+        system = semask(loaded, llm=small_corpus.llm)
+        query = SpatialKeywordQuery.around(
+            SAINT_LOUIS.center, "fresh sushi", 8, 8
+        )
+        result = system.query(query)
+        assert result.candidates_considered >= 0  # pipeline runs end to end
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="no prepared-city snapshot"):
+            load_prepared(tmp_path / "nothing")
+
+    def test_dim_mismatch_rejected(self, snapshot_dir):
+        with pytest.raises(DatasetError, match="dim"):
+            load_prepared(snapshot_dir, embedder=SemanticEmbedder(dim=16))
+
+    def test_model_mismatch_rejected(self, snapshot_dir, small_corpus):
+        wrong = HashedNgramEmbedder(dim=small_corpus.prepared.embedder.dim)
+        with pytest.raises(DatasetError, match="model"):
+            load_prepared(snapshot_dir, embedder=wrong)
+
+    def test_manifest_tampering_detected(self, snapshot_dir):
+        manifest_path = snapshot_dir / "prepared.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["poi_count"] += 1
+        manifest_path.write_text(json.dumps(manifest))
+        try:
+            with pytest.raises(DatasetError, match="manifest"):
+                load_prepared(snapshot_dir)
+        finally:
+            manifest["poi_count"] -= 1
+            manifest_path.write_text(json.dumps(manifest))

@@ -1,0 +1,191 @@
+"""Tests for the synthetic Yelp-style generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.gen.hours import DAYS, generate_hours, is_open_late, opens_early
+from repro.data.gen.names import generate_name
+from repro.data.gen.streets import generate_street_address
+from repro.data.gen.tips import generate_tips
+from repro.data.yelp import YelpStyleGenerator, _business_id
+from repro.geo.regions import SAINT_LOUIS, SANTA_BARBARA
+from repro.semantics.concepts import ConceptProfile
+from repro.semantics.lexicon import ConceptExtractor, full_knowledge
+
+
+@pytest.fixture(scope="module")
+def sl_records():
+    return YelpStyleGenerator(seed=7).generate_city(SAINT_LOUIS, count=400)
+
+
+class TestGenerator:
+    def test_count_respected(self, sl_records):
+        assert len(sl_records) == 400
+
+    def test_default_count_is_papers(self):
+        gen = YelpStyleGenerator(seed=7)
+        # Don't generate the full city here; check the wiring only.
+        assert SAINT_LOUIS.poi_count == 2462
+
+    def test_deterministic_across_instances(self):
+        a = YelpStyleGenerator(seed=13).generate_city(SANTA_BARBARA, count=40)
+        b = YelpStyleGenerator(seed=13).generate_city(SANTA_BARBARA, count=40)
+        assert [r.to_dict() for r in a] == [r.to_dict() for r in b]
+
+    def test_seed_changes_output(self):
+        a = YelpStyleGenerator(seed=1).generate_city(SANTA_BARBARA, count=40)
+        b = YelpStyleGenerator(seed=2).generate_city(SANTA_BARBARA, count=40)
+        assert [r.name for r in a] != [r.name for r in b]
+
+    def test_all_locations_in_city_bounds(self, sl_records):
+        bounds = SAINT_LOUIS.bounds
+        for record in sl_records:
+            assert bounds.contains_coords(record.latitude, record.longitude)
+
+    def test_city_and_state_fields(self, sl_records):
+        assert all(r.city == "Saint Louis" and r.state == "MO" for r in sl_records)
+
+    def test_unique_business_ids(self, sl_records):
+        ids = [r.business_id for r in sl_records]
+        assert len(set(ids)) == len(ids)
+
+    def test_business_id_format(self):
+        bid = _business_id("SL", 0, 7)
+        assert len(bid) == 22
+
+    def test_every_record_has_profile(self, sl_records):
+        assert all(r.profile is not None for r in sl_records)
+
+    def test_categories_include_ancestor_labels(self, sl_records, graph):
+        for record in sl_records[:50]:
+            own = graph.get(record.profile.category).label
+            assert own in record.categories
+
+    def test_tip_statistics_near_paper(self, sl_records):
+        ds = Dataset(sl_records, "SL")
+        stats = ds.statistics()
+        assert 9 <= stats["avg_tips"] <= 13          # paper: 11
+        assert 90 <= stats["avg_tip_tokens"] <= 190  # paper: 147
+
+    def test_stars_valid_half_steps(self, sl_records):
+        for record in sl_records:
+            assert record.stars * 2 == int(record.stars * 2)
+
+    def test_latent_concepts_expressed_in_text(self, sl_records, lexicon, graph):
+        """Every latent item/aspect is recoverable from the tips by an oracle."""
+        oracle = ConceptExtractor(lexicon, full_knowledge())
+        missing = 0
+        checked = 0
+        for record in sl_records[:80]:
+            text = " ".join(record.tips)
+            found = oracle.extract_concepts(text)
+            expanded = graph.expand(found)
+            for concept in record.profile.items + record.profile.aspects:
+                checked += 1
+                if concept not in expanded and not any(
+                    graph.satisfies(f, concept) for f in found
+                ):
+                    missing += 1
+        assert missing / max(checked, 1) < 0.05
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            YelpStyleGenerator(seed=7).generate_city(SAINT_LOUIS, count=0)
+
+
+class TestNameGeneration:
+    def test_leak_flag_consistent(self):
+        rng = random.Random(3)
+        for _ in range(60):
+            name, leaks = generate_name("sushi_bar", "Sushi Bars", rng)
+            assert name
+            if leaks:
+                assert any(
+                    noun.lower() in name.lower()
+                    for noun in ("sushi", "sushi bar", "sushi house")
+                )
+
+    def test_some_names_do_not_leak(self):
+        rng = random.Random(5)
+        leaks = [generate_name("cafe", "Cafes", rng)[1] for _ in range(200)]
+        assert 0.2 < sum(leaks) / len(leaks) < 0.9
+
+
+class TestHours:
+    def test_all_days_present(self):
+        hours = generate_hours("coffee_shop", (), random.Random(1))
+        assert set(hours) == set(DAYS)
+
+    def test_late_night_aspect_forces_late_close(self):
+        rng = random.Random(2)
+        hours = generate_hours("dive_bar", ("late_night",), rng)
+        assert is_open_late(hours)
+
+    def test_open_early_aspect(self):
+        rng = random.Random(2)
+        hours = generate_hours("bakery", ("open_early",), rng)
+        assert opens_early(hours)
+
+    def test_always_open_rhythm(self):
+        hours = generate_hours("gas_station", (), random.Random(1))
+        assert all(v == "0:0-24:0" for v in hours.values())
+        assert is_open_late(hours)
+
+    def test_closed_day_marker_parse(self):
+        assert not is_open_late({"Monday": "0:0-0:0"})
+        assert not opens_early({"Monday": "0:0-0:0"})
+
+    def test_garbage_hours_tolerated(self):
+        assert not is_open_late({"Monday": "whenever"})
+
+
+class TestTips:
+    @pytest.fixture
+    def profile(self) -> ConceptProfile:
+        return ConceptProfile(
+            category="coffee_shop",
+            items=("coffee", "pastries"),
+            aspects=("study_friendly", "open_early"),
+        )
+
+    def test_minimum_tip_count(self, profile, lexicon):
+        tips = generate_tips(profile, 4.0, lexicon, random.Random(1))
+        assert len(tips) >= 3
+
+    def test_all_latent_concepts_mentioned(self, profile, lexicon, graph):
+        oracle = ConceptExtractor(lexicon, full_knowledge())
+        tips = generate_tips(profile, 4.5, lexicon, random.Random(7))
+        found = oracle.extract_concepts(" ".join(tips))
+        for concept in profile.items + profile.aspects:
+            assert any(
+                graph.satisfies(f, concept) for f in found
+            ), f"{concept} not expressed in {tips}"
+
+    def test_low_star_pois_get_negative_tips(self, profile, lexicon):
+        rng = random.Random(3)
+        tips = generate_tips(profile, 1.5, lexicon, rng, mean_tips=30)
+        text = " ".join(tips).lower()
+        assert any(
+            marker in text
+            for marker in ("disappointed", "downhill", "overpriced", "meh",
+                           "long wait", "didn't make up")
+        )
+
+    def test_deterministic_given_rng(self, profile, lexicon):
+        a = generate_tips(profile, 4.0, lexicon, random.Random(9))
+        b = generate_tips(profile, 4.0, lexicon, random.Random(9))
+        assert a == b
+
+
+class TestStreets:
+    def test_address_has_number_and_name(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            address = generate_street_address(rng)
+            number, rest = address.split(" ", 1)
+            assert number.isdigit()
+            assert rest

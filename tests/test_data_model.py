@@ -1,0 +1,134 @@
+"""Tests for the POI record model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.model import POIRecord, TABLE1_KEYS
+from repro.errors import SchemaError
+from repro.semantics.concepts import ConceptProfile
+
+
+def make_record(**overrides) -> POIRecord:
+    base = dict(
+        business_id="abc123",
+        name="Mike's Ice Cream",
+        address="129 2nd Ave N",
+        city="Nashville",
+        state="TN",
+        latitude=36.162649,
+        longitude=-86.775973,
+        stars=1.5,
+        is_open=1,
+        categories=("Ice Cream & Frozen Yogurt", "Fast Food"),
+        hours={"Monday": "0:0-0:0", "Tuesday": "6:0-21:0"},
+        tips=("Amazing ice cream! So creamy",),
+    )
+    base.update(overrides)
+    return POIRecord(**base)
+
+
+class TestValidation:
+    def test_valid_record(self):
+        record = make_record()
+        assert record.tip_count == 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("business_id", ""),
+            ("name", ""),
+            ("latitude", 91.0),
+            ("longitude", -181.0),
+            ("stars", 0.5),
+            ("stars", 5.5),
+            ("is_open", 2),
+        ],
+    )
+    def test_invalid_fields_raise(self, field, value):
+        with pytest.raises(SchemaError):
+            make_record(**{field: value})
+
+
+class TestAttributes:
+    def test_table1_schema_coverage(self):
+        """The record view covers the paper's Table 1 attributes."""
+        record = make_record()
+        attrs = record.attributes()
+        for key in TABLE1_KEYS:
+            if key in ("latitude", "longitude"):
+                continue  # location is exposed via .location, not o_i.A
+            assert key in attrs, key
+
+    def test_attributes_exclude_latent_profile(self):
+        record = make_record(profile=ConceptProfile(category="ice_cream_shop"))
+        attrs = record.attributes()
+        assert "profile" not in attrs
+        assert "ice_cream_shop" not in str(attrs)
+
+    def test_prepared_fields_appear_when_set(self):
+        record = make_record().with_preparation(
+            county="Davidson County",
+            suburb="Downtown District",
+            neighborhood="Downtown Nashville",
+            tip_summary="Creamy ice cream praised.",
+        )
+        attrs = record.attributes()
+        assert attrs["neighborhood"] == "Downtown Nashville"
+        assert attrs["tip_summary"] == "Creamy ice cream praised."
+
+    def test_include_tips_flag(self):
+        record = make_record()
+        assert "tips" in record.attributes(include_tips=True)
+        assert "tips" not in record.attributes(include_tips=False)
+
+
+class TestDocumentText:
+    def test_uses_tips_when_no_summary(self):
+        record = make_record()
+        assert "Amazing ice cream" in record.document_text()
+
+    def test_uses_summary_when_available(self):
+        record = make_record().with_preparation(
+            "c", "s", "n", "A lovely creamy summary."
+        )
+        text = record.document_text()
+        assert "A lovely creamy summary." in text
+        assert "Amazing ice cream" not in text
+
+    def test_summary_opt_out(self):
+        record = make_record().with_preparation("c", "s", "n", "Summary.")
+        assert "Amazing ice cream" in record.document_text(use_summary=False)
+
+    def test_includes_name_and_categories(self):
+        text = make_record().document_text()
+        assert "Mike's Ice Cream" in text
+        assert "Ice Cream & Frozen Yogurt" in text
+
+
+class TestSerialization:
+    def test_roundtrip_without_profile(self):
+        record = make_record()
+        assert POIRecord.from_dict(record.to_dict()) == record
+
+    def test_roundtrip_with_profile(self):
+        record = make_record(
+            profile=ConceptProfile(
+                category="ice_cream_shop",
+                items=("ice_cream",),
+                aspects=("kid_friendly",),
+            )
+        )
+        restored = POIRecord.from_dict(record.to_dict())
+        assert restored.profile == record.profile
+
+    def test_missing_key_raises_schema_error(self):
+        data = make_record().to_dict()
+        del data["name"]
+        with pytest.raises(SchemaError, match="missing required key"):
+            POIRecord.from_dict(data)
+
+    def test_location_property(self):
+        record = make_record()
+        assert record.location.lat == pytest.approx(36.162649)
+        assert record.location.lon == pytest.approx(-86.775973)

@@ -1,0 +1,196 @@
+"""Tests for the evaluation harness: metrics, ground truth, query sets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.groundtruth import GroundTruthBuilder, true_concepts
+from repro.eval.metrics import (
+    average_precision,
+    f1_at_k,
+    mean,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.eval.queries import EvalQueryBuilder
+from repro.geo.bbox import BoundingBox
+
+
+class TestMetrics:
+    def test_perfect_retrieval(self):
+        assert f1_at_k(["a", "b"], {"a", "b"}, 10) == pytest.approx(1.0)
+
+    def test_empty_retrieval_zero(self):
+        assert precision_at_k([], {"a"}, 10) == 0.0
+        assert recall_at_k([], {"a"}, 10) == 0.0
+        assert f1_at_k([], {"a"}, 10) == 0.0
+
+    def test_precision_over_returned_not_k(self):
+        """A system returning 2 relevant items of 2 has precision 1.0
+        even at k=10 — the SemaSK semantics."""
+        assert precision_at_k(["a", "b"], {"a", "b"}, 10) == 1.0
+
+    def test_fixed_list_low_precision(self):
+        retrieved = ["a"] + [f"x{i}" for i in range(9)]
+        assert precision_at_k(retrieved, {"a"}, 10) == pytest.approx(0.1)
+        assert recall_at_k(retrieved, {"a"}, 10) == 1.0
+        assert f1_at_k(retrieved, {"a"}, 10) == pytest.approx(2 * 0.1 / 1.1)
+
+    def test_recall_truncates_at_k(self):
+        retrieved = [f"x{i}" for i in range(10)] + ["a"]
+        assert recall_at_k(retrieved, {"a"}, 10) == 0.0
+        assert recall_at_k(retrieved, {"a"}, 11) == 1.0
+
+    def test_empty_ground_truth(self):
+        assert recall_at_k([], set(), 5) == 1.0
+        assert recall_at_k(["a"], set(), 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            f1_at_k(["a"], {"a"}, 0)
+        with pytest.raises(ValueError):
+            ndcg_at_k(["a"], {"a"}, -1)
+
+    def test_average_precision_order_sensitivity(self):
+        relevant = {"a", "b"}
+        early = average_precision(["a", "b", "x"], relevant)
+        late = average_precision(["x", "a", "b"], relevant)
+        assert early > late
+
+    def test_ndcg_bounds_and_order(self):
+        relevant = {"a", "b"}
+        perfect = ndcg_at_k(["a", "b", "x"], relevant, 3)
+        worse = ndcg_at_k(["x", "a", "b"], relevant, 3)
+        assert perfect == pytest.approx(1.0)
+        assert 0 < worse < 1
+
+    def test_mean(self):
+        assert mean([]) == 0.0
+        assert mean([1.0, 3.0]) == 2.0
+
+    @given(
+        st.lists(st.sampled_from("abcdefgh"), max_size=10, unique=True),
+        st.sets(st.sampled_from("abcdefgh"), max_size=8),
+    )
+    def test_f1_bounded(self, retrieved, relevant):
+        assert 0.0 <= f1_at_k(retrieved, relevant, 10) <= 1.0
+
+    @given(
+        st.lists(st.sampled_from("abcdefgh"), max_size=10, unique=True),
+        st.sets(st.sampled_from("abcdefgh"), min_size=1, max_size=8),
+    )
+    def test_f1_is_harmonic_mean(self, retrieved, relevant):
+        p = precision_at_k(retrieved, relevant, 10)
+        r = recall_at_k(retrieved, relevant, 10)
+        f1 = f1_at_k(retrieved, relevant, 10)
+        if p + r > 0:
+            assert f1 == pytest.approx(2 * p * r / (p + r))
+        else:
+            assert f1 == 0.0
+
+
+class TestGroundTruth:
+    def test_true_concepts_include_profile_and_hours(self, small_corpus):
+        for record in list(small_corpus.dataset)[:30]:
+            concepts = true_concepts(record)
+            assert record.profile.category in concepts
+
+    def test_intent_of_semantic_query(self, small_corpus):
+        gt = small_corpus.ground_truth
+        intent = gt.intent_of("somewhere for a flat white and a croissant")
+        assert intent is not None
+        assert "coffee" in intent.required or "croissants" in intent.required
+
+    def test_intent_of_gibberish_is_none(self, small_corpus):
+        assert small_corpus.ground_truth.intent_of("zz qq vv") is None
+
+    def test_answer_set_members_satisfy_intent(self, small_corpus, graph):
+        gt = small_corpus.ground_truth
+        intent = gt.intent_of("a pizzeria with slices")
+        box = BoundingBox(-90, -180, 90, 180)
+        answers = gt.answer_set(small_corpus.dataset, box, intent)
+        for business_id in answers:
+            record = small_corpus.dataset.get(business_id)
+            assert intent.is_satisfied_by(true_concepts(record), graph)
+
+    def test_answer_set_respects_range(self, small_corpus):
+        gt = small_corpus.ground_truth
+        intent = gt.intent_of("a pizzeria")
+        tiny_box = BoundingBox(0.0, 0.0, 0.1, 0.1)  # nowhere near the city
+        assert gt.answer_set(small_corpus.dataset, tiny_box, intent) == frozenset()
+
+    def test_ground_truth_requires_profiles(self, small_corpus):
+        import dataclasses
+
+        from repro.errors import EvaluationError
+        record = dataclasses.replace(small_corpus.dataset[0], profile=None)
+        with pytest.raises(EvaluationError):
+            true_concepts(record)
+
+
+class EvalQueryBuilder:
+    @pytest.fixture(scope="class")
+    def query_set(self, small_corpus):
+        builder = EvalQueryBuilder(small_corpus.llm, small_corpus.ground_truth)
+        return builder.build_for_city(
+            small_corpus.city, small_corpus.dataset, count=8, seed=7
+        )
+
+    def test_harvests_requested_count(self, query_set):
+        queries, stats = query_set
+        assert len(queries) == 8
+        assert stats.accepted == 8
+
+    def test_targets_belong_to_answer_sets(self, query_set):
+        queries, _ = query_set
+        for query in queries:
+            assert query.target_id in query.answer_ids
+
+    def test_answer_sets_bounded(self, query_set):
+        queries, _ = query_set
+        for query in queries:
+            assert 1 <= len(query.answer_ids) <= 12
+
+    def test_queries_have_intents(self, query_set):
+        queries, _ = query_set
+        for query in queries:
+            assert query.intent.required
+
+    def test_queries_not_keyword_easy(self, query_set, small_corpus):
+        """Boolean AND keyword matching must recall little of any answer set."""
+        from repro.baselines.keyword import KeywordMatcher
+
+        queries, _ = query_set
+        matcher = KeywordMatcher(match_all=True)
+        for query in queries:
+            in_range = small_corpus.dataset.in_range(query.box)
+            hits = matcher.rank(query.text, in_range, k=len(in_range))
+            found = {h.business_id for h in hits} & query.answer_ids
+            assert len(found) <= 0.34 * len(query.answer_ids) + 1e-9
+
+    def test_deterministic(self, small_corpus, query_set):
+        queries, _ = query_set
+        builder = EvalQueryBuilder(small_corpus.llm, small_corpus.ground_truth)
+        again, _ = builder.build_for_city(
+            small_corpus.city, small_corpus.dataset, count=8, seed=7
+        )
+        assert [q.text for q in again] == [q.text for q in queries]
+
+    def test_different_seed_different_queries(self, small_corpus, query_set):
+        queries, _ = query_set
+        builder = EvalQueryBuilder(small_corpus.llm, small_corpus.ground_truth)
+        other, _ = builder.build_for_city(
+            small_corpus.city, small_corpus.dataset, count=8, seed=99
+        )
+        assert [q.text for q in other] != [q.text for q in queries]
+
+    def test_empty_dataset_raises(self, small_corpus):
+        from repro.data.dataset import Dataset
+        from repro.errors import EvaluationError
+
+        builder = EvalQueryBuilder(small_corpus.llm, small_corpus.ground_truth)
+        with pytest.raises(EvaluationError):
+            builder.build_for_city(small_corpus.city, Dataset([], "SL"), count=1)

@@ -1,0 +1,120 @@
+"""Tests for evaluation infrastructure: report tables, figures, corpus cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.corpus import build_corpus, clear_corpus_cache, get_corpus
+from repro.eval.experiments import CityEvaluation, Table2Result
+from repro.eval.figures import bar_chart, line_plot
+from repro.eval.report import format_table, format_table2
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # All rows padded to the same width per column.
+        assert lines[2].startswith("x     ")
+
+    def test_non_string_cells(self):
+        out = format_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+
+class TestFormatTable2:
+    @pytest.fixture
+    def result(self) -> Table2Result:
+        city = CityEvaluation(city_code="SL", n_queries=5)
+        city.f1 = {"LDA": 0.1, "TF-IDF": 0.2, "SemaSK-EM": 0.3,
+                   "SemaSK-O1": 0.5, "SemaSK": 0.6}
+        return Table2Result(
+            k=10,
+            cities=[city],
+            averages=dict(city.f1),
+            gains_vs_best_baseline={"SemaSK": 2.0, "SemaSK-O1": 1.5,
+                                    "SemaSK-EM": 0.5},
+            elapsed_s=1.0,
+        )
+
+    def test_includes_measured_and_paper_sections(self, result):
+        out = format_table2(result)
+        assert "measured, this reproduction" in out
+        assert "paper, Table 2" in out
+        assert "SL" in out
+
+    def test_gains_formatted_as_percent(self, result):
+        out = format_table2(result, paper=None)
+        assert "+200%" in out
+
+    def test_row_lookup(self, result):
+        assert result.row("SL")["SemaSK"] == 0.6
+        with pytest.raises(KeyError):
+            result.row("XX")
+
+
+class TestFigures:
+    def test_bar_chart_scales_to_peak(self):
+        out = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_bar_chart_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_bar_chart_fixed_max(self):
+        out = bar_chart({"a": 0.5}, width=10, max_value=1.0)
+        assert out.count("█") == 5
+
+    def test_line_plot_contains_points(self):
+        out = line_plot([0, 1, 2], [0.0, 0.5, 1.0], height=5, width=20)
+        assert out.count("*") == 3
+
+    def test_line_plot_mismatched_series(self):
+        with pytest.raises(ValueError):
+            line_plot([1], [1, 2])
+
+    def test_line_plot_empty(self):
+        assert line_plot([], []) == "(no data)"
+
+    def test_line_plot_axis_labels(self):
+        out = line_plot([0, 10], [2.0, 4.0], height=4, width=12, y_label="f1")
+        assert "f1" in out
+        assert "4.00" in out and "2.00" in out
+
+
+class TestCorpusCache:
+    def test_get_corpus_caches(self):
+        a = get_corpus("SB", seed=42, count=50)
+        b = get_corpus("SB", seed=42, count=50)
+        assert a is b
+
+    def test_different_keys_different_corpora(self):
+        a = get_corpus("SB", seed=42, count=50)
+        b = get_corpus("SB", seed=43, count=50)
+        assert a is not b
+
+    def test_clear_cache(self):
+        a = get_corpus("SB", seed=44, count=50)
+        clear_corpus_cache()
+        b = get_corpus("SB", seed=44, count=50)
+        assert a is not b
+
+    def test_build_corpus_no_summaries(self):
+        corpus = build_corpus("SB", seed=45, count=30, summarize=False)
+        assert all(not r.tip_summary for r in corpus.dataset)
+
+    def test_corpus_is_fully_prepared(self):
+        corpus = build_corpus("SB", seed=46, count=30)
+        assert all(r.neighborhood for r in corpus.dataset)
+        collection = corpus.prepared.client.get_collection(
+            corpus.prepared.collection_name
+        )
+        assert len(collection) == 30

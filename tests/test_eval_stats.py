@@ -1,0 +1,102 @@
+"""Tests for the bootstrap/permutation statistics module."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.stats import (
+    bootstrap_mean_ci,
+    cohens_d_paired,
+    paired_permutation_pvalue,
+)
+
+
+class TestBootstrapCI:
+    def test_mean_inside_interval(self):
+        ci = bootstrap_mean_ci([0.2, 0.4, 0.6, 0.8], seed=1)
+        assert ci.lower <= ci.mean <= ci.upper
+        assert ci.mean == pytest.approx(0.5)
+
+    def test_constant_sample_degenerate_interval(self):
+        ci = bootstrap_mean_ci([0.5] * 20)
+        assert ci.lower == pytest.approx(0.5)
+        assert ci.upper == pytest.approx(0.5)
+
+    def test_wider_at_higher_confidence(self):
+        values = [0.1, 0.9, 0.3, 0.7, 0.2, 0.8]
+        narrow = bootstrap_mean_ci(values, confidence=0.8, seed=2)
+        wide = bootstrap_mean_ci(values, confidence=0.99, seed=2)
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+    def test_deterministic(self):
+        a = bootstrap_mean_ci([0.1, 0.5, 0.9], seed=5)
+        b = bootstrap_mean_ci([0.1, 0.5, 0.9], seed=5)
+        assert a == b
+
+    def test_str_format(self):
+        ci = bootstrap_mean_ci([0.5] * 5)
+        assert "@95%" in str(ci)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(0, 1), min_size=3, max_size=30))
+    def test_interval_always_ordered(self, values):
+        ci = bootstrap_mean_ci(values, seed=3, n_resamples=200)
+        assert ci.lower <= ci.upper
+
+
+class TestPermutationTest:
+    def test_identical_samples_pvalue_one(self):
+        a = [0.5, 0.6, 0.7]
+        assert paired_permutation_pvalue(a, list(a)) == 1.0
+
+    def test_clear_difference_small_pvalue(self):
+        a = [0.9] * 20
+        b = [0.1] * 20
+        assert paired_permutation_pvalue(a, b, seed=1) < 0.01
+
+    def test_noise_large_pvalue(self):
+        a = [0.5, 0.6, 0.4, 0.55, 0.45]
+        b = [0.55, 0.5, 0.5, 0.5, 0.5]
+        assert paired_permutation_pvalue(a, b, seed=1) > 0.05
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            paired_permutation_pvalue([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            paired_permutation_pvalue([], [])
+
+    def test_pvalue_in_unit_interval(self):
+        p = paired_permutation_pvalue([0.3, 0.8, 0.1], [0.2, 0.9, 0.2], seed=4)
+        assert 0.0 < p <= 1.0
+
+
+class TestCohensD:
+    def test_zero_for_identical(self):
+        assert cohens_d_paired([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_large_for_consistent_difference(self):
+        a = [0.9, 0.8, 0.85, 0.95]
+        b = [0.1, 0.2, 0.15, 0.05]
+        assert cohens_d_paired(a, b) > 2.0
+
+    def test_sign_follows_direction(self):
+        assert cohens_d_paired([1.0, 2.0, 1.5], [2.0, 3.0, 2.5]) < 0
+
+    def test_constant_nonzero_diff_infinite(self):
+        assert cohens_d_paired([1.0, 1.0], [0.0, 0.0]) == float("inf")
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            cohens_d_paired([1.0], [])

@@ -1,0 +1,164 @@
+"""Tests for the second extension wave: LLM cache, conversation, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.conversation import ConversationalSession
+from repro.core.query import SpatialKeywordQuery
+from repro.core.variants import semask
+from repro.data.export import (
+    load_geojson_ids,
+    record_to_feature,
+    save_csv,
+    save_geojson,
+    to_geojson,
+)
+from repro.errors import QueryError
+from repro.geo.regions import SAINT_LOUIS
+from repro.llm.base import ChatMessage
+from repro.llm.prompts import build_summarize_prompt
+from repro.llm.response_cache import CachingLLMClient
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestCachingLLMClient:
+    def test_hit_avoids_inner_call(self):
+        inner = SimulatedLLM()
+        cache = CachingLLMClient(inner)
+        prompt = build_summarize_prompt(["good coffee"])
+        messages = [ChatMessage("user", prompt)]
+        first = cache.chat("gpt-3.5-turbo", messages)
+        second = cache.chat("gpt-3.5-turbo", messages)
+        assert first.content == second.content
+        assert cache.hits == 1 and cache.misses == 1
+        assert inner.ledger.total_calls() == 1
+        assert cache.ledger.total_calls() == 2  # logical calls
+
+    def test_different_models_not_conflated(self):
+        cache = CachingLLMClient(SimulatedLLM())
+        prompt = build_summarize_prompt(["nice espresso here"])
+        messages = [ChatMessage("user", prompt)]
+        cache.chat("gpt-3.5-turbo", messages)
+        cache.chat("gpt-4o", messages)
+        assert cache.misses == 2
+
+    def test_savings_accounting(self):
+        cache = CachingLLMClient(SimulatedLLM())
+        prompt = build_summarize_prompt(["lovely croissants"])
+        messages = [ChatMessage("user", prompt)]
+        cache.chat("gpt-3.5-turbo", messages)
+        assert cache.savings_usd() == pytest.approx(0.0)
+        cache.chat("gpt-3.5-turbo", messages)
+        assert cache.savings_usd() > 0.0
+
+    def test_eviction(self):
+        cache = CachingLLMClient(SimulatedLLM(), max_entries=1)
+        m1 = [ChatMessage("user", build_summarize_prompt(["tip a"]))]
+        m2 = [ChatMessage("user", build_summarize_prompt(["tip b"]))]
+        cache.chat("gpt-3.5-turbo", m1)
+        cache.chat("gpt-3.5-turbo", m2)  # evicts m1
+        cache.chat("gpt-3.5-turbo", m1)
+        assert cache.misses == 3
+
+    def test_empty_messages_raise(self):
+        cache = CachingLLMClient(SimulatedLLM())
+        with pytest.raises(ValueError):
+            cache.chat("gpt-4o", [])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CachingLLMClient(SimulatedLLM(), max_entries=0)
+
+    def test_clear(self):
+        cache = CachingLLMClient(SimulatedLLM())
+        cache.chat("gpt-3.5-turbo",
+                   [ChatMessage("user", build_summarize_prompt(["x y z"]))])
+        cache.clear()
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestConversationalSession:
+    @pytest.fixture
+    def session(self, small_corpus):
+        system = semask(small_corpus.prepared, llm=small_corpus.llm)
+        box = SpatialKeywordQuery.around(
+            SAINT_LOUIS.center, "placeholder", 8, 8
+        ).range
+        return ConversationalSession(system=system, range=box)
+
+    def test_refine_before_ask_raises(self, session):
+        with pytest.raises(QueryError, match="ask"):
+            session.refine("cheaper please")
+
+    def test_empty_texts_raise(self, session):
+        with pytest.raises(QueryError):
+            session.ask("  ")
+        session.ask("somewhere for a latte")
+        with pytest.raises(QueryError):
+            session.refine("")
+
+    def test_ask_then_refine_narrows(self, session, small_corpus):
+        first = session.ask("somewhere for a latte")
+        refined = session.refine("it must have sidewalk tables")
+        assert len(session.turns) == 2
+        assert session.history() == [
+            "somewhere for a latte", "it must have sidewalk tables",
+        ]
+        # The combined text carries both constraints to the LLM.
+        assert "latte" in session.turns[-1].combined_text
+        assert "sidewalk tables" in session.turns[-1].combined_text
+        # Refinement can only keep or shrink the accepted set in general;
+        # with an added required concept it must not grow.
+        assert len(refined.entries) <= max(len(first.entries), 1)
+
+    def test_ask_restarts_conversation(self, session):
+        session.ask("somewhere for a latte")
+        session.refine("with sidewalk tables")
+        session.ask("fresh sushi please")
+        assert len(session.turns) == 1
+        assert session.current_result is not None
+
+    def test_current_result_none_initially(self, session):
+        assert session.current_result is None
+
+
+class TestExporters:
+    def test_feature_geometry_order(self, small_corpus):
+        record = small_corpus.dataset[0]
+        feature = record_to_feature(record)
+        lon, lat = feature["geometry"]["coordinates"]
+        assert lon == pytest.approx(record.longitude)
+        assert lat == pytest.approx(record.latitude)
+        assert feature["properties"]["name"] == record.name
+        assert "tips" not in feature["properties"]
+
+    def test_geojson_roundtrip_ids(self, small_corpus, tmp_path):
+        path = tmp_path / "city.geojson"
+        save_geojson(small_corpus.dataset, path)
+        ids = load_geojson_ids(path)
+        assert ids == [r.business_id for r in small_corpus.dataset]
+
+    def test_geojson_structure(self, small_corpus):
+        data = to_geojson(small_corpus.dataset)
+        assert data["type"] == "FeatureCollection"
+        assert len(data["features"]) == len(small_corpus.dataset)
+
+    def test_load_rejects_non_featurecollection(self, tmp_path):
+        path = tmp_path / "bad.geojson"
+        path.write_text(json.dumps({"type": "Feature"}))
+        with pytest.raises(ValueError):
+            load_geojson_ids(path)
+
+    def test_csv_export(self, small_corpus, tmp_path):
+        import csv
+
+        path = tmp_path / "city.csv"
+        save_csv(small_corpus.dataset, path)
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "business_id"
+        assert len(rows) == len(small_corpus.dataset) + 1
+        assert rows[1][1] == small_corpus.dataset[0].name

@@ -1,0 +1,219 @@
+"""Tests for repro.geo: points, boxes, regions, geocoder."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.geocoder import ReverseGeocoder
+from repro.geo.point import (
+    GeoPoint,
+    equirectangular_km,
+    haversine_km,
+    km_per_degree_lon,
+)
+from repro.geo.regions import (
+    ALL_CITIES,
+    EVALUATION_CITIES,
+    SAINT_LOUIS,
+    city_by_code,
+    city_by_name,
+)
+
+lat_strategy = st.floats(-80, 80)
+lon_strategy = st.floats(-179, 179)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        p = GeoPoint(38.6, -90.2)
+        assert p.as_tuple() == (38.6, -90.2)
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-91, 0), (0, 181), (0, -181)])
+    def test_out_of_range_raises(self, lat, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, lon)
+
+    def test_distance_zero_to_self(self):
+        p = GeoPoint(38.6, -90.2)
+        assert p.distance_km(p) == 0.0
+
+    def test_known_distance_nyc_la(self):
+        nyc = GeoPoint(40.7128, -74.0060)
+        la = GeoPoint(34.0522, -118.2437)
+        assert nyc.distance_km(la) == pytest.approx(3936, rel=0.01)
+
+    def test_offset_km_roundtrip(self):
+        p = GeoPoint(38.6, -90.2)
+        q = p.offset_km(north_km=3.0, east_km=4.0)
+        assert p.distance_km(q) == pytest.approx(5.0, rel=0.01)
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    def test_haversine_symmetric_nonnegative(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(lat1, lon1, lat2, lon2)
+        assert d >= 0
+        assert d == pytest.approx(haversine_km(lat2, lon2, lat1, lon1))
+
+    @given(st.floats(-60, 60), st.floats(-170, 170))
+    def test_equirectangular_close_to_haversine_at_city_scale(self, lat, lon):
+        other_lat, other_lon = lat + 0.02, lon + 0.02
+        h = haversine_km(lat, lon, other_lat, other_lon)
+        e = equirectangular_km(lat, lon, other_lat, other_lon)
+        assert e == pytest.approx(h, rel=0.02, abs=1e-6)
+
+    def test_km_per_degree_lon_shrinks_toward_pole(self):
+        assert km_per_degree_lon(60) < km_per_degree_lon(0)
+
+
+class TestBoundingBox:
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 1, 1, 0)
+
+    def test_around_has_requested_size(self):
+        center = GeoPoint(38.6, -90.2)
+        box = BoundingBox.around(center, 5.0, 5.0)
+        assert box.width_km() == pytest.approx(5.0, rel=0.01)
+        assert box.height_km() == pytest.approx(5.0, rel=0.01)
+        assert box.contains(center)
+
+    def test_around_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around(GeoPoint(0, 0), 0, 5)
+
+    def test_contains_boundary_inclusive(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains_coords(0, 0)
+        assert box.contains_coords(1, 1)
+        assert not box.contains_coords(1.0001, 0.5)
+
+    def test_intersects_shared_edge(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(1, 1, 2, 2)
+        assert a.intersects(b)
+
+    def test_disjoint_boxes(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        assert not a.intersects(b)
+        assert not b.intersects(a)
+
+    def test_union_covers_both(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        u = a.union(b)
+        assert u.contains_coords(0, 0) and u.contains_coords(3, 3)
+
+    def test_enlargement_zero_for_contained(self):
+        outer = BoundingBox(0, 0, 10, 10)
+        inner = BoundingBox(1, 1, 2, 2)
+        assert outer.enlargement(inner) == pytest.approx(0.0)
+
+    def test_of_points(self):
+        pts = [GeoPoint(0, 0), GeoPoint(1, 2), GeoPoint(-1, 1)]
+        box = BoundingBox.of_points(pts)
+        assert (box.min_lat, box.min_lon, box.max_lat, box.max_lon) == (-1, 0, 1, 2)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of_points([])
+
+    @given(
+        st.floats(-50, 50), st.floats(-150, 150),
+        st.floats(0.5, 30), st.floats(0.5, 30),
+    )
+    def test_around_center_recovered(self, lat, lon, w, h):
+        box = BoundingBox.around(GeoPoint(lat, lon), w, h)
+        assert box.center.lat == pytest.approx(lat, abs=1e-9)
+        assert box.center.lon == pytest.approx(lon, abs=1e-9)
+
+
+class TestRegions:
+    def test_paper_poi_counts(self):
+        counts = {c.code: c.poi_count for c in EVALUATION_CITIES}
+        assert counts == {
+            "IN": 4235, "NS": 3716, "PH": 7592, "SB": 1790, "SL": 2462,
+        }
+        assert sum(counts.values()) == 19795  # the paper's total
+
+    def test_lookup_by_code_case_insensitive(self):
+        assert city_by_code("sl") is SAINT_LOUIS
+
+    def test_lookup_by_name(self):
+        assert city_by_name("saint louis") is SAINT_LOUIS
+
+    def test_unknown_code_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known codes"):
+            city_by_code("XX")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            city_by_name("Gotham")
+
+    def test_each_city_has_downtown_neighborhood(self):
+        for city in ALL_CITIES:
+            assert city.neighborhoods[0] == f"Downtown {city.name}"
+
+    def test_bounds_contain_center(self):
+        for city in ALL_CITIES:
+            assert city.bounds.contains(city.center)
+
+    def test_neighborhood_names_unique_per_city(self):
+        for city in ALL_CITIES:
+            assert len(set(city.neighborhoods)) == len(city.neighborhoods)
+
+
+class TestReverseGeocoder:
+    @pytest.fixture(scope="class")
+    def geocoder(self) -> ReverseGeocoder:
+        return ReverseGeocoder(seed=7)
+
+    def test_center_geocodes_to_city(self, geocoder):
+        addr = geocoder.reverse(SAINT_LOUIS.center.lat, SAINT_LOUIS.center.lon)
+        assert addr.city == "Saint Louis"
+        assert addr.state == "MO"
+        assert addr.county == "St. Louis City"
+
+    def test_downtown_pinned_to_center(self, geocoder):
+        addr = geocoder.reverse(SAINT_LOUIS.center.lat, SAINT_LOUIS.center.lon)
+        assert addr.neighborhood == "Downtown Saint Louis"
+
+    def test_deterministic(self):
+        a = ReverseGeocoder(seed=7).reverse(38.62, -90.21)
+        b = ReverseGeocoder(seed=7).reverse(38.62, -90.21)
+        assert a == b
+
+    def test_out_of_bounds_falls_back_to_nearest_city(self, geocoder):
+        addr = geocoder.reverse(0.0, 0.0)  # gulf of guinea
+        assert addr.city  # never fails
+
+    def test_all_in_bounds_points_get_known_neighborhood(self, geocoder):
+        bounds = SAINT_LOUIS.bounds
+        steps = 5
+        for i in range(steps):
+            for j in range(steps):
+                lat = bounds.min_lat + (bounds.max_lat - bounds.min_lat) * i / (steps - 1)
+                lon = bounds.min_lon + (bounds.max_lon - bounds.min_lon) * j / (steps - 1)
+                addr = geocoder.reverse(lat, lon)
+                assert addr.neighborhood in SAINT_LOUIS.neighborhoods
+
+    def test_neighborhood_center_assigns_back(self, geocoder):
+        name = SAINT_LOUIS.neighborhoods[3]
+        site = geocoder.neighborhood_center("SL", name)
+        assert geocoder.reverse(site.lat, site.lon).neighborhood == name
+
+    def test_neighborhoods_of_unknown_city_raises(self, geocoder):
+        with pytest.raises(KeyError):
+            geocoder.neighborhoods_of("XX")
+
+    def test_formatted_address(self, geocoder):
+        addr = geocoder.reverse(SAINT_LOUIS.center.lat, SAINT_LOUIS.center.lon)
+        line = addr.formatted("129 2nd Ave N")
+        assert line.startswith("129 2nd Ave N, ")
+        assert "Saint Louis" in line

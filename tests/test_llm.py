@@ -1,0 +1,226 @@
+"""Tests for the simulated LLM substrate (client, models, prompts, parsing)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParseError, PromptError, UnknownModelError
+from repro.llm.base import ChatMessage, LLMClient
+from repro.llm.models import (
+    GPT_4O,
+    O1_MINI,
+    ModelSpec,
+    available_models,
+    get_model,
+    register_model,
+)
+from repro.llm.parsing import parse_ranked_dict, parse_summary
+from repro.llm.prompts import (
+    QUERYGEN_HEADER,
+    RERANK_HEADER,
+    SUMMARIZE_HEADER,
+    build_querygen_prompt,
+    build_rerank_prompt,
+    build_summarize_prompt,
+    describe_poi_for_querygen,
+)
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.tokens import estimate_tokens
+from repro.semantics.lexicon import linear_knowledge
+
+
+class TestTokens:
+    def test_empty(self):
+        assert estimate_tokens("") == 0
+
+    def test_monotone_in_length(self):
+        assert estimate_tokens("a b c d e") > estimate_tokens("a b")
+
+    def test_punctuation_counts(self):
+        assert estimate_tokens("hello, world!") >= 4
+
+    def test_long_words_cost_more(self):
+        assert estimate_tokens("antidisestablishmentarianism") > 1
+
+
+class TestModels:
+    def test_registry_has_papers_models(self):
+        for model_id in ("gpt-4o", "o1-mini", "gpt-3.5-turbo"):
+            assert model_id in available_models()
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnknownModelError, match="registered models"):
+            get_model("gpt-99")
+
+    def test_gpt4o_better_judgment_than_o1mini(self):
+        assert GPT_4O.drop_rate < O1_MINI.drop_rate
+        assert GPT_4O.hallucination_rate < O1_MINI.hallucination_rate
+
+    def test_o1mini_costs_more(self):
+        """The paper defaults to GPT-4o 'considering its higher cost'."""
+        assert O1_MINI.cost_usd(1000, 1000) > GPT_4O.cost_usd(1000, 1000)
+
+    def test_latency_model_increasing(self):
+        assert GPT_4O.latency_for(200) > GPT_4O.latency_for(10)
+
+    def test_register_custom_model(self):
+        spec = ModelSpec(
+            model_id="test-model-xyz",
+            knowledge=linear_knowledge("test-model-xyz", 1.0, 0.5),
+            drop_rate=0.1, hallucination_rate=0.1,
+            usd_per_1m_input=1.0, usd_per_1m_output=1.0,
+            latency_base_s=0.1, latency_per_output_token_s=0.001,
+        )
+        register_model(spec)
+        assert get_model("test-model-xyz") is spec
+
+
+class TestPrompts:
+    def test_summarize_prompt_embeds_tips(self):
+        prompt = build_summarize_prompt(["tip one", "tip two"])
+        assert prompt.startswith(SUMMARIZE_HEADER)
+        assert '"tip one"' in prompt
+
+    def test_rerank_prompt_embeds_json_and_query(self):
+        info = [{"name": "X", "stars": 4.0}]
+        prompt = build_rerank_prompt(info, "find me X")
+        assert prompt.startswith(RERANK_HEADER)
+        assert json.loads(
+            prompt.split("Information: ")[1].split("\nQuery:")[0]
+        ) == info
+        assert prompt.rstrip().endswith("find me X")
+
+    def test_querygen_prompt_contains_examples(self):
+        prompt = build_querygen_prompt("Some POI info.")
+        assert prompt.startswith(QUERYGEN_HEADER)
+        assert "Pep Boys" in prompt  # the paper's in-context example
+        assert "Some POI info." in prompt
+
+    def test_describe_poi(self):
+        attrs = {
+            "name": "Mike's", "address": "1 St", "categories": "Food",
+            "hours": {"Monday": "6:0-14:0"}, "tip_summary": "Nice.",
+        }
+        text = describe_poi_for_querygen(attrs)
+        assert "Mike's is located at 1 St" in text
+        assert "'Monday': '6:0-14:0'" in text
+        assert "Customers often highlight: 'Nice.'" in text
+
+
+class TestParsing:
+    def test_parse_json_dict_order_preserved(self):
+        content = '{"B": "reason b", "A": "reason a"}'
+        assert parse_ranked_dict(content) == [("B", "reason b"), ("A", "reason a")]
+
+    def test_parse_python_literal(self):
+        content = "{'A': 'it matches'}"
+        assert parse_ranked_dict(content) == [("A", "it matches")]
+
+    def test_parse_fenced_block(self):
+        content = "```json\n{\"A\": \"r\"}\n```"
+        assert parse_ranked_dict(content) == [("A", "r")]
+
+    def test_empty_dict(self):
+        assert parse_ranked_dict("{}") == []
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_ranked_dict("I am not a dict")
+
+    def test_non_dict_raises(self):
+        with pytest.raises(ParseError):
+            parse_ranked_dict("[1, 2]")
+
+    def test_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse_ranked_dict("   ")
+
+    def test_parse_summary_strips_prefix(self):
+        assert parse_summary("Summary: All good.") == "All good."
+
+    def test_parse_summary_plain(self):
+        assert parse_summary("All good.") == "All good."
+
+    def test_parse_summary_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse_summary("Summary:   ")
+
+
+class TestClientAccounting:
+    def test_usage_recorded(self):
+        llm = SimulatedLLM()
+        prompt = build_summarize_prompt(["good coffee here"])
+        completion = llm.chat("gpt-3.5-turbo", [ChatMessage("user", prompt)])
+        assert completion.usage.input_tokens > 0
+        assert completion.usage.output_tokens > 0
+        assert completion.cost_usd > 0
+        assert completion.latency_s > 0
+        assert llm.ledger.total_calls() == 1
+        assert llm.ledger.summary()["gpt-3.5-turbo"]["calls"] == 1
+
+    def test_empty_messages_raise(self):
+        llm = SimulatedLLM()
+        with pytest.raises(ValueError):
+            llm.chat("gpt-4o", [])
+
+    def test_invalid_role_raises(self):
+        with pytest.raises(ValueError):
+            ChatMessage("wizard", "hi")
+
+    def test_is_llm_client(self):
+        assert isinstance(SimulatedLLM(), LLMClient)
+
+
+class TestSimulatedRouting:
+    def test_unrecognized_prompt_raises(self):
+        llm = SimulatedLLM()
+        with pytest.raises(PromptError, match="does not recognize"):
+            llm.chat("gpt-4o", [ChatMessage("user", "Tell me a joke")])
+
+    def test_malformed_rerank_prompt_raises(self):
+        llm = SimulatedLLM()
+        with pytest.raises(PromptError):
+            llm.chat("gpt-4o", [ChatMessage("user", RERANK_HEADER + " no payload")])
+
+    def test_summarize_roundtrip(self):
+        llm = SimulatedLLM()
+        prompt = build_summarize_prompt(
+            ["Love the flat white", "great pour over coffee"]
+        )
+        completion = llm.chat("gpt-3.5-turbo", [ChatMessage("user", prompt)])
+        assert "coffee" in completion.content.lower()
+
+    def test_rerank_roundtrip_and_determinism(self):
+        llm = SimulatedLLM()
+        info = [
+            {"name": "Bean House", "categories": "Coffee & Tea, Cafes",
+             "stars": 4.5, "tips": ["amazing espresso"]},
+            {"name": "Quick Tire", "categories": "Tires, Automotive",
+             "stars": 4.0, "tips": ["fast rotation"]},
+        ]
+        prompt = build_rerank_prompt(info, "somewhere for an espresso bar experience")
+        first = llm.chat("gpt-4o", [ChatMessage("user", prompt)]).content
+        second = llm.chat("gpt-4o", [ChatMessage("user", prompt)]).content
+        assert first == second  # deterministic
+        ranked = parse_ranked_dict(first)
+        names = [name for name, _ in ranked]
+        assert "Bean House" in names
+        assert "Quick Tire" not in names
+
+    def test_querygen_roundtrip(self):
+        llm = SimulatedLLM()
+        info = describe_poi_for_querygen({
+            "name": "Bean House", "address": "2 Oak St",
+            "categories": "Coffee & Tea, Cafes, Food",
+            "hours": {},
+            "tip_summary": "Customers praise the coffee and pastries.",
+        })
+        completion = llm.chat("o1-mini", [ChatMessage("user",
+                              build_querygen_prompt(info))])
+        question = completion.content
+        assert question.endswith("?") or len(question.split()) >= 4
+        # The paper's constraint: no location info in the query.
+        assert "Oak St" not in question
+        assert "Bean House" not in question

@@ -1,0 +1,108 @@
+"""Tests for the concept graph and profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantics.concepts import (
+    Concept,
+    ConceptGraph,
+    ConceptKind,
+    ConceptProfile,
+)
+
+
+@pytest.fixture
+def small_graph() -> ConceptGraph:
+    g = ConceptGraph()
+    g.add(Concept("food", ConceptKind.CATEGORY, "Food"))
+    g.add(Concept("restaurant", ConceptKind.CATEGORY, "Restaurants", ("food",)))
+    g.add(Concept("japanese", ConceptKind.CATEGORY, "Japanese", ("restaurant",)))
+    g.add(Concept("sushi_bar", ConceptKind.CATEGORY, "Sushi Bars", ("japanese",)))
+    g.add(Concept("coffee", ConceptKind.ITEM, "coffee"))
+    g.add(Concept("espresso", ConceptKind.ITEM, "espresso", ("coffee",)))
+    return g
+
+
+class TestConceptGraph:
+    def test_duplicate_id_raises(self, small_graph):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_graph.add(Concept("food", ConceptKind.CATEGORY, "Food"))
+
+    def test_unknown_parent_raises(self):
+        g = ConceptGraph()
+        with pytest.raises(ValueError, match="unknown parent"):
+            g.add(Concept("x", ConceptKind.ITEM, "x", ("ghost",)))
+
+    def test_ancestors_transitive(self, small_graph):
+        assert small_graph.ancestors("sushi_bar") == {
+            "japanese", "restaurant", "food",
+        }
+
+    def test_ancestors_of_root_empty(self, small_graph):
+        assert small_graph.ancestors("food") == frozenset()
+
+    def test_satisfies_reflexive(self, small_graph):
+        assert small_graph.satisfies("coffee", "coffee")
+
+    def test_satisfies_upward_only(self, small_graph):
+        assert small_graph.satisfies("sushi_bar", "restaurant")
+        assert not small_graph.satisfies("restaurant", "sushi_bar")
+
+    def test_satisfies_unknown_concepts(self, small_graph):
+        assert not small_graph.satisfies("ghost", "food")
+        assert not small_graph.satisfies("food", "ghost")
+
+    def test_any_satisfies(self, small_graph):
+        assert small_graph.any_satisfies({"espresso", "sushi_bar"}, "coffee")
+        assert not small_graph.any_satisfies({"sushi_bar"}, "coffee")
+
+    def test_expand_closure(self, small_graph):
+        expanded = small_graph.expand({"espresso"})
+        assert expanded == {"espresso", "coffee"}
+
+    def test_of_kind(self, small_graph):
+        items = {c.id for c in small_graph.of_kind(ConceptKind.ITEM)}
+        assert items == {"coffee", "espresso"}
+
+    def test_relatedness_identity(self, small_graph):
+        assert small_graph.relatedness("coffee", "coffee") == 1.0
+
+    def test_relatedness_subsumption(self, small_graph):
+        assert small_graph.relatedness("espresso", "coffee") == 0.75
+        assert small_graph.relatedness("coffee", "espresso") == 0.75
+
+    def test_relatedness_siblings_share_ancestry(self, small_graph):
+        small_graph.add(
+            Concept("italian", ConceptKind.CATEGORY, "Italian", ("restaurant",))
+        )
+        score = small_graph.relatedness("japanese", "italian")
+        assert 0.0 < score < 0.75
+
+    def test_relatedness_unrelated(self, small_graph):
+        assert small_graph.relatedness("coffee", "food") == 0.0
+
+    def test_len_and_contains(self, small_graph):
+        assert len(small_graph) == 6
+        assert "espresso" in small_graph
+        assert "ghost" not in small_graph
+
+    def test_ids_registration_order(self, small_graph):
+        assert small_graph.ids()[0] == "food"
+
+
+class TestConceptProfile:
+    def test_all_concepts_union(self):
+        profile = ConceptProfile(
+            category="sushi_bar",
+            items=("sushi",),
+            aspects=("date_night",),
+            secondary_categories=("japanese",),
+        )
+        assert profile.all_concepts() == {
+            "sushi_bar", "sushi", "date_night", "japanese",
+        }
+
+    def test_empty_extras(self):
+        profile = ConceptProfile(category="cafe")
+        assert profile.all_concepts() == {"cafe"}

@@ -1,0 +1,63 @@
+"""Tests for query intents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantics.intent import QueryIntent
+
+
+class TestQueryIntent:
+    def test_requires_at_least_one_concept(self):
+        with pytest.raises(ValueError):
+            QueryIntent(required=frozenset())
+
+    def test_required_preferred_disjoint(self):
+        with pytest.raises(ValueError, match="both required and preferred"):
+            QueryIntent(
+                required=frozenset({"coffee"}),
+                preferred=frozenset({"coffee"}),
+            )
+
+    def test_satisfied_by_exact_concepts(self, graph):
+        intent = QueryIntent(required=frozenset({"coffee", "pastries"}))
+        assert intent.is_satisfied_by(
+            frozenset({"coffee", "pastries", "cozy_atmosphere"}), graph
+        )
+
+    def test_satisfied_via_hypernym(self, graph):
+        intent = QueryIntent(required=frozenset({"coffee"}))
+        assert intent.is_satisfied_by(frozenset({"espresso"}), graph)
+
+    def test_not_satisfied_downward(self, graph):
+        intent = QueryIntent(required=frozenset({"espresso"}))
+        assert not intent.is_satisfied_by(frozenset({"coffee"}), graph)
+
+    def test_partial_not_satisfied(self, graph):
+        intent = QueryIntent(required=frozenset({"coffee", "sushi"}))
+        assert not intent.is_satisfied_by(frozenset({"coffee"}), graph)
+
+    def test_match_score_full(self, graph):
+        intent = QueryIntent(required=frozenset({"coffee"}))
+        assert intent.match_score(frozenset({"coffee"}), graph) == pytest.approx(1.0)
+
+    def test_match_score_half(self, graph):
+        intent = QueryIntent(required=frozenset({"coffee", "sushi"}))
+        score = intent.match_score(frozenset({"coffee"}), graph)
+        assert score == pytest.approx(0.425)
+
+    def test_match_score_with_preferred(self, graph):
+        intent = QueryIntent(
+            required=frozenset({"coffee"}),
+            preferred=frozenset({"pastries"}),
+        )
+        full = intent.match_score(frozenset({"coffee", "pastries"}), graph)
+        partial = intent.match_score(frozenset({"coffee"}), graph)
+        assert full == pytest.approx(1.0)
+        assert partial == pytest.approx(0.85)
+
+    def test_all_concepts(self):
+        intent = QueryIntent(
+            required=frozenset({"a"}), preferred=frozenset({"b"})
+        )
+        assert intent.all_concepts() == {"a", "b"}

@@ -1,0 +1,104 @@
+"""Integrity tests over the full declarative ontology."""
+
+from __future__ import annotations
+
+from repro.semantics.concepts import ConceptKind
+from repro.semantics.lexicon import full_knowledge
+from repro.semantics.ontology.aspects import CATEGORY_ASPECTS, UNIVERSAL_ASPECTS
+from repro.semantics.ontology.build import (
+    LABEL_DIFFICULTY,
+    category_aspects,
+    category_items,
+    primary_categories,
+)
+from repro.semantics.ontology.items import CATEGORY_ITEMS
+from repro.semantics.ontology.surface import SURFACE_FORMS
+
+
+class TestGraphIntegrity:
+    def test_substantial_inventory(self, graph):
+        assert len(graph) >= 250
+
+    def test_all_kinds_present(self, graph):
+        for kind in ConceptKind:
+            assert graph.of_kind(kind)
+
+    def test_no_cycles_ancestors_terminate(self, graph):
+        for concept in graph:
+            ancestors = graph.ancestors(concept.id)
+            assert concept.id not in ancestors
+
+    def test_primary_categories_exist_in_graph(self, graph):
+        for cid in primary_categories():
+            assert cid in graph
+            assert graph.get(cid).kind == ConceptKind.CATEGORY
+
+    def test_category_items_reference_real_concepts(self, graph):
+        for category, items in CATEGORY_ITEMS.items():
+            assert category in graph, category
+            for item in items:
+                assert item in graph, f"{category} -> {item}"
+                assert graph.get(item).kind == ConceptKind.ITEM
+
+    def test_category_aspects_reference_real_concepts(self, graph):
+        for category, aspects in CATEGORY_ASPECTS.items():
+            assert category in graph, category
+            for aspect in aspects:
+                assert aspect in graph, f"{category} -> {aspect}"
+                assert graph.get(aspect).kind == ConceptKind.ASPECT
+
+    def test_universal_aspects_are_aspects(self, graph):
+        for aspect in UNIVERSAL_ASPECTS:
+            assert graph.get(aspect).kind == ConceptKind.ASPECT
+
+    def test_surface_forms_reference_real_concepts(self, graph):
+        for concept_id in SURFACE_FORMS:
+            assert concept_id in graph, concept_id
+
+    def test_key_hierarchy_edges(self, graph):
+        assert graph.satisfies("coffee_shop", "cafe")
+        assert graph.satisfies("sports_bar", "bar")
+        assert graph.satisfies("sports_bar", "watch_sports")
+        assert graph.satisfies("espresso", "coffee")
+        assert graph.satisfies("sushi_bar", "japanese_restaurant")
+        assert graph.satisfies("chicken_wings", "fried_chicken")
+
+
+class TestLexiconIntegrity:
+    def test_every_concept_has_label_form(self, graph, lexicon):
+        for concept in graph:
+            forms = lexicon.forms_of(concept.id)
+            assert forms, f"no surface forms for {concept.id}"
+            assert any(f.difficulty == LABEL_DIFFICULTY for f in forms)
+
+    def test_most_primary_categories_have_oblique_forms(self, lexicon):
+        """Query generation needs paraphrases for most categories."""
+        missing = [
+            cid
+            for cid in primary_categories()
+            if not lexicon.oblique_forms_of(cid, 0.45)
+        ]
+        assert len(missing) <= len(primary_categories()) * 0.25, missing
+
+    def test_oracle_knows_everything(self, lexicon):
+        oracle = full_knowledge()
+        assert all(oracle.knows(f) for f in lexicon.forms())
+
+    def test_difficulties_in_range(self, lexicon):
+        for form in lexicon.forms():
+            assert 0.0 <= form.difficulty <= 1.0
+
+
+class TestCategoryHelpers:
+    def test_category_aspects_include_universal(self):
+        aspects = category_aspects("coffee_shop")
+        for universal in UNIVERSAL_ASPECTS:
+            assert universal in aspects
+
+    def test_category_aspects_no_duplicates(self):
+        for category in CATEGORY_ASPECTS:
+            aspects = category_aspects(category)
+            assert len(set(aspects)) == len(aspects)
+
+    def test_unknown_category_items_empty(self):
+        assert category_items("ghost_category") == ()

@@ -1,0 +1,248 @@
+"""Tests for the spatial index substrate (R-tree, IR-tree, grid, inverted)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import equirectangular_km
+from repro.spatial.grid import GridIndex
+from repro.spatial.inverted import InvertedIndex
+from repro.spatial.irtree import IRTree
+from repro.spatial.rtree import RTree
+
+
+def random_points(n: int, seed: int = 0) -> list[tuple[int, float, float]]:
+    rng = random.Random(seed)
+    return [
+        (i, rng.uniform(38.5, 38.8), rng.uniform(-90.4, -90.0))
+        for i in range(n)
+    ]
+
+
+BOX = BoundingBox(38.55, -90.3, 38.65, -90.15)
+
+
+def brute_range(points, box):
+    return sorted(i for i, lat, lon in points if box.contains_coords(lat, lon))
+
+
+class TestRTree:
+    def test_bulk_load_range_matches_brute_force(self):
+        points = random_points(2000, seed=1)
+        tree = RTree.bulk_load(points)
+        assert sorted(tree.range_query(BOX)) == brute_range(points, BOX)
+
+    def test_incremental_insert_range_matches(self):
+        points = random_points(800, seed=2)
+        tree = RTree(max_entries=8)
+        for i, lat, lon in points:
+            tree.insert(i, lat, lon)
+        assert sorted(tree.range_query(BOX)) == brute_range(points, BOX)
+
+    def test_len(self):
+        points = random_points(100)
+        assert len(RTree.bulk_load(points)) == 100
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.range_query(BOX) == []
+        assert tree.nearest(38.6, -90.2, 3) == []
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+    def test_nearest_matches_brute_force(self):
+        points = random_points(500, seed=3)
+        tree = RTree.bulk_load(points)
+        qlat, qlon = 38.62, -90.21
+        expected = sorted(
+            points, key=lambda p: equirectangular_km(qlat, qlon, p[1], p[2])
+        )[:5]
+        got = tree.nearest(qlat, qlon, k=5)
+        assert [i for i, _ in got] == [i for i, _, _ in expected]
+
+    def test_nearest_distances_ascending(self):
+        tree = RTree.bulk_load(random_points(300, seed=4))
+        dists = [d for _, d in tree.nearest(38.6, -90.2, k=10)]
+        assert dists == sorted(dists)
+
+    def test_nearest_invalid_k(self):
+        tree = RTree.bulk_load(random_points(10))
+        with pytest.raises(ValueError):
+            tree.nearest(38.6, -90.2, k=0)
+
+    def test_height_grows_with_size(self):
+        small = RTree.bulk_load(random_points(10))
+        large = RTree.bulk_load(random_points(2000, seed=5))
+        assert large.height() > small.height()
+
+    def test_iter_entries_complete(self):
+        points = random_points(150, seed=6)
+        tree = RTree.bulk_load(points)
+        assert sorted(e.object_id for e in tree.iter_entries()) == list(range(150))
+
+    def test_node_capacity_respected(self):
+        tree = RTree(max_entries=6)
+        for i, lat, lon in random_points(400, seed=7):
+            tree.insert(i, lat, lon)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node.entries) <= 6
+            else:
+                assert len(node.children) <= 6
+                stack.extend(node.children)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_range_query_property(self, seed):
+        rng = random.Random(seed)
+        points = [
+            (i, rng.uniform(0, 1), rng.uniform(0, 1)) for i in range(120)
+        ]
+        box = BoundingBox(0.25, 0.25, 0.7, 0.7)
+        tree = RTree.bulk_load(points, max_entries=5)
+        assert sorted(tree.range_query(box)) == brute_range(points, box)
+
+
+class TestIRTree:
+    @pytest.fixture(scope="class")
+    def irtree(self):
+        points = random_points(600, seed=8)
+        items = []
+        for i, lat, lon in points:
+            text = "cafe flat white" if i % 4 == 0 else "tire repair shop"
+            if i % 8 == 0:
+                text += " late night"
+            items.append((i, lat, lon, text))
+        return IRTree(items), points
+
+    def test_range_keyword_and_semantics(self, irtree):
+        tree, points = irtree
+        hits = tree.range_keyword_query(BOX, ["cafe", "white"])
+        assert hits
+        assert all(h % 4 == 0 for h in hits)
+        in_box = set(brute_range(points, BOX))
+        assert all(h in in_box for h in hits)
+
+    def test_range_keyword_or_semantics(self, irtree):
+        tree, _ = irtree
+        any_hits = tree.range_keyword_query(
+            BOX, ["cafe", "tire"], match_all=False
+        )
+        all_hits = tree.range_keyword_query(BOX, ["cafe", "tire"])
+        assert all_hits == []  # no doc has both
+        assert any_hits
+
+    def test_missing_keyword_prunes_everything(self, irtree):
+        tree, _ = irtree
+        assert tree.range_keyword_query(BOX, ["zzzunknown"]) == []
+
+    def test_empty_keywords(self, irtree):
+        tree, _ = irtree
+        assert tree.range_keyword_query(BOX, []) == []
+
+    def test_nearest_keyword_query_filters(self, irtree):
+        tree, points = irtree
+        results = tree.nearest_keyword_query(38.6, -90.2, ["cafe"], k=5)
+        assert len(results) == 5
+        assert all(i % 4 == 0 for i, _ in results)
+        dists = [d for _, d in results]
+        assert dists == sorted(dists)
+
+    def test_nearest_keyword_matches_brute_force(self, irtree):
+        tree, points = irtree
+        got = tree.nearest_keyword_query(38.6, -90.2, ["late", "night"], k=3)
+        eligible = [
+            (i, lat, lon) for i, lat, lon in points if i % 8 == 0
+        ]
+        expected = sorted(
+            eligible,
+            key=lambda p: equirectangular_km(38.6, -90.2, p[1], p[2]),
+        )[:3]
+        assert [i for i, _ in got] == [i for i, _, _ in expected]
+
+    def test_keywords_of(self, irtree):
+        tree, _ = irtree
+        assert "cafe" in tree.keywords_of(0)
+
+    def test_invalid_k(self, irtree):
+        tree, _ = irtree
+        with pytest.raises(ValueError):
+            tree.nearest_keyword_query(38.6, -90.2, ["cafe"], k=0)
+
+
+class TestGridIndex:
+    def test_range_matches_brute_force(self):
+        points = random_points(1000, seed=9)
+        grid = GridIndex(BoundingBox(38.5, -90.4, 38.8, -90.0), cells_per_axis=32)
+        for i, lat, lon in points:
+            grid.insert(i, lat, lon)
+        assert sorted(grid.range_query(BOX)) == brute_range(points, BOX)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            GridIndex(BOX, cells_per_axis=0)
+
+    def test_out_of_bounds_points_clamped_not_lost(self):
+        grid = GridIndex(BoundingBox(0, 0, 1, 1), cells_per_axis=4)
+        grid.insert("far", 5.0, 5.0)
+        assert len(grid) == 1
+
+    def test_occupancy_stats(self):
+        grid = GridIndex(BoundingBox(0, 0, 1, 1), cells_per_axis=4)
+        assert grid.occupancy()["cells_used"] == 0
+        grid.insert("a", 0.5, 0.5)
+        assert grid.occupancy()["cells_used"] == 1
+
+
+class TestInvertedIndex:
+    def test_postings_and_df(self):
+        index = InvertedIndex()
+        index.add_document("d1", ["cafe", "coffee", "coffee"])
+        index.add_document("d2", ["coffee"])
+        assert index.document_frequency("coffee") == 2
+        assert index.postings("coffee")["d1"] == 2
+
+    def test_duplicate_document_raises(self):
+        index = InvertedIndex()
+        index.add_document("d1", ["a"])
+        with pytest.raises(ValueError):
+            index.add_document("d1", ["b"])
+
+    def test_documents_with_all(self):
+        index = InvertedIndex()
+        index.add_document("d1", ["a", "b"])
+        index.add_document("d2", ["a"])
+        assert index.documents_with_all(["a", "b"]) == {"d1"}
+        assert index.documents_with_all(["a"]) == {"d1", "d2"}
+        assert index.documents_with_all([]) == set()
+        assert index.documents_with_all(["zzz"]) == set()
+
+    def test_documents_with_any(self):
+        index = InvertedIndex()
+        index.add_document("d1", ["a"])
+        index.add_document("d2", ["b"])
+        assert index.documents_with_any(["a", "b"]) == {"d1", "d2"}
+
+    def test_lengths(self):
+        index = InvertedIndex()
+        index.add_document("d1", ["a", "b", "c"])
+        index.add_document("d2", ["a"])
+        assert index.doc_length("d1") == 3
+        assert index.average_doc_length() == 2.0
+        assert index.doc_length("ghost") == 0
+
+    def test_empty_index(self):
+        index = InvertedIndex()
+        assert len(index) == 0
+        assert index.average_doc_length() == 0.0
+        assert index.vocabulary_size == 0

@@ -1,0 +1,114 @@
+"""Tests for repro.text.similarity."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    cosine_dense,
+    cosine_sparse,
+    dice,
+    jaccard,
+    jensen_shannon,
+    jensen_shannon_similarity,
+    overlap_coefficient,
+)
+
+
+class TestCosineSparse:
+    def test_identical_vectors(self):
+        v = {0: 1.0, 3: 2.0}
+        assert cosine_sparse(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_sparse({0: 1.0}, {1: 1.0}) == 0.0
+
+    def test_empty_either_side(self):
+        assert cosine_sparse({}, {0: 1.0}) == 0.0
+        assert cosine_sparse({0: 1.0}, {}) == 0.0
+
+    def test_symmetry(self):
+        a = {0: 1.0, 1: 2.0}
+        b = {1: 3.0, 2: 1.0}
+        assert cosine_sparse(a, b) == pytest.approx(cosine_sparse(b, a))
+
+    def test_known_value(self):
+        a = {0: 1.0, 1: 1.0}
+        b = {0: 1.0}
+        assert cosine_sparse(a, b) == pytest.approx(1 / math.sqrt(2))
+
+    @given(
+        st.dictionaries(st.integers(0, 20), st.floats(0.01, 10), max_size=10),
+        st.dictionaries(st.integers(0, 20), st.floats(0.01, 10), max_size=10),
+    )
+    def test_bounded(self, a, b):
+        assert -1.0000001 <= cosine_sparse(a, b) <= 1.0000001
+
+
+class TestCosineDense:
+    def test_identical(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_dense(v, v) == pytest.approx(1.0)
+
+    def test_zero_vector(self):
+        assert cosine_dense(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_opposite(self):
+        v = np.array([1.0, 0.0])
+        assert cosine_dense(v, -v) == pytest.approx(-1.0)
+
+
+class TestSetSimilarities:
+    def test_jaccard_basic(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty_sets(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient({"a", "b", "c"}, {"a"}) == 1.0
+
+    def test_overlap_empty(self):
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+    def test_dice(self):
+        assert dice({"a", "b"}, {"b"}) == pytest.approx(2 / 3)
+
+    def test_dice_empty(self):
+        assert dice(set(), set()) == 1.0
+
+
+class TestJensenShannon:
+    def test_identical_distributions(self):
+        assert jensen_shannon([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_maximal_divergence(self):
+        assert jensen_shannon([1, 0], [0, 1]) == pytest.approx(math.log(2))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            jensen_shannon([0.5, 0.5], [1.0])
+
+    def test_unnormalized_inputs_accepted(self):
+        assert jensen_shannon([2, 2], [5, 5]) == pytest.approx(0.0)
+
+    def test_similarity_bounds(self):
+        assert jensen_shannon_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+        assert jensen_shannon_similarity([1, 1], [1, 1]) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(0.01, 5), min_size=3, max_size=3),
+        st.lists(st.floats(0.01, 5), min_size=3, max_size=3),
+    )
+    def test_symmetric_and_bounded(self, p, q):
+        d = jensen_shannon(p, q)
+        assert d == pytest.approx(jensen_shannon(q, p), abs=1e-9)
+        assert -1e-9 <= d <= math.log(2) + 1e-9

@@ -1,0 +1,122 @@
+"""Tests for the Porter stemmer."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemming import stem, stem_tokens
+
+# Classic fixtures from Porter's paper and common stemmer test sets.
+KNOWN_STEMS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", KNOWN_STEMS)
+def test_known_stems(word: str, expected: str):
+    assert stem(word) == expected
+
+
+def test_short_words_unchanged():
+    assert stem("at") == "at"
+    assert stem("a") == "a"
+
+
+def test_retrieval_relevant_pairs_conflate():
+    """Inflection pairs that the baselines rely on conflating."""
+    assert stem("restaurants") == stem("restaurant")
+    assert stem("wings") == stem("wing")
+    assert stem("coffees") == stem("coffee")
+    assert stem("reservations") == stem("reservation")
+
+
+def test_stem_tokens_order_preserved():
+    assert stem_tokens(["cats", "ponies"]) == ["cat", "poni"]
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=25))
+def test_stem_never_longer_than_word(word: str):
+    assert len(stem(word)) <= len(word)
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=25))
+def test_stem_is_deterministic(word: str):
+    assert stem(word) == stem(word)

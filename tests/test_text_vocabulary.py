@@ -1,0 +1,82 @@
+"""Tests for repro.text.vocabulary."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.vocabulary import Vocabulary
+
+
+class TestVocabulary:
+    def test_first_seen_order_ids(self):
+        vocab = Vocabulary(["b", "a", "b", "c"])
+        assert vocab.id_of("b") == 0
+        assert vocab.id_of("a") == 1
+        assert vocab.id_of("c") == 2
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("x")
+        second = vocab.add("x")
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_frequency_counts_all_adds(self):
+        vocab = Vocabulary(["x", "x", "y"])
+        assert vocab.frequency("x") == 2
+        assert vocab.frequency("y") == 1
+        assert vocab.frequency("unseen") == 0
+
+    def test_encode_drops_unknown(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.encode(["a", "zzz", "b"]) == [0, 1]
+
+    def test_token_of_roundtrip(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        for token in "abc":
+            assert vocab.token_of(vocab.id_of(token)) == token
+
+    def test_contains(self):
+        vocab = Vocabulary(["a"])
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_add_document_returns_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add_document(["a", "b", "a"]) == [0, 1, 0]
+
+    def test_iteration_order(self):
+        vocab = Vocabulary(["c", "a", "b"])
+        assert list(vocab) == ["c", "a", "b"]
+
+
+class TestPrune:
+    def test_min_frequency(self):
+        vocab = Vocabulary(["a", "a", "b", "c", "c", "c"])
+        pruned = vocab.prune(min_frequency=2)
+        assert "a" in pruned and "c" in pruned and "b" not in pruned
+
+    def test_max_size_keeps_most_frequent(self):
+        vocab = Vocabulary(["a"] * 3 + ["b"] * 2 + ["c"])
+        pruned = vocab.prune(max_size=2)
+        assert set(pruned) == {"a", "b"}
+
+    def test_pruned_ids_are_dense(self):
+        vocab = Vocabulary(["a", "b", "c", "b", "c", "c"])
+        pruned = vocab.prune(min_frequency=2)
+        ids = sorted(pruned.id_of(t) for t in pruned)
+        assert ids == list(range(len(pruned)))
+
+    def test_prune_preserves_original(self):
+        vocab = Vocabulary(["a", "b"])
+        vocab.prune(min_frequency=5)
+        assert len(vocab) == 2
+
+    @given(st.lists(st.sampled_from("abcdef"), max_size=60))
+    def test_prune_subset_property(self, tokens: list[str]):
+        vocab = Vocabulary(tokens)
+        pruned = vocab.prune(min_frequency=2)
+        assert set(pruned) <= set(vocab)
+        for token in pruned:
+            assert vocab.frequency(token) >= 2

@@ -1,0 +1,124 @@
+"""Tests for payload filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FilterError
+from repro.geo.bbox import BoundingBox
+from repro.vectordb.filters import (
+    And,
+    FieldIn,
+    FieldMatch,
+    FieldRange,
+    GeoBoundingBoxFilter,
+    GeoRadiusFilter,
+    Not,
+    Or,
+)
+
+PAYLOAD = {
+    "city": "Saint Louis",
+    "stars": 4.5,
+    "is_open": 1,
+    "location": {"lat": 38.627, "lon": -90.199},
+}
+
+
+class TestFieldMatch:
+    def test_match(self):
+        assert FieldMatch("city", "Saint Louis").matches(PAYLOAD)
+
+    def test_mismatch(self):
+        assert not FieldMatch("city", "Nashville").matches(PAYLOAD)
+
+    def test_missing_field(self):
+        assert not FieldMatch("ghost", 1).matches(PAYLOAD)
+
+
+class TestFieldIn:
+    def test_membership(self):
+        assert FieldIn("city", ["Saint Louis", "Nashville"]).matches(PAYLOAD)
+
+    def test_non_membership(self):
+        assert not FieldIn("city", ["Nashville"]).matches(PAYLOAD)
+
+
+class TestFieldRange:
+    def test_inclusive_bounds(self):
+        assert FieldRange("stars", gte=4.5).matches(PAYLOAD)
+        assert FieldRange("stars", lte=4.5).matches(PAYLOAD)
+
+    def test_outside_range(self):
+        assert not FieldRange("stars", gte=4.6).matches(PAYLOAD)
+
+    def test_non_numeric_value_never_matches(self):
+        assert not FieldRange("city", gte=0).matches(PAYLOAD)
+
+    def test_bool_value_never_matches(self):
+        assert not FieldRange("flag", gte=0).matches({"flag": True})
+
+    def test_no_bounds_raises(self):
+        with pytest.raises(FilterError):
+            FieldRange("stars")
+
+    def test_empty_range_raises(self):
+        with pytest.raises(FilterError):
+            FieldRange("stars", gte=5, lte=4)
+
+
+class TestGeoFilters:
+    def test_bounding_box_inside(self):
+        box = BoundingBox(38.6, -90.3, 38.7, -90.1)
+        assert GeoBoundingBoxFilter("location", box).matches(PAYLOAD)
+
+    def test_bounding_box_outside(self):
+        box = BoundingBox(40, -75, 41, -74)
+        assert not GeoBoundingBoxFilter("location", box).matches(PAYLOAD)
+
+    def test_malformed_location_never_matches(self):
+        box = BoundingBox(0, 0, 90, 90)
+        assert not GeoBoundingBoxFilter("location", box).matches({"location": "x"})
+        assert not GeoBoundingBoxFilter("location", box).matches(
+            {"location": {"lat": "a", "lon": 1}}
+        )
+
+    def test_radius_inside(self):
+        flt = GeoRadiusFilter("location", 38.627, -90.199, radius_km=1.0)
+        assert flt.matches(PAYLOAD)
+
+    def test_radius_outside(self):
+        flt = GeoRadiusFilter("location", 40.0, -75.0, radius_km=10.0)
+        assert not flt.matches(PAYLOAD)
+
+    def test_radius_validation(self):
+        with pytest.raises(FilterError):
+            GeoRadiusFilter("location", 0, 0, radius_km=0)
+
+
+class TestCombinators:
+    def test_and(self):
+        flt = And(FieldMatch("is_open", 1), FieldRange("stars", gte=4.0))
+        assert flt.matches(PAYLOAD)
+        assert not And(FieldMatch("is_open", 0), FieldRange("stars", gte=4.0)).matches(PAYLOAD)
+
+    def test_or(self):
+        flt = Or(FieldMatch("city", "Nashville"), FieldMatch("is_open", 1))
+        assert flt.matches(PAYLOAD)
+
+    def test_not(self):
+        assert Not(FieldMatch("city", "Nashville")).matches(PAYLOAD)
+        assert not Not(FieldMatch("city", "Saint Louis")).matches(PAYLOAD)
+
+    def test_empty_combinators_raise(self):
+        with pytest.raises(FilterError):
+            And()
+        with pytest.raises(FilterError):
+            Or()
+
+    def test_nested_composition(self):
+        flt = And(
+            Or(FieldMatch("city", "Saint Louis"), FieldMatch("city", "Nashville")),
+            Not(FieldRange("stars", lte=2.0)),
+        )
+        assert flt.matches(PAYLOAD)
