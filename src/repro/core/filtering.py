@@ -8,12 +8,15 @@ the top-k most semantically similar candidates — all without any LLM call,
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core.query import SpatialKeywordQuery
 from repro.embeddings.base import EmbeddingModel
+from repro.geo.bbox import BoundingBox
 from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import SearchHit
 from repro.vectordb.filters import GeoBoundingBoxFilter
 
 #: Default candidate count fetched for refinement (the paper's top-k).
@@ -56,12 +59,49 @@ class FilteringStage:
         hits = self._client.search(
             self._collection, vector, k, flt=geo_filter, ef=self._ef
         )
-        return [
-            Candidate(
-                business_id=hit.id,
-                name=str(hit.payload.get("name", hit.id)),
-                score=hit.score,
-                payload=hit.payload,
+        return _to_candidates(hits)
+
+    def run_batch(
+        self,
+        queries: Sequence[SpatialKeywordQuery],
+        k: int = DEFAULT_CANDIDATES,
+    ) -> list[list[Candidate]]:
+        """Per-query candidates for a whole batch, sharing work across it.
+
+        Query texts embed in one :meth:`EmbeddingModel.embed_batch` call
+        (repeated texts hit the embedder's dedup/cache), and queries with
+        the same spatial range share one filtered ``search_batch`` — the
+        geo filter's candidate set is evaluated once per distinct range
+        instead of once per query. Results are equivalent to calling
+        :meth:`run` once per query, in order.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if not queries:
+            return []
+        vectors = self._embedder.embed_batch([q.text for q in queries])
+        groups: dict[BoundingBox, list[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault(query.range, []).append(position)
+        results: list[list[Candidate]] = [[] for _ in queries]
+        for box, positions in groups.items():
+            geo_filter = GeoBoundingBoxFilter("location", box)
+            hit_lists = self._client.search_batch(
+                self._collection, vectors[positions], k,
+                flt=geo_filter, ef=self._ef,
             )
-            for hit in hits
-        ]
+            for position, hits in zip(positions, hit_lists):
+                results[position] = _to_candidates(hits)
+        return results
+
+
+def _to_candidates(hits: list[SearchHit]) -> list[Candidate]:
+    return [
+        Candidate(
+            business_id=hit.id,
+            name=str(hit.payload.get("name", hit.id)),
+            score=hit.score,
+            payload=hit.payload,
+        )
+        for hit in hits
+    ]

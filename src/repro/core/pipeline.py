@@ -6,14 +6,24 @@
 * ``"gpt-4o"``  — **SemaSK** (the default system);
 * ``"o1-mini"`` — **SemaSK-O1**;
 * ``None``      — **SemaSK-EM** (embeddings only, no refinement).
+
+Batched execution: :meth:`SemaSK.query_many` answers a list of queries
+through the batched read path — one ``embed_batch`` call for all query
+texts, shared filter evaluation per distinct range, and (optionally)
+LLM refinement fanned out over a thread pool. Each query's
+:class:`QueryResult` is equivalent to what sequential :meth:`SemaSK.query`
+calls would return, with the batch's filtering time amortized evenly
+across the per-query timings.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.core.filtering import DEFAULT_CANDIDATES, FilteringStage
+from repro.core.filtering import DEFAULT_CANDIDATES, Candidate, FilteringStage
 from repro.core.prepare import PreparedCity
 from repro.core.query import SpatialKeywordQuery
 from repro.core.refinement import RefinementStage
@@ -89,32 +99,112 @@ class SemaSK:
         filter_s = time.perf_counter() - t0
 
         if self._refinement is None:
-            entries = tuple(
-                ResultEntry(
-                    business_id=c.business_id,
-                    name=c.name,
-                    score=c.score,
-                    reason="",
-                    recommended=True,
-                )
-                for c in candidates
-            )
-            return QueryResult(
-                query_text=query.text,
-                entries=entries,
-                filtered_out=(),
-                timings=QueryTimings(
-                    filter_s=filter_s,
-                    refine_compute_s=0.0,
-                    refine_modeled_s=0.0,
-                ),
-                candidates_considered=len(candidates),
-            )
+            return self._embedding_only_result(query, candidates, filter_s)
 
         t1 = time.perf_counter()
         outcome = self._refinement.run(query.text, candidates)
         refine_compute_s = time.perf_counter() - t1
+        return self._refined_result(
+            query, candidates, outcome, filter_s, refine_compute_s
+        )
 
+    def query_many(
+        self,
+        queries: Sequence[SpatialKeywordQuery],
+        *,
+        parallel_refine: int = 1,
+    ) -> list[QueryResult]:
+        """Answer many queries through the batched read path.
+
+        Filtering runs once for the whole batch (batched embedding, shared
+        range-filter evaluation, matrix scoring); refinement then runs per
+        query, on a thread pool of ``parallel_refine`` workers when > 1
+        (LLM calls are I/O-bound against a hosted provider). Results are
+        returned in query order and are equivalent to sequential
+        :meth:`query` calls. Each result's ``filter_s`` is the batch
+        filtering time divided by the batch size.
+        """
+        if parallel_refine <= 0:
+            raise ValueError(
+                f"parallel_refine must be positive, got {parallel_refine}"
+            )
+        if not queries:
+            return []
+
+        t0 = time.perf_counter()
+        run_batch = getattr(self._filtering, "run_batch", None)
+        if run_batch is not None:
+            candidate_lists = run_batch(queries, k=self._config.candidate_k)
+        else:  # duck-typed stages without a batch path fall back per query
+            candidate_lists = [
+                self._filtering.run(q, k=self._config.candidate_k)
+                for q in queries
+            ]
+        filter_s = (time.perf_counter() - t0) / len(queries)
+
+        if self._refinement is None:
+            return [
+                self._embedding_only_result(query, candidates, filter_s)
+                for query, candidates in zip(queries, candidate_lists)
+            ]
+
+        def refine(
+            pair: tuple[SpatialKeywordQuery, list[Candidate]]
+        ) -> QueryResult:
+            query, candidates = pair
+            t1 = time.perf_counter()
+            outcome = self._refinement.run(query.text, candidates)
+            refine_compute_s = time.perf_counter() - t1
+            return self._refined_result(
+                query, candidates, outcome, filter_s, refine_compute_s
+            )
+
+        pairs = list(zip(queries, candidate_lists))
+        if parallel_refine == 1 or len(pairs) == 1:
+            return [refine(pair) for pair in pairs]
+        with ThreadPoolExecutor(max_workers=parallel_refine) as pool:
+            return list(pool.map(refine, pairs))
+
+    # ------------------------------------------------------------------
+    # result assembly (shared by query and query_many)
+    # ------------------------------------------------------------------
+
+    def _embedding_only_result(
+        self,
+        query: SpatialKeywordQuery,
+        candidates: list[Candidate],
+        filter_s: float,
+    ) -> QueryResult:
+        entries = tuple(
+            ResultEntry(
+                business_id=c.business_id,
+                name=c.name,
+                score=c.score,
+                reason="",
+                recommended=True,
+            )
+            for c in candidates
+        )
+        return QueryResult(
+            query_text=query.text,
+            entries=entries,
+            filtered_out=(),
+            timings=QueryTimings(
+                filter_s=filter_s,
+                refine_compute_s=0.0,
+                refine_modeled_s=0.0,
+            ),
+            candidates_considered=len(candidates),
+        )
+
+    def _refined_result(
+        self,
+        query: SpatialKeywordQuery,
+        candidates: list[Candidate],
+        outcome,
+        filter_s: float,
+        refine_compute_s: float,
+    ) -> QueryResult:
         n = max(len(outcome.accepted), 1)
         entries = tuple(
             ResultEntry(

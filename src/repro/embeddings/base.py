@@ -29,7 +29,13 @@ class EmbeddingModel(ABC):
         """Embed one text into a float32 unit vector of length :attr:`dim`."""
 
     def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
-        """Embed ``texts`` into an ``(n, dim)`` float32 matrix."""
+        """Embed ``texts`` into an ``(n, dim)`` float32 matrix.
+
+        Contract for all implementations: row ``i`` is bitwise identical to
+        ``embed(texts[i])`` — batching is an amortization, never a different
+        model. Subclasses override this to share work across the batch
+        (feature-hash memoization, per-batch text dedup, cache lookups).
+        """
         if not texts:
             return np.zeros((0, self._dim), dtype=np.float32)
         return np.stack([self.embed(t) for t in texts])

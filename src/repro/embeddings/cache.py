@@ -46,6 +46,45 @@ class CachingEmbedder(EmbeddingModel):
             self._cache.popitem(last=False)
         return vector
 
+    def embed_batch(self, texts) -> np.ndarray:
+        """Batch embedding with per-text cache hits.
+
+        Cached texts are served from the LRU without touching the inner
+        model; the remaining *unique* misses go to the inner model's own
+        ``embed_batch`` in one call. A text repeated within the batch is
+        embedded once — the first occurrence counts as the miss, later
+        occurrences count as hits, so ``hits + misses`` still advances by
+        ``len(texts)``.
+        """
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        out: list[np.ndarray | None] = [None] * len(texts)
+        missing: dict[str, list[int]] = {}
+        for i, text in enumerate(texts):
+            cached = self._cache.get(text)
+            if cached is not None:
+                self._cache.move_to_end(text)
+                self.hits += 1
+                out[i] = cached
+            else:
+                missing.setdefault(text, []).append(i)
+        if missing:
+            unique = list(missing)
+            vectors = self._inner.embed_batch(unique)
+            for text, vector in zip(unique, vectors):
+                positions = missing[text]
+                self.misses += 1
+                self.hits += len(positions) - 1
+                # Copy: a row view would pin the whole batch matrix in the
+                # LRU for as long as any single entry survives eviction.
+                vector = vector.copy()
+                self._cache[text] = vector
+                if len(self._cache) > self._max_entries:
+                    self._cache.popitem(last=False)
+                for i in positions:
+                    out[i] = vector
+        return np.stack(out)
+
     def clear(self) -> None:
         """Drop all cached vectors and reset counters."""
         self._cache.clear()

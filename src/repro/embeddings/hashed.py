@@ -46,15 +46,40 @@ class HashedNgramEmbedder(EmbeddingModel):
         self._salt = salt
 
     def embed(self, text: str) -> np.ndarray:
+        return self._embed_one(text, {})
+
+    def embed_batch(self, texts) -> np.ndarray:
+        """Batch embedding with a shared feature-hash memo.
+
+        Hashing a feature (one blake2b digest) is the dominant per-token
+        cost; texts in one batch share vocabulary heavily, so the memo
+        turns repeated features into dict lookups. Accumulation order per
+        text is unchanged, so rows are bitwise identical to :meth:`embed`.
+        """
+        if not texts:
+            return np.zeros((0, self._dim), dtype=np.float32)
+        memo: dict[str, tuple[int, float]] = {}
+        return np.stack([self._embed_one(t, memo) for t in texts])
+
+    def _embed_one(
+        self, text: str, memo: dict[str, tuple[int, float]]
+    ) -> np.ndarray:
         vector = np.zeros(self._dim, dtype=np.float64)
         tokens = remove_stopwords(tokenize(text))
         for token in tokens:
-            bucket, sign = _bucket_and_sign(f"w:{token}", self._dim, self._salt)
+            bucket, sign = self._slot(f"w:{token}", memo)
             vector[bucket] += sign
             if self._char_weight > 0:
                 for gram in char_ngrams(token, 3):
-                    bucket, sign = _bucket_and_sign(
-                        f"c:{gram}", self._dim, self._salt
-                    )
+                    bucket, sign = self._slot(f"c:{gram}", memo)
                     vector[bucket] += sign * self._char_weight
         return self._normalize(vector)
+
+    def _slot(
+        self, feature: str, memo: dict[str, tuple[int, float]]
+    ) -> tuple[int, float]:
+        cached = memo.get(feature)
+        if cached is None:
+            cached = _bucket_and_sign(feature, self._dim, self._salt)
+            memo[feature] = cached
+        return cached

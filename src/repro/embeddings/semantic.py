@@ -114,6 +114,24 @@ class SemanticEmbedder(EmbeddingModel):
         combined = self._concept_weight * vector + self._lexical_weight * lexical
         return self._normalize(combined)
 
+    def embed_batch(self, texts) -> np.ndarray:
+        """Batch embedding with per-batch text deduplication.
+
+        Concept extraction is the expensive step, and batched query
+        workloads repeat texts (benchmark sweeps, popular queries); each
+        unique text is embedded once per batch. Rows are bitwise identical
+        to :meth:`embed`. Concept vectors are additionally memoized
+        instance-wide, so repeated concepts across distinct texts are
+        shared too.
+        """
+        if not texts:
+            return np.zeros((0, self._dim), dtype=np.float32)
+        unique: dict[str, np.ndarray] = {}
+        for text in texts:
+            if text not in unique:
+                unique[text] = self.embed(text)
+        return np.stack([unique[text] for text in texts])
+
     def concepts_in(self, text: str) -> frozenset[str]:
         """Concepts this model recognizes in ``text`` (diagnostics/ablations)."""
         return self._extractor.extract_concepts(text)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -47,16 +48,28 @@ class ChatCompletion:
 
 @dataclass
 class UsageLedger:
-    """Accumulates usage and cost across calls (per model)."""
+    """Accumulates usage and cost across calls (per model).
+
+    Recording is internally locked: batched query execution may refine on
+    a thread pool against one shared client, and every client subclass
+    (including ones that override ``chat``) records through this method.
+    """
 
     calls: dict[str, int] = field(default_factory=dict)
     input_tokens: dict[str, int] = field(default_factory=dict)
     output_tokens: dict[str, int] = field(default_factory=dict)
     cost_usd: dict[str, float] = field(default_factory=dict)
     latency_s: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, completion: ChatCompletion) -> None:
-        """Add one completion to the ledger."""
+        """Add one completion to the ledger (thread-safe)."""
+        with self._lock:
+            self._record_locked(completion)
+
+    def _record_locked(self, completion: ChatCompletion) -> None:
         m = completion.model
         self.calls[m] = self.calls.get(m, 0) + 1
         self.input_tokens[m] = (

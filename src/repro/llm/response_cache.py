@@ -12,6 +12,7 @@ both "calls issued" and "calls actually paid for".
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 from repro.llm.base import ChatCompletion, ChatMessage, LLMClient
@@ -38,6 +39,15 @@ class CachingLLMClient(LLMClient):
         self._inner = inner
         self._max_entries = max_entries
         self._cache: OrderedDict[str, ChatCompletion] = OrderedDict()
+        # LRU reordering and hit/miss counters are read-modify-write;
+        # batched refinement shares one client across a thread pool. The
+        # inner chat call itself stays outside the lock. ``_pending`` maps
+        # keys with an in-flight inner call to an event, so concurrent
+        # misses on the same prompt pay the provider once and all receive
+        # the identical completion (sequential-equivalence for duplicate
+        # queries in one batch).
+        self._cache_lock = threading.Lock()
+        self._pending: dict[str, threading.Event] = {}
         self.hits = 0
         self.misses = 0
 
@@ -56,17 +66,41 @@ class CachingLLMClient(LLMClient):
         if not messages:
             raise ValueError("messages must be non-empty")
         key = _cache_key(model, messages)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.hits += 1
-            self.ledger.record(cached)
-            return cached
-        self.misses += 1
-        completion = self._inner.chat(model, messages)
-        self._cache[key] = completion
-        if len(self._cache) > self._max_entries:
-            self._cache.popitem(last=False)
+        while True:
+            pending = None
+            with self._cache_lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.hits += 1
+                else:
+                    pending = self._pending.get(key)
+                    if pending is None:
+                        self._pending[key] = threading.Event()
+                        self.misses += 1
+            if cached is not None:
+                self.ledger.record(cached)
+                return cached
+            if pending is None:
+                break  # this thread owns the miss and pays the inner call
+            pending.wait()  # another thread is fetching; re-check after
+
+        try:
+            completion = self._inner.chat(model, messages)
+        except BaseException:
+            # Release waiters; they re-check, find nothing, and retry
+            # as owners themselves.
+            with self._cache_lock:
+                event = self._pending.pop(key, None)
+            if event is not None:
+                event.set()
+            raise
+        with self._cache_lock:
+            self._cache[key] = completion
+            if len(self._cache) > self._max_entries:
+                self._cache.popitem(last=False)
+            event = self._pending.pop(key)
+        event.set()
         self.ledger.record(completion)
         return completion
 

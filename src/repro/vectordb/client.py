@@ -93,6 +93,20 @@ class VectorDBClient:
             vector, k, flt=flt, exact=exact, ef=ef
         )
 
+    def search_batch(
+        self,
+        name: str,
+        vectors: np.ndarray | Sequence[Sequence[float]],
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+    ) -> list[list[SearchHit]]:
+        """Batched search (see :meth:`Collection.search_batch`)."""
+        return self.get_collection(name).search_batch(
+            vectors, k, flt=flt, exact=exact, ef=ef
+        )
+
     def count(self, name: str, flt: Filter | None = None) -> int:
         """Count points in the named collection matching ``flt``."""
         return self.get_collection(name).count(flt)

@@ -5,6 +5,13 @@ payloads, then run (optionally filtered) kNN searches. Filtered searches
 follow the same strategy real engines use: when the filter is selective,
 score the matching subset exactly; when it is broad, traverse the HNSW
 graph with a predicate.
+
+Batched reads: :meth:`Collection.search_batch` answers many queries against
+one filter in a single call — the filter's candidate set is computed once
+and shared across the whole batch, exact scoring runs as one matrix–matrix
+product, and per-query results are guaranteed equivalent to calling
+:meth:`Collection.search` once per query (same hits; scores equal up to
+float accumulation order).
 """
 
 from __future__ import annotations
@@ -178,10 +185,27 @@ class Collection:
         return hits
 
     def count(self, flt: Filter | None = None) -> int:
-        """Number of points matching ``flt`` (all points when None)."""
+        """Number of points matching ``flt`` (all points when None).
+
+        Uses payload secondary indexes to narrow the scan, exactly like
+        filtered searches do.
+        """
         if flt is None:
             return len(self._ids)
-        return sum(1 for payload in self._payloads if flt.matches(payload))
+        return int(self._matching_nodes(flt).size)
+
+    def _matching_nodes(self, flt: Filter) -> np.ndarray:
+        """Node ids matching ``flt``, narrowed by payload indexes first."""
+        candidates = self._payload_indexes.candidates_for(flt)
+        scan = (
+            sorted(candidates)
+            if candidates is not None
+            else range(len(self._ids))
+        )
+        return np.fromiter(
+            (node for node in scan if flt.matches(self._payloads[node])),
+            dtype=np.int64,
+        )
 
     def _ensure_hnsw(self) -> HNSWIndex:
         if self._hnsw is None:
@@ -218,16 +242,7 @@ class Collection:
             )
 
         if flt is not None:
-            candidates = self._payload_indexes.candidates_for(flt)
-            scan = (
-                sorted(candidates)
-                if candidates is not None
-                else range(len(self._ids))
-            )
-            matching = np.fromiter(
-                (node for node in scan if flt.matches(self._payloads[node])),
-                dtype=np.int64,
-            )
+            matching = self._matching_nodes(flt)
             if matching.size == 0:
                 return []
             if exact or matching.size <= self.BRUTE_FORCE_THRESHOLD:
@@ -252,6 +267,66 @@ class Collection:
                 payload=dict(self._payloads[node]),
             )
             for node, score in raw
+        ]
+
+    def search_batch(
+        self,
+        vectors: np.ndarray | Sequence[Sequence[float]],
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+    ) -> list[list[SearchHit]]:
+        """Top-``k`` hits for each query row, against one shared filter.
+
+        The batch equivalent of :meth:`search`: the filter's matching-node
+        set is evaluated once for the whole batch (the dominant cost of a
+        filtered search over payloads), exact scoring dispatches to the
+        flat index's matrix–matrix path, and the HNSW path reuses the
+        graph's vectorized traversal per query. Returns one hit list per
+        query, equivalent to ``[self.search(v, k, ...) for v in vectors]``.
+        """
+        queries = np.asarray(vectors, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise DimensionMismatch(
+                f"queries shape {queries.shape} != (n, {self.dim})"
+            )
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        if len(self._ids) == 0:
+            return [[] for _ in range(n_queries)]
+
+        if flt is not None:
+            matching = self._matching_nodes(flt)
+            if matching.size == 0:
+                return [[] for _ in range(n_queries)]
+            if exact or matching.size <= self.BRUTE_FORCE_THRESHOLD:
+                raw_lists = self._flat.search_batch(queries, k, subset=matching)
+            else:
+                match_set = set(matching.tolist())
+                index = self._ensure_hnsw()
+                raw_lists = index.search_batch(
+                    queries, k, ef=ef or self._hnsw_config.ef_search,
+                    predicate=lambda n: n in match_set,
+                )
+        elif exact:
+            raw_lists = self._flat.search_batch(queries, k)
+        else:
+            raw_lists = self._ensure_hnsw().search_batch(
+                queries, k, ef=ef or self._hnsw_config.ef_search
+            )
+
+        return [
+            [
+                SearchHit(
+                    id=self._ids[node],
+                    score=score,
+                    payload=dict(self._payloads[node]),
+                )
+                for node, score in raw
+            ]
+            for raw in raw_lists
         ]
 
     # ------------------------------------------------------------------

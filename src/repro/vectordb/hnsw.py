@@ -22,12 +22,21 @@ internally the code works with similarity directly rather than distance.
 Filtered search takes a node predicate: traversal is unfiltered (as in
 Qdrant), but only predicate-passing nodes enter the result set, and the
 beam is widened so enough valid results surface.
+
+The layer-0 beam search is vectorized: adjacency is mirrored into a padded
+int32 matrix so each visit scores a node's whole neighbour block with one
+gather + dot, below-beam neighbours are dropped with a numpy mask before
+any per-neighbour Python work, and the visited set is a stamped array
+reused across calls (no per-search set allocation). ``search_batch``
+answers many queries over this shared machinery; quality is pinned by the
+recall regression tests.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+import threading
 from collections.abc import Callable
 
 import numpy as np
@@ -65,6 +74,17 @@ class HNSWIndex:
         self._links: list[list[list[int]]] = []
         self._entry_point: int = -1
         self._max_level: int = -1
+        # Layer-0 adjacency mirrored into a padded int32 matrix so the beam
+        # search gathers/scores a node's whole neighbour block with numpy
+        # instead of per-neighbour Python list work (layer 0 is where nearly
+        # all visits happen; upper layers are traversed with ef=1).
+        self._adj0 = np.full((initial_capacity, self._m0), -1, dtype=np.int32)
+        self._adj0_len = np.zeros(initial_capacity, dtype=np.int32)
+        # Visited-set bookkeeping as a stamped array: each _search_layer call
+        # takes a fresh stamp, so no per-call set allocation or rehashing.
+        # Thread-local so concurrent searches stay as safe as the per-call
+        # set they replaced (concurrent add() is unsupported, as before).
+        self._visited_tls = threading.local()
 
     def __len__(self) -> int:
         return self._count
@@ -94,6 +114,29 @@ class HNSWIndex:
         grown = np.zeros((new_capacity, self._dim), dtype=np.float32)
         grown[: self._count] = self._vectors[: self._count]
         self._vectors = grown
+        adj0 = np.full((new_capacity, self._m0), -1, dtype=np.int32)
+        adj0[: self._count] = self._adj0[: self._count]
+        self._adj0 = adj0
+        adj0_len = np.zeros(new_capacity, dtype=np.int32)
+        adj0_len[: self._count] = self._adj0_len[: self._count]
+        self._adj0_len = adj0_len
+
+    def _sync_adj0(self, node: int) -> None:
+        """Refresh the padded layer-0 row of ``node`` from its link list."""
+        links = self._links[node][0]
+        self._adj0[node, : len(links)] = links
+        self._adj0_len[node] = len(links)
+
+    def _take_visit_stamp(self) -> tuple[np.ndarray, int]:
+        """This thread's stamp array (sized to capacity) and a fresh stamp."""
+        tls = self._visited_tls
+        stamp_array = getattr(tls, "stamp_array", None)
+        if stamp_array is None or stamp_array.shape[0] < self._vectors.shape[0]:
+            stamp_array = np.zeros(self._vectors.shape[0], dtype=np.int64)
+            tls.stamp_array = stamp_array
+            tls.counter = 0
+        tls.counter += 1
+        return stamp_array, tls.counter
 
     def _draw_level(self) -> int:
         return int(-np.log(max(self._rng.random(), 1e-12)) * self._ml)
@@ -111,24 +154,65 @@ class HNSWIndex:
         """Beam search (Algorithm 2). Returns up to ``ef`` (sim, node) pairs.
 
         ``entry_points`` are (similarity, node) seeds; result is unsorted.
+
+        The layer-0 hot path gathers each visited node's neighbour block
+        from the padded adjacency matrix, masks already-seen nodes with the
+        stamped visited array, and scores the block with a single dot — no
+        per-neighbour Python membership tests or list-to-array conversions.
         """
-        visited = {node for _, node in entry_points}
+        visit_stamp, stamp = self._take_visit_stamp()
+        for _, node in entry_points:
+            visit_stamp[node] = stamp
         # candidates: max-heap by similarity (store negated); results: min-heap.
         candidates = [(-sim, node) for sim, node in entry_points]
         heapq.heapify(candidates)
         results = list(entry_points)
         heapq.heapify(results)
+        base_layer = layer == 0
 
         while candidates:
             neg_sim, node = heapq.heappop(candidates)
             if -neg_sim < results[0][0] and len(results) >= ef:
                 break
+            if base_layer:
+                # Score the node's whole neighbour block with one gather +
+                # dot, then drop everything at or below the entry ``worst``
+                # in numpy before any per-neighbour Python work. ``worst``
+                # only rises during a search, so a neighbour rejected here
+                # is rejected on every later encounter too — which is why
+                # only *accepted* neighbours need a visited stamp, and why
+                # the results are identical to the per-neighbour original.
+                block = self._adj0[node, : self._adj0_len[node]]
+                if block.size == 0:
+                    continue
+                sims = self._vectors[block] @ query
+                worst = results[0][0]
+                if len(results) >= ef:
+                    keep = sims > worst
+                    if not keep.any():
+                        continue
+                    if not keep.all():
+                        block = block[keep]
+                        sims = sims[keep]
+                neighbors = block.tolist()
+                for sim, neighbor in zip(sims.tolist(), neighbors):
+                    if visit_stamp[neighbor] == stamp:
+                        continue
+                    if len(results) < ef or sim > worst:
+                        visit_stamp[neighbor] = stamp
+                        heapq.heappush(candidates, (-sim, neighbor))
+                        heapq.heappush(results, (sim, neighbor))
+                        if len(results) > ef:
+                            heapq.heappop(results)
+                        worst = results[0][0]
+                continue
             neighbors = [
-                n for n in self._links[node][layer] if n not in visited
+                n for n in self._links[node][layer]
+                if visit_stamp[n] != stamp
             ]
             if not neighbors:
                 continue
-            visited.update(neighbors)
+            visit_stamp[neighbors] = stamp
             sims = self._sims(query, neighbors)
             worst = results[0][0]
             for sim, neighbor in zip(sims.tolist(), neighbors):
@@ -184,6 +268,7 @@ class HNSWIndex:
 
         level = self._draw_level()
         self._links.append([[] for _ in range(level + 1)])
+        self._adj0_len[node] = 0
 
         if self._entry_point < 0:
             self._entry_point = node
@@ -208,6 +293,8 @@ class HNSWIndex:
                 query, found, self._m
             )
             self._links[node][layer] = list(neighbors)
+            if layer == 0:
+                self._sync_adj0(node)
             for neighbor in neighbors:
                 links = self._links[neighbor][layer]
                 links.append(node)
@@ -219,6 +306,8 @@ class HNSWIndex:
                     self._links[neighbor][layer] = (
                         self._select_neighbors_heuristic(nvec, cand, m_layer)
                     )
+                if layer == 0:
+                    self._sync_adj0(neighbor)
             entry = found
 
         if level > self._max_level:
@@ -271,6 +360,31 @@ class HNSWIndex:
             if len(out) == k:
                 break
         return out
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        predicate: Callable[[int], bool] | None = None,
+    ) -> list[list[tuple[int, float]]]:
+        """Run :meth:`search` for each row of ``queries``.
+
+        Graph traversal is inherently per-query (each query walks its own
+        path), so batching HNSW means amortizing the *inner* work: the
+        vectorized neighbour-block scoring and stamped visited array are
+        shared machinery that every query in the batch reuses without
+        re-allocation. Results are identical to per-query :meth:`search`.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != self._dim:
+            raise ValueError(
+                f"queries shape {queries.shape} != (n, {self._dim})"
+            )
+        return [
+            self.search(query, k, ef=ef, predicate=predicate)
+            for query in queries
+        ]
 
     # ------------------------------------------------------------------
     # introspection (used by tests and ablation benches)

@@ -1,0 +1,382 @@
+"""Equivalence suite: batched read paths ≡ the per-query paths.
+
+The batch execution engine (``search_batch`` / ``embed_batch`` /
+``query_many``) is an amortization, not a different algorithm; these
+property-style tests pin that guarantee over randomized seeds, dims, and
+``k`` on every dispatch path (flat exact, HNSW, filtered brute-force,
+filtered HNSW-with-predicate), for the embedders, and for the full
+pipeline under the simulated LLM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import SpatialKeywordQuery
+from repro.core.variants import semask, semask_em
+from repro.embeddings.cache import CachingEmbedder
+from repro.embeddings.hashed import HashedNgramEmbedder
+from repro.embeddings.semantic import SemanticEmbedder
+from repro.errors import DimensionMismatch
+from repro.vectordb.collection import Collection, PointStruct
+from repro.vectordb.filters import And, FieldMatch, FieldRange
+from repro.vectordb.flat import FlatIndex
+from repro.vectordb.hnsw import HNSWIndex
+
+CASES = [(0, 8, 1), (1, 16, 5), (2, 32, 10), (3, 64, 3)]
+
+
+def unit_vectors(n: int, dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vecs = rng.standard_normal((n, dim)).astype(np.float32)
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+def build_collection(seed: int, dim: int, n: int = 300) -> Collection:
+    vecs = unit_vectors(n, dim, seed)
+    collection = Collection(f"c{seed}", dim)
+    collection.upsert(
+        PointStruct(
+            id=f"p{i}",
+            vector=vecs[i],
+            payload={"city": f"city{i % 3}", "stars": float(i % 5) + 1.0},
+        )
+        for i in range(n)
+    )
+    return collection
+
+
+def assert_hits_equivalent(batch_hits, single_hits):
+    assert [h.id for h in batch_hits] == [h.id for h in single_hits]
+    np.testing.assert_allclose(
+        [h.score for h in batch_hits],
+        [h.score for h in single_hits],
+        rtol=0, atol=1e-5,
+    )
+    for b, s in zip(batch_hits, single_hits):
+        assert b.payload == s.payload
+
+
+@pytest.mark.parametrize("seed,dim,k", CASES)
+class TestFlatSearchBatch:
+    def test_unrestricted(self, seed, dim, k):
+        vecs = unit_vectors(200, dim, seed)
+        flat = FlatIndex(dim)
+        for v in vecs:
+            flat.add(v)
+        queries = unit_vectors(16, dim, seed + 100)
+        batch = flat.search_batch(queries, k)
+        for row, q in zip(batch, queries):
+            single = flat.search(q, k)
+            assert [node for node, _ in row] == [node for node, _ in single]
+            np.testing.assert_allclose(
+                [s for _, s in row], [s for _, s in single], atol=1e-5
+            )
+
+    def test_subset_and_predicate(self, seed, dim, k):
+        vecs = unit_vectors(200, dim, seed)
+        flat = FlatIndex(dim)
+        for v in vecs:
+            flat.add(v)
+        queries = unit_vectors(8, dim, seed + 200)
+        subset = np.arange(0, 200, 3, dtype=np.int64)
+        pred = lambda n: n % 2 == 0
+        batch = flat.search_batch(queries, k, predicate=pred, subset=subset)
+        for row, q in zip(batch, queries):
+            single = flat.search(q, k, predicate=pred, subset=subset)
+            assert [node for node, _ in row] == [node for node, _ in single]
+
+
+def test_flat_search_batch_euclidean_near_duplicates():
+    """EUCLIDEAN batch scoring must use the same kernel as single search.
+
+    Near-duplicate vectors make the a²+b²−2ab expansion cancel
+    catastrophically in float32; batch rows must match single-query
+    scores exactly, not just approximately.
+    """
+    from repro.vectordb.distance import Metric
+
+    rng = np.random.default_rng(5)
+    base = rng.standard_normal(16).astype(np.float32)
+    base /= np.linalg.norm(base)
+    flat = FlatIndex(16, metric=Metric.EUCLIDEAN)
+    for i in range(50):
+        flat.add(base + np.float32(1e-7) * rng.standard_normal(16).astype(np.float32))
+    queries = np.stack([base, base + np.float32(1e-7)])
+    batch = flat.search_batch(queries, 10)
+    singles = [flat.search(q, 10) for q in queries]
+    assert batch == singles
+
+
+@pytest.mark.parametrize("seed,dim,k", CASES)
+class TestHnswSearchBatch:
+    def test_matches_per_query_search(self, seed, dim, k):
+        vecs = unit_vectors(400, dim, seed)
+        index = HNSWIndex(dim, m=8, ef_construction=40, seed=seed + 1)
+        for v in vecs:
+            index.add(v)
+        queries = unit_vectors(10, dim, seed + 300)
+        batch = index.search_batch(queries, k, ef=48)
+        singles = [index.search(q, k, ef=48) for q in queries]
+        assert batch == singles
+
+    def test_with_predicate(self, seed, dim, k):
+        vecs = unit_vectors(400, dim, seed)
+        index = HNSWIndex(dim, m=8, ef_construction=40, seed=seed + 1)
+        for v in vecs:
+            index.add(v)
+        queries = unit_vectors(6, dim, seed + 400)
+        pred = lambda n: n % 3 != 0
+        batch = index.search_batch(queries, k, ef=48, predicate=pred)
+        singles = [index.search(q, k, ef=48, predicate=pred) for q in queries]
+        assert batch == singles
+
+
+@pytest.mark.parametrize("seed,dim,k", CASES)
+class TestCollectionSearchBatch:
+    def test_exact_unfiltered(self, seed, dim, k):
+        collection = build_collection(seed, dim)
+        queries = unit_vectors(12, dim, seed + 500)
+        batch = collection.search_batch(queries, k, exact=True)
+        for hits, q in zip(batch, queries):
+            assert_hits_equivalent(hits, collection.search(q, k, exact=True))
+
+    def test_hnsw_unfiltered(self, seed, dim, k):
+        collection = build_collection(seed, dim)
+        queries = unit_vectors(12, dim, seed + 600)
+        batch = collection.search_batch(queries, k)
+        for hits, q in zip(batch, queries):
+            assert_hits_equivalent(hits, collection.search(q, k))
+
+    def test_filtered_brute_force_path(self, seed, dim, k):
+        collection = build_collection(seed, dim)
+        flt = And(FieldMatch("city", "city1"), FieldRange("stars", gte=2.0))
+        queries = unit_vectors(12, dim, seed + 700)
+        batch = collection.search_batch(queries, k, flt=flt)
+        for hits, q in zip(batch, queries):
+            single = collection.search(q, k, flt=flt)
+            assert_hits_equivalent(hits, single)
+            assert all(h.payload["city"] == "city1" for h in hits)
+
+    def test_filtered_hnsw_predicate_path(self, seed, dim, k):
+        collection = build_collection(seed, dim)
+        # Force the graph-with-predicate dispatch for broad filters.
+        collection.BRUTE_FORCE_THRESHOLD = 0
+        flt = FieldRange("stars", gte=2.0)
+        queries = unit_vectors(8, dim, seed + 800)
+        batch = collection.search_batch(queries, k, flt=flt)
+        for hits, q in zip(batch, queries):
+            assert_hits_equivalent(hits, collection.search(q, k, flt=flt))
+
+    def test_indexed_filter_path(self, seed, dim, k):
+        collection = build_collection(seed, dim)
+        collection.create_payload_index("city")
+        flt = FieldMatch("city", "city2")
+        queries = unit_vectors(8, dim, seed + 900)
+        batch = collection.search_batch(queries, k, flt=flt)
+        for hits, q in zip(batch, queries):
+            assert_hits_equivalent(hits, collection.search(q, k, flt=flt))
+
+
+class TestCollectionSearchBatchEdges:
+    def test_empty_batch(self):
+        collection = build_collection(0, 8)
+        assert collection.search_batch(np.zeros((0, 8), np.float32), 5) == []
+
+    def test_empty_collection(self):
+        collection = Collection("empty", 8)
+        queries = unit_vectors(3, 8, 0)
+        assert collection.search_batch(queries, 5) == [[], [], []]
+
+    def test_no_filter_matches(self):
+        collection = build_collection(0, 8)
+        queries = unit_vectors(3, 8, 1)
+        batch = collection.search_batch(
+            queries, 5, flt=FieldMatch("city", "nowhere")
+        )
+        assert batch == [[], [], []]
+
+    def test_bad_shape_raises(self):
+        collection = build_collection(0, 8)
+        with pytest.raises(DimensionMismatch):
+            collection.search_batch(unit_vectors(3, 4, 0), 5)
+
+    def test_count_uses_payload_index(self):
+        collection = build_collection(0, 8)
+        expected = collection.count(FieldMatch("city", "city1"))
+        collection.create_payload_index("city")
+        assert collection.count(FieldMatch("city", "city1")) == expected
+        assert collection.count() == 300
+
+
+TEXTS = [
+    "cozy coffee shop with pastries",
+    "bar to watch football with chicken wings",
+    "cozy coffee shop with pastries",   # deliberate repeat
+    "romantic italian dinner",
+    "vegan brunch place",
+]
+
+
+class TestEmbedBatchEquivalence:
+    @pytest.mark.parametrize("dim", [64, 256])
+    def test_hashed_bitwise(self, dim):
+        model = HashedNgramEmbedder(dim=dim)
+        batch = model.embed_batch(TEXTS)
+        singles = np.stack([model.embed(t) for t in TEXTS])
+        assert np.array_equal(batch, singles)
+
+    def test_semantic_bitwise(self):
+        model = SemanticEmbedder(dim=64)
+        batch = model.embed_batch(TEXTS)
+        singles = np.stack([model.embed(t) for t in TEXTS])
+        assert np.array_equal(batch, singles)
+
+    def test_empty_batch(self):
+        model = HashedNgramEmbedder(dim=32)
+        assert model.embed_batch([]).shape == (0, 32)
+
+    def test_caching_bitwise_and_counters(self):
+        model = CachingEmbedder(HashedNgramEmbedder(dim=64))
+        singles = np.stack([model.embed(t) for t in TEXTS])
+        model.clear()
+        batch = model.embed_batch(TEXTS)
+        assert np.array_equal(batch, singles)
+        # 4 unique texts missed; the in-batch repeat counts as a hit.
+        assert model.misses == 4
+        assert model.hits == 1
+        again = model.embed_batch(TEXTS)
+        assert np.array_equal(again, singles)
+        assert model.misses == 4
+        assert model.hits == 1 + len(TEXTS)
+
+    def test_caching_batch_seeds_single_lookups(self):
+        model = CachingEmbedder(HashedNgramEmbedder(dim=64))
+        model.embed_batch(TEXTS)
+        misses_after_batch = model.misses
+        model.embed(TEXTS[0])
+        assert model.misses == misses_after_batch
+
+
+class TestSharedClientThreadSafety:
+    def test_concurrent_identical_prompts_pay_once(self):
+        """Concurrent misses on one prompt dedup to a single paid call."""
+        import threading
+
+        from repro.llm.base import ChatMessage
+        from repro.llm.prompts import build_summarize_prompt
+        from repro.llm.response_cache import CachingLLMClient
+        from repro.llm.simulated import SimulatedLLM
+
+        client = CachingLLMClient(SimulatedLLM())
+        prompt = build_summarize_prompt(["great coffee", "cozy seats"])
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            completion = client.chat(
+                "gpt-3.5-turbo", [ChatMessage("user", prompt)]
+            )
+            with lock:
+                results.append(completion)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert client.inner.ledger.total_calls() == 1   # paid once
+        assert client.ledger.total_calls() == 8         # 8 logical calls
+        assert client.hits + client.misses == 8
+        assert len({r.content for r in results}) == 1   # identical answers
+
+    def test_hnsw_concurrent_searches_match_serial(self):
+        """Thread-local visited stamps keep concurrent reads consistent."""
+        import threading
+
+        vecs = unit_vectors(800, 16, seed=6)
+        index = HNSWIndex(16, m=8, ef_construction=40, seed=7)
+        for v in vecs:
+            index.add(v)
+        queries = unit_vectors(20, 16, seed=8)
+        expected = [index.search(q, 5, ef=40) for q in queries]
+        outputs = [None] * 4
+
+        def worker(slot):
+            outputs[slot] = [index.search(q, 5, ef=40) for q in queries]
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(out == expected for out in outputs)
+
+
+def _pipeline_queries(corpus) -> list[SpatialKeywordQuery]:
+    center = corpus.city.center
+    return [
+        SpatialKeywordQuery.around(center, "cozy coffee shop", 5.0, 5.0),
+        SpatialKeywordQuery.around(center, "bar with live music", 5.0, 5.0),
+        SpatialKeywordQuery.around(center, "cozy coffee shop", 3.0, 3.0),
+        SpatialKeywordQuery.around(center, "family pizza restaurant", 3.0, 3.0),
+    ]
+
+
+def assert_results_equivalent(batch_result, single_result):
+    assert batch_result.query_text == single_result.query_text
+    assert batch_result.candidates_considered == single_result.candidates_considered
+    for batch_entries, single_entries in (
+        (batch_result.entries, single_result.entries),
+        (batch_result.filtered_out, single_result.filtered_out),
+    ):
+        assert [e.business_id for e in batch_entries] == [
+            e.business_id for e in single_entries
+        ]
+        assert [e.reason for e in batch_entries] == [
+            e.reason for e in single_entries
+        ]
+        np.testing.assert_allclose(
+            [e.score for e in batch_entries],
+            [e.score for e in single_entries],
+            rtol=0, atol=1e-5,
+        )
+
+
+class TestQueryManyEquivalence:
+    def test_refined_variant(self, tiny_corpus):
+        system = semask(tiny_corpus.prepared, llm=tiny_corpus.llm)
+        queries = _pipeline_queries(tiny_corpus)
+        sequential = [system.query(q) for q in queries]
+        batch = system.query_many(queries)
+        assert len(batch) == len(sequential)
+        for b, s in zip(batch, sequential):
+            assert_results_equivalent(b, s)
+
+    def test_parallel_refine_matches_serial(self, tiny_corpus):
+        system = semask(tiny_corpus.prepared, llm=tiny_corpus.llm)
+        queries = _pipeline_queries(tiny_corpus)
+        serial = system.query_many(queries, parallel_refine=1)
+        threaded = system.query_many(queries, parallel_refine=3)
+        for b, s in zip(threaded, serial):
+            assert_results_equivalent(b, s)
+
+    def test_embedding_only_variant(self, tiny_corpus):
+        system = semask_em(tiny_corpus.prepared)
+        queries = _pipeline_queries(tiny_corpus)
+        sequential = [system.query(q) for q in queries]
+        batch = system.query_many(queries)
+        for b, s in zip(batch, sequential):
+            assert_results_equivalent(b, s)
+
+    def test_empty_batch(self, tiny_corpus):
+        system = semask_em(tiny_corpus.prepared)
+        assert system.query_many([]) == []
+
+    def test_invalid_parallelism(self, tiny_corpus):
+        system = semask_em(tiny_corpus.prepared)
+        with pytest.raises(ValueError):
+            system.query_many(_pipeline_queries(tiny_corpus), parallel_refine=0)
