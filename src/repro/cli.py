@@ -32,10 +32,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--pois", type=int, default=0,
         help="POIs per city (0 = the paper's counts)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="vector-store shards per city collection (1 = unsharded)",
+    )
 
 
 def _corpus(args: argparse.Namespace, city: str):
-    return get_corpus(city, seed=args.seed, count=args.pois or None)
+    return get_corpus(city, seed=args.seed, count=args.pois or None,
+                      shards=args.shards)
 
 
 def cmd_build_data(args: argparse.Namespace) -> int:

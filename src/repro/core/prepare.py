@@ -50,6 +50,7 @@ class DataPreparation:
         geocoder: ReverseGeocoder | None = None,
         client: VectorDBClient | None = None,
         summarize: bool = True,
+        shards: int = 1,
     ) -> None:
         self._llm = llm if llm is not None else SimulatedLLM()
         self._embedder = (
@@ -58,6 +59,7 @@ class DataPreparation:
         self._geocoder = geocoder if geocoder is not None else ReverseGeocoder()
         self._client = client if client is not None else VectorDBClient()
         self._summarize = summarize
+        self._shards = shards
 
     @property
     def llm(self) -> LLMClient:
@@ -106,7 +108,8 @@ class DataPreparation:
     def generate_embeddings(self, dataset: Dataset, collection_name: str) -> None:
         """Step 3: embed each POI document and upsert into the collection."""
         collection = self._client.create_collection(
-            collection_name, dim=self._embedder.dim, exist_ok=True
+            collection_name, dim=self._embedder.dim, exist_ok=True,
+            shards=self._shards,
         )
         # Secondary index on business_id accelerates id-set filters (the
         # R-tree filtering stage resolves ranges to id lists).

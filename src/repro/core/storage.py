@@ -5,7 +5,10 @@ offline phase; a deployment prepares once and serves queries forever.
 :func:`save_prepared` / :func:`load_prepared` snapshot a
 :class:`~repro.core.prepare.PreparedCity` to disk — the dataset as JSONL
 and the vector collection as a directory snapshot — so a served system
-restarts without re-running the pipeline.
+restarts without re-running the pipeline. Sharded collections round-trip
+too: the snapshot directory then contains one sub-directory per shard,
+and the reloaded city serves queries through the same sharded backend it
+was prepared with (see :mod:`repro.vectordb.persistence`).
 """
 
 from __future__ import annotations

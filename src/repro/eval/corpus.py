@@ -18,7 +18,7 @@ from repro.geo.regions import CityRegion, city_by_code
 from repro.llm.simulated import SimulatedLLM
 from repro.semantics.ontology.build import default_ontology
 
-_CACHE: dict[tuple[str, int, int | None, bool], "EvalCorpus"] = {}
+_CACHE: dict[tuple[str, int, int | None, bool, int], "EvalCorpus"] = {}
 
 
 @dataclass
@@ -38,14 +38,20 @@ def build_corpus(
     seed: int = 7,
     count: int | None = None,
     summarize: bool = True,
+    shards: int = 1,
 ) -> EvalCorpus:
-    """Generate and prepare a city corpus (no cache)."""
+    """Generate and prepare a city corpus (no cache).
+
+    ``shards > 1`` stores the embeddings in a hash-partitioned
+    :class:`~repro.vectordb.sharded.ShardedCollection` instead of a single
+    collection; the query pipeline is identical over either backend.
+    """
     city = city_by_code(city_code)
     graph, lexicon = default_ontology()
     generator = YelpStyleGenerator(graph, lexicon, seed=seed)
     dataset = Dataset(generator.generate_city(city, count=count), city.code)
     llm = SimulatedLLM(graph, lexicon)
-    preparation = DataPreparation(llm=llm, summarize=summarize)
+    preparation = DataPreparation(llm=llm, summarize=summarize, shards=shards)
     prepared = preparation.prepare(dataset)
     return EvalCorpus(
         city=city,
@@ -62,13 +68,14 @@ def get_corpus(
     seed: int = 7,
     count: int | None = None,
     summarize: bool = True,
+    shards: int = 1,
 ) -> EvalCorpus:
     """Cached :func:`build_corpus` (per-process)."""
-    key = (city_code.upper(), seed, count, summarize)
+    key = (city_code.upper(), seed, count, summarize, shards)
     corpus = _CACHE.get(key)
     if corpus is None:
         corpus = build_corpus(city_code, seed=seed, count=count,
-                              summarize=summarize)
+                              summarize=summarize, shards=shards)
         _CACHE[key] = corpus
     return corpus
 

@@ -1,4 +1,17 @@
-"""Vector database substrate (Qdrant stand-in): collections, filters, HNSW."""
+"""Vector database substrate (Qdrant stand-in): collections, filters, HNSW.
+
+Two interchangeable backends share one surface: :class:`Collection` (a
+single vector space with flat + HNSW indexes and payload secondary
+indexes) and :class:`ShardedCollection` (N hash-partitioned ``Collection``
+shards — points route by CRC-32 of their id via
+:func:`~repro.vectordb.sharded.shard_for`, searches fan out per shard on a
+thread pool and merge into the exact global top-k, filters evaluate per
+shard). :class:`VectorDBClient` fronts both (``create_collection(shards=N)``),
+and :func:`save_collection` / :func:`load_collection` snapshot both — one
+directory per plain collection, one sub-directory per shard (schema v2,
+which also persists HNSW config and payload-index fields; see
+:mod:`repro.vectordb.persistence`).
+"""
 
 from repro.vectordb.client import VectorDBClient
 from repro.vectordb.collection import (
@@ -22,8 +35,10 @@ from repro.vectordb.filters import (
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.persistence import load_collection, save_collection
+from repro.vectordb.sharded import AnyCollection, ShardedCollection, shard_for
 
 __all__ = [
+    "AnyCollection",
     "And",
     "Collection",
     "FieldIn",
@@ -40,9 +55,11 @@ __all__ = [
     "Or",
     "PointStruct",
     "SearchHit",
+    "ShardedCollection",
     "VectorDBClient",
     "load_collection",
     "normalize_rows",
     "save_collection",
+    "shard_for",
     "similarity",
 ]

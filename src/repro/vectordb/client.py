@@ -6,7 +6,11 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import CollectionExists, CollectionNotFound
+from repro.errors import (
+    CollectionError,
+    CollectionExists,
+    CollectionNotFound,
+)
 from repro.vectordb.collection import (
     Collection,
     HnswConfig,
@@ -15,13 +19,14 @@ from repro.vectordb.collection import (
 )
 from repro.vectordb.distance import Metric
 from repro.vectordb.filters import Filter
+from repro.vectordb.sharded import AnyCollection, ShardedCollection
 
 
 class VectorDBClient:
     """Manages named collections, in the style of a Qdrant client."""
 
     def __init__(self) -> None:
-        self._collections: dict[str, Collection] = {}
+        self._collections: dict[str, AnyCollection] = {}
 
     def create_collection(
         self,
@@ -30,18 +35,45 @@ class VectorDBClient:
         metric: Metric = Metric.COSINE,
         hnsw: HnswConfig | None = None,
         exist_ok: bool = False,
-    ) -> Collection:
-        """Create a collection; ``exist_ok`` returns the existing one."""
+        shards: int = 1,
+    ) -> AnyCollection:
+        """Create a collection; ``exist_ok`` returns the existing one.
+
+        ``shards > 1`` builds a hash-partitioned
+        :class:`~repro.vectordb.sharded.ShardedCollection`; both backends
+        expose the same surface, so callers need not care which they got.
+        With ``exist_ok``, the existing collection must match the
+        requested dim, metric, and shard count — silently returning a
+        differently-configured backend would surface as wrong scores or
+        far-away dimension errors instead of failing here.
+        """
+        if shards <= 0:
+            raise CollectionError(
+                f"shard count must be positive, got {shards}"
+            )
         existing = self._collections.get(name)
         if existing is not None:
             if exist_ok:
+                have = (existing.dim, existing.metric,
+                        getattr(existing, "n_shards", 1))
+                want = (dim, metric, shards)
+                if have != want:
+                    raise CollectionError(
+                        f"collection {name!r} exists with "
+                        f"(dim, metric, shards)={have}, requested {want}"
+                    )
                 return existing
             raise CollectionExists(f"collection {name!r} already exists")
-        collection = Collection(name, dim, metric=metric, hnsw=hnsw)
+        if shards > 1:
+            collection: AnyCollection = ShardedCollection(
+                name, dim, metric=metric, hnsw=hnsw, shards=shards
+            )
+        else:
+            collection = Collection(name, dim, metric=metric, hnsw=hnsw)
         self._collections[name] = collection
         return collection
 
-    def attach_collection(self, collection: Collection) -> Collection:
+    def attach_collection(self, collection: AnyCollection) -> AnyCollection:
         """Register an externally built collection (e.g. a loaded snapshot).
 
         Replaces any existing collection with the same name.
@@ -49,7 +81,7 @@ class VectorDBClient:
         self._collections[collection.name] = collection
         return collection
 
-    def get_collection(self, name: str) -> Collection:
+    def get_collection(self, name: str) -> AnyCollection:
         """Look up a collection by name."""
         collection = self._collections.get(name)
         if collection is None:

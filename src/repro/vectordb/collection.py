@@ -96,6 +96,15 @@ class Collection:
         """The similarity metric."""
         return self._metric
 
+    @property
+    def hnsw_config(self) -> HnswConfig:
+        """The HNSW tunables (persisted with snapshots)."""
+        return self._hnsw_config
+
+    def point_ids(self) -> list[str]:
+        """All point ids, in insertion order."""
+        return list(self._ids)
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
@@ -350,17 +359,22 @@ class Collection:
         payloads: list[dict[str, Any]],
         metric: Metric = Metric.COSINE,
         hnsw: HnswConfig | None = None,
+        dim: int | None = None,
     ) -> "Collection":
         """Rebuild a collection from :meth:`export_state` output.
 
-        The HNSW graph is rebuilt lazily on first approximate search.
+        ``dim`` pins the dimensionality explicitly (snapshots record it in
+        their metadata); without it the vector matrix's second axis is
+        used, which stays correct even for zero points. The HNSW graph is
+        rebuilt lazily on first approximate search.
         """
         if len(ids) != len(payloads) or len(ids) != vectors.shape[0]:
             raise CollectionError(
                 "inconsistent state: vectors/ids/payloads lengths differ"
             )
-        collection = cls(name, vectors.shape[1] if vectors.size else 1,
-                         metric=metric, hnsw=hnsw)
+        if dim is None:
+            dim = vectors.shape[1] if vectors.ndim == 2 else 1
+        collection = cls(name, dim, metric=metric, hnsw=hnsw)
         if vectors.size:
             collection.upsert(
                 PointStruct(id=i, vector=v, payload=p)

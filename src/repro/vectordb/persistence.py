@@ -1,14 +1,29 @@
 """Snapshot persistence for vector-database collections.
 
-A collection snapshot is a directory with ``vectors.npz`` (the dense
-matrix), ``payloads.jsonl`` (one payload per line, aligned with ids), and
-``meta.json`` (name, metric, dimensions). The HNSW graph is not stored; it
-is rebuilt lazily after load, trading load time for format simplicity.
+Snapshot schema v2. A single-collection snapshot is a directory with:
+
+* ``vectors.npz`` — the dense float32 matrix;
+* ``payloads.jsonl`` — one ``{"id", "payload"}`` row per point, aligned
+  with the matrix rows;
+* ``meta.json`` — name, dim, metric, count, plus (new in v2) the
+  ``hnsw`` config and the ``indexed_payload_fields`` list, so a reload
+  restores search behaviour — not just the data.
+
+A :class:`~repro.vectordb.sharded.ShardedCollection` snapshot is a
+directory whose ``meta.json`` carries ``"shards": N`` and an ``order``
+of point ids (global insertion order), with one single-collection
+snapshot per shard under ``shard-00/`` … ``shard-NN/``.
+
+v1 snapshots (no ``schema`` key) still load: missing ``hnsw`` and
+``indexed_payload_fields`` fall back to defaults / no indexes, exactly
+the v1 behaviour. The HNSW graph itself is never stored; it is rebuilt
+lazily after load, trading load time for format simplicity.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
@@ -16,15 +31,89 @@ import numpy as np
 from repro.errors import CollectionError
 from repro.vectordb.collection import Collection, HnswConfig
 from repro.vectordb.distance import Metric
+from repro.vectordb.sharded import AnyCollection, ShardedCollection
+
+#: Current snapshot schema version.
+SCHEMA_VERSION = 2
 
 _META_FILE = "meta.json"
 _VECTORS_FILE = "vectors.npz"
 _PAYLOADS_FILE = "payloads.jsonl"
 
 
-def save_collection(collection: Collection, directory: str | Path) -> None:
-    """Write ``collection`` to ``directory`` (created if needed)."""
+def _shard_dir(directory: Path, index: int) -> Path:
+    return directory / f"shard-{index:02d}"
+
+
+def save_collection(
+    collection: AnyCollection, directory: str | Path
+) -> None:
+    """Write ``collection`` to ``directory`` (created if needed).
+
+    Dispatches on the backend: plain collections write one snapshot,
+    sharded collections write per-shard snapshot directories plus a
+    top-level manifest with the shard count and global insertion order.
+    """
     directory = Path(directory)
+    if isinstance(collection, ShardedCollection):
+        directory.mkdir(parents=True, exist_ok=True)
+        for index, shard in enumerate(collection.shard_collections):
+            _save_single(shard, _shard_dir(directory, index))
+        meta = _base_meta(collection)
+        meta["shards"] = collection.n_shards
+        meta["order"] = list(collection.point_order)
+        (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+    else:
+        _save_single(collection, directory)
+
+
+def load_collection(
+    directory: str | Path, hnsw: HnswConfig | None = None
+) -> AnyCollection:
+    """Read a collection written by :func:`save_collection`.
+
+    ``hnsw`` overrides the snapshot's stored config; when omitted, the
+    config active at save time is restored (v1 snapshots fall back to
+    defaults). Payload indexes recorded in the snapshot are rebuilt.
+    """
+    directory = Path(directory)
+    meta = _read_meta(directory)
+    hnsw_config = hnsw or _stored_hnsw(meta)
+    # The "shards" key marks the sharded layout (written for ANY shard
+    # count, including 1); plain and v1 snapshots never carry it.
+    if "shards" in meta:
+        shards = [
+            _load_single(_shard_dir(directory, index), hnsw_config)
+            for index in range(meta["shards"])
+        ]
+        return ShardedCollection.from_shards(
+            name=meta["name"],
+            shards=shards,
+            order=meta["order"],
+            metric=Metric(meta["metric"]),
+            hnsw=hnsw_config,
+        )
+    return _load_single(directory, hnsw_config, meta=meta)
+
+
+# ----------------------------------------------------------------------
+# single-collection snapshots
+# ----------------------------------------------------------------------
+
+
+def _base_meta(collection: AnyCollection) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": collection.name,
+        "dim": collection.dim,
+        "metric": collection.metric.value,
+        "count": len(collection),
+        "hnsw": asdict(collection.hnsw_config),
+        "indexed_payload_fields": sorted(collection.indexed_payload_fields),
+    }
+
+
+def _save_single(collection: Collection, directory: Path) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     vectors, ids, payloads = collection.export_state()
     np.savez_compressed(directory / _VECTORS_FILE, vectors=vectors)
@@ -35,24 +124,29 @@ def save_collection(collection: Collection, directory: str | Path) -> None:
                            ensure_ascii=False)
                 + "\n"
             )
-    meta = {
-        "name": collection.name,
-        "dim": collection.dim,
-        "metric": collection.metric.value,
-        "count": len(collection),
-    }
+    meta = _base_meta(collection)
     (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
 
 
-def load_collection(
-    directory: str | Path, hnsw: HnswConfig | None = None
-) -> Collection:
-    """Read a collection written by :func:`save_collection`."""
-    directory = Path(directory)
+def _read_meta(directory: Path) -> dict:
     meta_path = directory / _META_FILE
     if not meta_path.exists():
         raise CollectionError(f"no collection snapshot at {directory}")
-    meta = json.loads(meta_path.read_text())
+    return json.loads(meta_path.read_text())
+
+
+def _stored_hnsw(meta: dict) -> HnswConfig | None:
+    stored = meta.get("hnsw")
+    return HnswConfig(**stored) if stored else None
+
+
+def _load_single(
+    directory: Path,
+    hnsw: HnswConfig | None,
+    meta: dict | None = None,
+) -> Collection:
+    if meta is None:
+        meta = _read_meta(directory)
     with np.load(directory / _VECTORS_FILE) as npz:
         vectors = npz["vectors"]
     ids: list[str] = []
@@ -71,11 +165,15 @@ def load_collection(
             f"{meta['count']} points, found {len(ids)} payloads / "
             f"{vectors.shape[0]} vectors"
         )
-    return Collection.from_state(
+    collection = Collection.from_state(
         name=meta["name"],
         vectors=vectors.astype(np.float32),
         ids=ids,
         payloads=payloads,
         metric=Metric(meta["metric"]),
-        hnsw=hnsw,
+        hnsw=hnsw or _stored_hnsw(meta),
+        dim=meta.get("dim"),
     )
+    for field in meta.get("indexed_payload_fields", ()):
+        collection.create_payload_index(field)
+    return collection

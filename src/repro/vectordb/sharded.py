@@ -1,0 +1,374 @@
+"""Sharded collections: hash-partitioned points across N sub-collections.
+
+A :class:`ShardedCollection` splits one logical collection into N
+:class:`~repro.vectordb.collection.Collection` shards, assigning each point
+by a stable hash of its id (:func:`shard_for`). It implements the full
+``Collection`` read/write surface — ``upsert``, ``search``, ``search_batch``,
+``count``, ``scroll``, ``retrieve``, ``set_payload``, payload indexes — so
+the filtering stage, the client facade, and persistence all work unchanged
+over either backend.
+
+Searches fan out across shards on a thread pool (the exact-scoring kernel
+is a BLAS matrix product, which releases the GIL) and the per-shard top-k
+lists are merged into the exact global top-k. Filters are evaluated per
+shard, against that shard's payloads and payload indexes only — which also
+keeps each shard's filtered candidate set small enough for the exact
+brute-force path where a monolithic collection would spill past
+``BRUTE_FORCE_THRESHOLD`` into graph traversal.
+
+Equivalence contract: on the exact-scoring paths (``exact=True``, or any
+filtered search whose per-shard candidate sets stay under the brute-force
+threshold) a sharded search returns the same hits as an unsharded
+collection holding the same points, with scores equal up to float
+accumulation order — up to *exact score ties*: points with identical
+scores (e.g. duplicate vectors) may rank or tie-break into the top-k
+differently, because the unsharded exact path's own tie order is an
+``argsort`` implementation artifact no merge can reproduce. Approximate (HNSW) searches traverse one graph per
+shard instead of one global graph, so hit sets may differ there — every
+shard's graph is searched, so recall is typically comparable or better,
+but each per-shard graph is still approximate and no ordering against
+the unsharded graph holds in general.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Sequence
+from itertools import chain
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Union
+
+import numpy as np
+
+from repro.errors import CollectionError, DimensionMismatch, PointNotFound
+from repro.vectordb.collection import (
+    Collection,
+    HnswConfig,
+    PointStruct,
+    SearchHit,
+)
+from repro.vectordb.distance import Metric
+from repro.vectordb.filters import Filter
+
+
+def shard_for(point_id: str, n_shards: int) -> int:
+    """Stable shard assignment for ``point_id``.
+
+    CRC-32 of the UTF-8 id, modulo the shard count — deterministic across
+    processes and Python versions (unlike the salted builtin ``hash``), so
+    snapshots written by one process route ids identically in another.
+    """
+    if n_shards <= 0:
+        raise CollectionError(f"shard count must be positive, got {n_shards}")
+    return zlib.crc32(point_id.encode("utf-8")) % n_shards
+
+
+class ShardedCollection:
+    """N hash-partitioned shards behind the ``Collection`` surface."""
+
+    def __init__(
+        self,
+        name: str,
+        dim: int,
+        metric: Metric = Metric.COSINE,
+        hnsw: HnswConfig | None = None,
+        shards: int = 2,
+    ) -> None:
+        if shards <= 0:
+            raise CollectionError(
+                f"shard count must be positive, got {shards}"
+            )
+        hnsw = hnsw or HnswConfig()
+        self._init_fields(
+            name,
+            metric,
+            hnsw,
+            [
+                Collection(
+                    f"{name}/shard-{i:02d}", dim, metric=metric, hnsw=hnsw,
+                )
+                for i in range(shards)
+            ],
+        )
+
+    def _init_fields(
+        self,
+        name: str,
+        metric: Metric,
+        hnsw: HnswConfig,
+        shards: list[Collection],
+    ) -> None:
+        if not name:
+            raise CollectionError("collection name must be non-empty")
+        self.name = name
+        self._metric = metric
+        self._hnsw_config = hnsw
+        self._shards = shards
+        self._id_to_shard: dict[str, int] = {}
+        self._order: list[str] = []  # global insertion order, for scroll
+        # Created eagerly so concurrent first searches cannot race on it;
+        # worker threads only spawn when the first fan-out runs.
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(shards), thread_name_prefix=f"shard-{name}"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality of the collection."""
+        return self._shards[0].dim
+
+    @property
+    def metric(self) -> Metric:
+        """The similarity metric."""
+        return self._metric
+
+    @property
+    def hnsw_config(self) -> HnswConfig:
+        """The HNSW tunables shared by every shard."""
+        return self._hnsw_config
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    @property
+    def shard_collections(self) -> tuple[Collection, ...]:
+        """The underlying shards, in shard-index order (read-mostly)."""
+        return tuple(self._shards)
+
+    @property
+    def point_order(self) -> tuple[str, ...]:
+        """All point ids in global insertion order."""
+        return tuple(self._order)
+
+    @property
+    def indexed_payload_fields(self) -> frozenset[str]:
+        """Payload fields with a secondary index (identical per shard)."""
+        return self._shards[0].indexed_payload_fields
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def upsert(self, points: Iterable[PointStruct]) -> int:
+        """Insert new points, routing each to its hash shard.
+
+        Same contract as :meth:`Collection.upsert`: payload-only updates
+        are allowed for known ids, vector replacement raises. Returns the
+        number of points inserted. Points are bucketed so each shard sees
+        one batch, keeping bulk ingest at one upsert call per shard.
+        """
+        n = len(self._shards)
+        buckets: dict[int, list[PointStruct]] = {}
+        arrivals: list[tuple[str, int]] = []  # first sight of unknown ids
+        pending: set[str] = set()
+        for point in points:
+            index = shard_for(point.id, n)
+            buckets.setdefault(index, []).append(point)
+            if point.id not in self._id_to_shard and point.id not in pending:
+                arrivals.append((point.id, index))
+                pending.add(point.id)
+        inserted = 0
+        try:
+            for index, bucket in buckets.items():
+                inserted += self._shards[index].upsert(bucket)
+        except BaseException:
+            # Like Collection.upsert, a batch that raises mid-way stays
+            # partially applied; reconcile the order/routing tables
+            # against the shards' actual state before propagating.
+            applied = {
+                index: set(self._shards[index].point_ids())
+                for index in {index for _, index in arrivals}
+            }
+            for point_id, index in arrivals:
+                if point_id in applied[index]:
+                    self._id_to_shard[point_id] = index
+                    self._order.append(point_id)
+            raise
+        for point_id, index in arrivals:  # success: every arrival landed
+            self._id_to_shard[point_id] = index
+            self._order.append(point_id)
+        return inserted
+
+    def create_payload_index(self, field: str) -> None:
+        """Build a hash index over ``field`` on every shard."""
+        for shard in self._shards:
+            shard.create_payload_index(field)
+
+    def close(self) -> None:
+        """Release the fan-out thread pool (idempotent).
+
+        The data stays readable, but multi-shard searches are no longer
+        possible after closing; long-lived processes that drop a sharded
+        collection should close it rather than wait for GC to reap the
+        worker threads.
+        """
+        self._pool.shutdown(wait=False)
+
+    def set_payload(self, point_id: str, payload: dict[str, Any]) -> None:
+        """Merge ``payload`` into an existing point's payload."""
+        self._owning_shard(point_id).set_payload(point_id, payload)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def retrieve(self, point_id: str) -> SearchHit:
+        """Fetch one point's payload (score 1.0 placeholder)."""
+        return self._owning_shard(point_id).retrieve(point_id)
+
+    def count(self, flt: Filter | None = None) -> int:
+        """Points matching ``flt``; each shard narrows via its indexes."""
+        if flt is None:
+            return len(self._order)
+        return sum(shard.count(flt) for shard in self._shards)
+
+    def scroll(self, flt: Filter | None = None) -> list[SearchHit]:
+        """All points (optionally filtered), in global insertion order."""
+        matched: dict[str, SearchHit] = {}
+        for shard in self._shards:
+            for hit in shard.scroll(flt):
+                matched[hit.id] = hit
+        return [matched[pid] for pid in self._order if pid in matched]
+
+    def search(
+        self,
+        vector: np.ndarray | Sequence[float],
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+    ) -> list[SearchHit]:
+        """Global top-``k``: per-shard top-``k`` fan-out, exact merge."""
+        query = np.asarray(vector, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise DimensionMismatch(
+                f"query shape {query.shape} != ({self.dim},)"
+            )
+        per_shard = self._fan_out(
+            lambda shard: shard.search(query, k, flt=flt, exact=exact, ef=ef)
+        )
+        return _merge_top_k(per_shard, k)
+
+    def search_batch(
+        self,
+        vectors: np.ndarray | Sequence[Sequence[float]],
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+    ) -> list[list[SearchHit]]:
+        """Batched :meth:`search`: one fan-out, per-query exact merges."""
+        queries = np.asarray(vectors, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise DimensionMismatch(
+                f"queries shape {queries.shape} != (n, {self.dim})"
+            )
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        per_shard = self._fan_out(
+            lambda shard: shard.search_batch(
+                queries, k, flt=flt, exact=exact, ef=ef
+            )
+        )
+        return [
+            _merge_top_k([shard_lists[q] for shard_lists in per_shard], k)
+            for q in range(n_queries)
+        ]
+
+    # ------------------------------------------------------------------
+    # persistence support (used by repro.vectordb.persistence)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_shards(
+        cls,
+        name: str,
+        shards: Sequence[Collection],
+        order: Sequence[str],
+        metric: Metric = Metric.COSINE,
+        hnsw: HnswConfig | None = None,
+    ) -> "ShardedCollection":
+        """Reassemble a sharded collection from loaded shard snapshots.
+
+        ``order`` is the global insertion order persisted alongside the
+        shards; it must cover exactly the ids present across ``shards``.
+        """
+        if not shards:
+            raise CollectionError("from_shards needs at least one shard")
+        dims = {shard.dim for shard in shards}
+        if len(dims) != 1:
+            raise CollectionError(
+                f"shard dims differ: {sorted(dims)}"
+            )
+        sharded = cls.__new__(cls)
+        sharded._init_fields(name, metric, hnsw or HnswConfig(), list(shards))
+        seen: dict[str, int] = {}
+        for index, shard in enumerate(shards):
+            for point_id in shard.point_ids():
+                if point_id in seen:
+                    raise CollectionError(
+                        f"point {point_id!r} present in multiple shards"
+                    )
+                seen[point_id] = index
+        if set(order) != set(seen) or len(order) != len(seen):
+            raise CollectionError(
+                "point order does not match the ids stored in the shards"
+            )
+        sharded._id_to_shard = seen
+        sharded._order = list(order)
+        return sharded
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _owning_shard(self, point_id: str) -> Collection:
+        index = self._id_to_shard.get(point_id)
+        if index is None:
+            raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
+        return self._shards[index]
+
+    def _fan_out(self, task) -> list[Any]:
+        """Run ``task`` over every non-empty shard, threaded when > 1.
+
+        BLAS scoring releases the GIL, so shard searches overlap on
+        multi-core machines; on one core the pool degrades to (cheap)
+        serial execution.
+        """
+        live = [shard for shard in self._shards if len(shard)]
+        if not live:
+            return []
+        if len(live) == 1:
+            return [task(live[0])]
+        return list(self._pool.map(task, live))
+
+
+def _merge_top_k(
+    per_shard: Sequence[list[SearchHit]], k: int
+) -> list[SearchHit]:
+    """Exact global top-``k`` from per-shard top-``k`` lists.
+
+    At most ``shards × k`` hits reach the merge, so a stable sort is
+    plenty; score ties keep shard-index order (each shard list is already
+    sorted descending), which is deterministic across runs — but not the
+    same order an unsharded exact search gives tied scores (see the
+    module docstring's equivalence caveat).
+    """
+    ranked = sorted(
+        chain.from_iterable(per_shard), key=lambda hit: -hit.score
+    )
+    return ranked[:k]
+
+
+#: Either vector-store backend; the client and pipeline accept both.
+AnyCollection = Union[Collection, ShardedCollection]

@@ -1,0 +1,373 @@
+"""Sharded-vs-unsharded equivalence and sharded snapshot round-trips.
+
+The sharding layer is a partitioning of the same algorithm, not a new
+one: on every exact-scoring dispatch path a :class:`ShardedCollection`
+must return the same hits as one unsharded :class:`Collection` holding
+the same points, with scores equal up to float accumulation order.
+These tests pin that over randomized seeds, dims, ``k``, and filters,
+plus the degenerate layouts (empty shards, all points hashed onto one
+shard) and the persistence round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import SpatialKeywordQuery
+from repro.core.variants import semask_em
+from repro.errors import CollectionError, DimensionMismatch, PointNotFound
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import Collection, HnswConfig, PointStruct
+from repro.vectordb.filters import And, FieldMatch, FieldRange
+from repro.vectordb.persistence import load_collection, save_collection
+from repro.vectordb.sharded import ShardedCollection, shard_for
+
+CASES = [(0, 8, 1, 2), (1, 16, 5, 3), (2, 32, 10, 4), (3, 48, 3, 7)]
+
+FILTERS = [
+    None,
+    FieldMatch("city", "city1"),
+    FieldRange("stars", gte=2.0),
+    And(FieldMatch("city", "city2"), FieldRange("stars", lte=4.0)),
+]
+
+
+def unit_vectors(n: int, dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vecs = rng.standard_normal((n, dim)).astype(np.float32)
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+def make_points(n: int, dim: int, seed: int) -> list[PointStruct]:
+    vecs = unit_vectors(n, dim, seed)
+    return [
+        PointStruct(
+            id=f"p{i}",
+            vector=vecs[i],
+            payload={"city": f"city{i % 3}", "stars": float(i % 5) + 1.0},
+        )
+        for i in range(n)
+    ]
+
+
+def build_pair(
+    seed: int, dim: int, shards: int, n: int = 240
+) -> tuple[Collection, ShardedCollection]:
+    points = make_points(n, dim, seed)
+    plain = Collection(f"c{seed}", dim)
+    plain.upsert(points)
+    sharded = ShardedCollection(f"c{seed}", dim, shards=shards)
+    sharded.upsert(points)
+    return plain, sharded
+
+
+def assert_hits_equivalent(sharded_hits, plain_hits):
+    assert [h.id for h in sharded_hits] == [h.id for h in plain_hits]
+    np.testing.assert_allclose(
+        [h.score for h in sharded_hits],
+        [h.score for h in plain_hits],
+        rtol=0, atol=1e-5,
+    )
+    for a, b in zip(sharded_hits, plain_hits):
+        assert a.payload == b.payload
+
+
+class TestShardAssignment:
+    def test_deterministic_and_in_range(self):
+        for n in (1, 2, 3, 8):
+            for i in range(200):
+                first = shard_for(f"point-{i}", n)
+                assert 0 <= first < n
+                assert shard_for(f"point-{i}", n) == first
+
+    def test_spreads_across_shards(self):
+        counts = [0] * 4
+        for i in range(400):
+            counts[shard_for(f"p{i}", 4)] += 1
+        assert all(c > 0 for c in counts)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(CollectionError):
+            shard_for("x", 0)
+        with pytest.raises(CollectionError):
+            ShardedCollection("x", 8, shards=0)
+
+
+@pytest.mark.parametrize("seed,dim,k,shards", CASES)
+class TestSearchEquivalence:
+    def test_exact_search(self, seed, dim, k, shards):
+        plain, sharded = build_pair(seed, dim, shards)
+        for q in unit_vectors(8, dim, seed + 100):
+            assert_hits_equivalent(
+                sharded.search(q, k, exact=True),
+                plain.search(q, k, exact=True),
+            )
+
+    @pytest.mark.parametrize("flt", FILTERS)
+    def test_filtered_search_batch(self, seed, dim, k, shards, flt):
+        plain, sharded = build_pair(seed, dim, shards)
+        queries = unit_vectors(12, dim, seed + 200)
+        exact = flt is None  # unfiltered HNSW is approximate per shard
+        batch = sharded.search_batch(queries, k, flt=flt, exact=exact)
+        expected = plain.search_batch(queries, k, flt=flt, exact=exact)
+        assert len(batch) == len(expected)
+        for got, want in zip(batch, expected):
+            assert_hits_equivalent(got, want)
+
+    def test_indexed_filter_path(self, seed, dim, k, shards):
+        plain, sharded = build_pair(seed, dim, shards)
+        plain.create_payload_index("city")
+        sharded.create_payload_index("city")
+        assert sharded.indexed_payload_fields == frozenset({"city"})
+        flt = FieldMatch("city", "city0")
+        queries = unit_vectors(6, dim, seed + 300)
+        for got, want in zip(
+            sharded.search_batch(queries, k, flt=flt),
+            plain.search_batch(queries, k, flt=flt),
+        ):
+            assert_hits_equivalent(got, want)
+
+    def test_count_and_scroll(self, seed, dim, k, shards):
+        plain, sharded = build_pair(seed, dim, shards)
+        for flt in FILTERS:
+            assert sharded.count(flt) == plain.count(flt)
+            assert [h.id for h in sharded.scroll(flt)] == [
+                h.id for h in plain.scroll(flt)
+            ]
+
+
+class TestHnswPath:
+    def test_unfiltered_approximate_recall_floor(self):
+        """Sharded HNSW recall@10 stays high — every shard's graph is
+        searched, but each graph is still approximate, so this pins an
+        absolute floor rather than an ordering against one global graph
+        (which does not hold in general)."""
+        dim, k = 16, 10
+        plain, sharded = build_pair(5, dim, 4, n=400)
+        queries = unit_vectors(20, dim, 55)
+        hits = total = 0
+        for q in queries:
+            truth = {h.id for h in plain.search(q, k, exact=True)}
+            hits += len(truth & {h.id for h in sharded.search(q, k)})
+            total += len(truth)
+        recall = hits / total
+        assert recall >= 0.95, f"sharded HNSW recall@10 too low: {recall:.3f}"
+
+
+class TestDegenerateLayouts:
+    def test_more_shards_than_points(self):
+        points = make_points(3, 8, 0)
+        sharded = ShardedCollection("sparse", 8, shards=16)
+        assert sharded.upsert(points) == 3
+        assert len(sharded) == 3
+        assert sum(len(s) == 0 for s in sharded.shard_collections) >= 13
+        plain = Collection("sparse", 8)
+        plain.upsert(points)
+        for q in unit_vectors(4, 8, 9):
+            assert_hits_equivalent(
+                sharded.search(q, 5, exact=True),
+                plain.search(q, 5, exact=True),
+            )
+
+    def test_all_points_on_one_shard(self):
+        """Adversarial skew: every id hashes to the same shard of 4."""
+        dim, shards = 16, 4
+        skewed_ids = [f"skew-{i}" for i in range(4000)
+                      if shard_for(f"skew-{i}", shards) == 0][:120]
+        assert len(skewed_ids) == 120
+        vecs = unit_vectors(len(skewed_ids), dim, 3)
+        points = [
+            PointStruct(pid, vecs[i], {"stars": float(i % 5) + 1.0})
+            for i, pid in enumerate(skewed_ids)
+        ]
+        sharded = ShardedCollection("skew", dim, shards=shards)
+        sharded.upsert(points)
+        sizes = [len(s) for s in sharded.shard_collections]
+        assert sizes[0] == 120 and sum(sizes[1:]) == 0
+        plain = Collection("skew", dim)
+        plain.upsert(points)
+        queries = unit_vectors(6, dim, 33)
+        flt = FieldRange("stars", gte=3.0)
+        for got, want in zip(
+            sharded.search_batch(queries, 7, flt=flt),
+            plain.search_batch(queries, 7, flt=flt),
+        ):
+            assert_hits_equivalent(got, want)
+
+    def test_empty_collection_and_batch(self):
+        sharded = ShardedCollection("empty", 8, shards=3)
+        assert sharded.search(unit_vectors(1, 8, 0)[0], 5) == []
+        assert sharded.search_batch(unit_vectors(3, 8, 0), 5) == [[], [], []]
+        assert sharded.search_batch(np.zeros((0, 8), np.float32), 5) == []
+        assert sharded.count() == 0
+        assert sharded.scroll() == []
+
+    def test_dimension_mismatch(self):
+        sharded = ShardedCollection("d", 8, shards=2)
+        with pytest.raises(DimensionMismatch):
+            sharded.search(np.zeros(4, np.float32), 3)
+        with pytest.raises(DimensionMismatch):
+            sharded.search_batch(np.zeros((2, 4), np.float32), 3)
+
+
+class TestWrites:
+    def test_payload_update_and_retrieve(self):
+        _, sharded = build_pair(1, 8, 3, n=60)
+        sharded.set_payload("p5", {"stars": 9.5})
+        assert sharded.retrieve("p5").payload["stars"] == 9.5
+        # upsert with identical vector merges payload, inserts nothing
+        points = make_points(60, 8, 1)
+        assert sharded.upsert([points[5]]) == 0
+        with pytest.raises(PointNotFound):
+            sharded.retrieve("nope")
+        with pytest.raises(PointNotFound):
+            sharded.set_payload("nope", {})
+
+    def test_reupsert_different_vector_raises(self):
+        _, sharded = build_pair(2, 8, 3, n=40)
+        bad = PointStruct("p3", unit_vectors(1, 8, 99)[0], {})
+        with pytest.raises(CollectionError):
+            sharded.upsert([bad])
+
+    def test_close_releases_pool_idempotently(self):
+        _, sharded = build_pair(4, 8, 3, n=60)
+        sharded.search(unit_vectors(1, 8, 0)[0], 3, exact=True)  # spin up
+        sharded.close()
+        sharded.close()  # idempotent
+        # single-shard reads still work; fan-out is gone by design
+        assert sharded.retrieve("p0").id == "p0"
+
+    def test_partial_failure_keeps_routing_consistent(self):
+        """A batch that raises mid-way (like Collection.upsert) leaves the
+        order/routing tables matching what actually landed in shards."""
+        sharded = ShardedCollection("partial", 8, shards=3)
+        good = make_points(4, 8, 7)
+        bad = PointStruct("wrong-dim", np.zeros(4, np.float32), {})
+        with pytest.raises(DimensionMismatch):
+            sharded.upsert(good + [bad])
+        assert len(sharded) == 4
+        assert [h.id for h in sharded.scroll()] == [p.id for p in good]
+        for p in good:
+            assert sharded.retrieve(p.id).id == p.id
+        with pytest.raises(PointNotFound):
+            sharded.retrieve("wrong-dim")
+
+
+class TestClientIntegration:
+    def test_create_collection_shards(self):
+        client = VectorDBClient()
+        sharded = client.create_collection("s", dim=8, shards=4)
+        assert isinstance(sharded, ShardedCollection)
+        plain = client.create_collection("p", dim=8)
+        assert isinstance(plain, Collection)
+        assert client.create_collection(
+            "s", dim=8, exist_ok=True, shards=4
+        ) is sharded
+        with pytest.raises(CollectionError):
+            client.create_collection("bad", dim=8, shards=0)
+        # exist_ok must not silently hand back a differently-sharded backend
+        with pytest.raises(CollectionError, match="shard"):
+            client.create_collection("s", dim=8, exist_ok=True)
+        with pytest.raises(CollectionError, match="shard"):
+            client.create_collection("p", dim=8, exist_ok=True, shards=2)
+
+    def test_passthroughs_work_sharded(self):
+        client = VectorDBClient()
+        client.create_collection("s", dim=8, shards=3)
+        points = make_points(50, 8, 4)
+        client.upsert("s", points)
+        assert client.count("s") == 50
+        hits = client.search("s", points[0].vector, k=3, exact=True)
+        assert hits[0].id == "p0"
+        batch = client.search_batch(
+            "s", np.stack([p.vector for p in points[:4]]), k=3, exact=True
+        )
+        assert [h[0].id for h in batch] == ["p0", "p1", "p2", "p3"]
+
+
+class TestShardedPersistence:
+    def test_round_trip(self, tmp_path):
+        _, sharded = build_pair(3, 16, 4, n=150)
+        sharded.create_payload_index("city")
+        save_collection(sharded, tmp_path / "snap")
+        loaded = load_collection(tmp_path / "snap")
+        assert isinstance(loaded, ShardedCollection)
+        assert loaded.n_shards == 4
+        assert loaded.dim == 16
+        assert len(loaded) == 150
+        assert loaded.indexed_payload_fields == frozenset({"city"})
+        assert [h.id for h in loaded.scroll()] == [
+            h.id for h in sharded.scroll()
+        ]
+        queries = unit_vectors(6, 16, 77)
+        flt = FieldMatch("city", "city1")
+        for got, want in zip(
+            loaded.search_batch(queries, 5, flt=flt),
+            sharded.search_batch(queries, 5, flt=flt),
+        ):
+            assert_hits_equivalent(got, want)
+
+    def test_single_shard_round_trip(self, tmp_path):
+        """Regression: a 1-shard ShardedCollection snapshot must load
+        back through the sharded layout, not the plain-collection one."""
+        sharded = ShardedCollection("one", 8, shards=1)
+        sharded.upsert(make_points(20, 8, 9))
+        save_collection(sharded, tmp_path / "snap")
+        loaded = load_collection(tmp_path / "snap")
+        assert isinstance(loaded, ShardedCollection)
+        assert loaded.n_shards == 1
+        assert [h.id for h in loaded.scroll()] == [
+            h.id for h in sharded.scroll()
+        ]
+
+    def test_round_trip_preserves_hnsw_config(self, tmp_path):
+        cfg = HnswConfig(m=6, ef_construction=37, ef_search=21, seed=13)
+        sharded = ShardedCollection("h", 8, hnsw=cfg, shards=3)
+        sharded.upsert(make_points(30, 8, 6))
+        save_collection(sharded, tmp_path / "snap")
+        loaded = load_collection(tmp_path / "snap")
+        assert loaded.hnsw_config == cfg
+        for shard in loaded.shard_collections:
+            assert shard.hnsw_config == cfg
+
+    def test_from_shards_rejects_inconsistency(self):
+        a = Collection("a", 8)
+        a.upsert(make_points(10, 8, 0))
+        b = Collection("b", 8)
+        b.upsert(make_points(10, 8, 0))  # same ids as a
+        with pytest.raises(CollectionError, match="multiple shards"):
+            ShardedCollection.from_shards(
+                "x", [a, b], order=[f"p{i}" for i in range(10)]
+            )
+        c = Collection("c", 4)
+        with pytest.raises(CollectionError, match="dims differ"):
+            ShardedCollection.from_shards("x", [a, c], order=[])
+        with pytest.raises(CollectionError, match="order"):
+            ShardedCollection.from_shards("x", [a], order=["p0"])
+
+
+class TestPipelineOverShardedBackend:
+    def test_semask_em_equivalent(self, tiny_corpus):
+        from repro.eval.corpus import build_corpus
+
+        sharded_corpus = build_corpus("SB", seed=11, count=200, shards=4)
+        assert isinstance(
+            sharded_corpus.prepared.client.get_collection(
+                sharded_corpus.prepared.collection_name
+            ),
+            ShardedCollection,
+        )
+        center = tiny_corpus.city.center
+        queries = [
+            SpatialKeywordQuery.around(center, "cozy coffee shop", 5.0, 5.0),
+            SpatialKeywordQuery.around(center, "family pizza place", 3.0, 3.0),
+        ]
+        plain_system = semask_em(tiny_corpus.prepared)
+        sharded_system = semask_em(sharded_corpus.prepared)
+        plain_batch = plain_system.query_many(queries)
+        sharded_batch = sharded_system.query_many(queries)
+        for a, b in zip(sharded_batch, plain_batch):
+            assert [e.business_id for e in a.entries] == [
+                e.business_id for e in b.entries
+            ]

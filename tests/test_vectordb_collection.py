@@ -182,3 +182,58 @@ class TestPersistence:
         payloads.write_text("\n".join(lines[:-1]) + "\n")
         with pytest.raises(CollectionError, match="inconsistent"):
             load_collection(tmp_path / "snap")
+
+    def test_empty_collection_round_trip_keeps_dim(self, tmp_path):
+        """Regression: zero-point snapshots used to reload with dim=1,
+        so later upserts of correct-dim vectors raised DimensionMismatch."""
+        empty = Collection("empty", dim=48)
+        save_collection(empty, tmp_path / "snap")
+        loaded = load_collection(tmp_path / "snap")
+        assert loaded.dim == 48
+        loaded.upsert(
+            [PointStruct("a", np.zeros(48, dtype=np.float32), {"x": 1})]
+        )
+        assert loaded.retrieve("a").payload == {"x": 1}
+
+    def test_round_trip_keeps_payload_indexes(self, collection, tmp_path):
+        """Regression: indexed fields were dropped, silently degrading
+        every filtered search after a reload to a full payload scan."""
+        collection.create_payload_index("city")
+        save_collection(collection, tmp_path / "snap")
+        loaded = load_collection(tmp_path / "snap")
+        assert loaded.indexed_payload_fields == frozenset({"city"})
+        assert loaded.count(FieldMatch("city", "SL")) == 2
+
+    def test_round_trip_keeps_hnsw_config(self, tmp_path):
+        """Regression: HnswConfig was lost on reload unless re-passed,
+        silently changing recall and latency."""
+        from repro.vectordb.collection import HnswConfig
+
+        cfg = HnswConfig(m=5, ef_construction=33, ef_search=17, seed=3)
+        c = Collection("tuned", dim=2, hnsw=cfg)
+        c.upsert([PointStruct("a", unit(1, 0), {})])
+        save_collection(c, tmp_path / "snap")
+        loaded = load_collection(tmp_path / "snap")
+        assert loaded.hnsw_config == cfg
+        # an explicit override still wins over the stored config
+        override = HnswConfig(m=9, ef_construction=10, ef_search=5, seed=1)
+        assert load_collection(
+            tmp_path / "snap", hnsw=override
+        ).hnsw_config == override
+
+    def test_v1_snapshot_without_new_keys_loads(self, collection, tmp_path):
+        """Old snapshots (no schema/hnsw/indexed fields) keep loading."""
+        import json
+
+        from repro.vectordb.collection import HnswConfig
+
+        save_collection(collection, tmp_path / "snap")
+        meta_path = tmp_path / "snap" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        for key in ("schema", "hnsw", "indexed_payload_fields"):
+            meta.pop(key)
+        meta_path.write_text(json.dumps(meta))
+        loaded = load_collection(tmp_path / "snap")
+        assert len(loaded) == len(collection)
+        assert loaded.indexed_payload_fields == frozenset()
+        assert loaded.hnsw_config == HnswConfig()
