@@ -7,6 +7,7 @@ Commands::
     query        answer one semantics-aware query on a city
     table2       reproduce the paper's Table 2
     queries      show the harvested evaluation query set for a city
+    reshard      re-route a collection snapshot to a new shard count
     demo         write (or serve) the Figure-3 demo page
 """
 
@@ -163,6 +164,30 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_reshard(args: argparse.Namespace) -> int:
+    """``reshard``: rewrite a saved snapshot for a new shard count.
+
+    Re-routes every point via ``shard_for(id, new_shards)`` without
+    re-embedding anything; scroll order, counts, payload indexes, and
+    the HNSW config are preserved (see ``reshard_snapshot``).
+    """
+    from repro.vectordb.persistence import load_collection, reshard_snapshot
+
+    if args.to_shards <= 0:
+        print(f"--to must be positive, got {args.to_shards}")
+        return 1
+    written = reshard_snapshot(
+        args.snapshot, args.to_shards, out_dir=args.out or None
+    )
+    collection = load_collection(written)
+    print(
+        f"resharded {args.snapshot} -> {written}: "
+        f"{len(collection)} points across {args.to_shards} shard(s)"
+    )
+    collection.close()
+    return 0
+
+
 def cmd_queries(args: argparse.Namespace) -> int:
     corpus = _corpus(args, args.city)
     queries = build_test_queries(corpus, count=args.count)
@@ -249,6 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("city")
     p.add_argument("--count", type=int, default=10)
     p.set_defaults(func=cmd_queries)
+
+    p = sub.add_parser("reshard",
+                       help="re-route a snapshot to a new shard count")
+    p.add_argument("snapshot", help="snapshot directory (save_collection)")
+    p.add_argument("--to", dest="to_shards", type=int, required=True,
+                   help="target shard count (1 = single logical shard)")
+    p.add_argument("--out", default="",
+                   help="output directory (default: rewrite in place)")
+    p.set_defaults(func=cmd_reshard)
 
     p = sub.add_parser("demo", help="write or serve the demo page")
     _add_common(p)

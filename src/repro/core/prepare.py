@@ -9,6 +9,12 @@ Three steps, exactly as the paper lays out:
 3. **Embedding generation** — embed "POI name, address, categories, hours,
    and tip summary" with the (simulated) text-embedding-3-small and store
    the vectors with full attribute payloads in the vector database.
+
+Embedding generation also builds the collection's HNSW graph eagerly
+(per-shard graphs in parallel worker processes for sharded collections)
+— graph construction is the dominant offline cost, and paying it at
+prepare time means the first query never stalls on a lazy build.
+``eager_index=False`` restores the lazy behaviour.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.llm.prompts import build_summarize_prompt
 from repro.llm.simulated import SimulatedLLM
 from repro.vectordb.client import VectorDBClient
 from repro.vectordb.collection import PointStruct
+from repro.vectordb.sharded import ShardedCollection
 
 #: Model used for summarization, per the paper ("for its lower costs").
 SUMMARIZE_MODEL = "gpt-3.5-turbo"
@@ -51,6 +58,8 @@ class DataPreparation:
         client: VectorDBClient | None = None,
         summarize: bool = True,
         shards: int = 1,
+        eager_index: bool = True,
+        index_workers: int | None = None,
     ) -> None:
         self._llm = llm if llm is not None else SimulatedLLM()
         self._embedder = (
@@ -60,6 +69,8 @@ class DataPreparation:
         self._client = client if client is not None else VectorDBClient()
         self._summarize = summarize
         self._shards = shards
+        self._eager_index = eager_index
+        self._index_workers = index_workers
 
     @property
     def llm(self) -> LLMClient:
@@ -126,6 +137,14 @@ class DataPreparation:
                 PointStruct(id=record.business_id, vector=vector, payload=payload)
             )
         collection.upsert(points)
+        if self._eager_index:
+            # Pay for graph construction here, not on the first query;
+            # sharded collections build their per-shard graphs in
+            # parallel worker processes.
+            if isinstance(collection, ShardedCollection):
+                collection.build_hnsw(parallel=self._index_workers)
+            else:
+                collection.build_hnsw()
 
     def prepare(self, dataset: Dataset, collection_name: str | None = None) -> PreparedCity:
         """Run all three steps; returns a handle for query processing."""

@@ -39,19 +39,24 @@ def build_corpus(
     count: int | None = None,
     summarize: bool = True,
     shards: int = 1,
+    eager_index: bool = True,
 ) -> EvalCorpus:
     """Generate and prepare a city corpus (no cache).
 
     ``shards > 1`` stores the embeddings in a hash-partitioned
     :class:`~repro.vectordb.sharded.ShardedCollection` instead of a single
     collection; the query pipeline is identical over either backend.
+    Preparation builds the HNSW graph(s) eagerly — per shard, in parallel
+    — so queries never pay for graph construction; ``eager_index=False``
+    restores the lazy build.
     """
     city = city_by_code(city_code)
     graph, lexicon = default_ontology()
     generator = YelpStyleGenerator(graph, lexicon, seed=seed)
     dataset = Dataset(generator.generate_city(city, count=count), city.code)
     llm = SimulatedLLM(graph, lexicon)
-    preparation = DataPreparation(llm=llm, summarize=summarize, shards=shards)
+    preparation = DataPreparation(llm=llm, summarize=summarize, shards=shards,
+                                  eager_index=eager_index)
     prepared = preparation.prepare(dataset)
     return EvalCorpus(
         city=city,

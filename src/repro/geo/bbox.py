@@ -1,15 +1,52 @@
-"""Axis-aligned geographic bounding boxes (the paper's query range ``q.r``)."""
+"""Axis-aligned geographic bounding boxes (the paper's query range ``q.r``).
+
+Boundary semantics
+------------------
+
+Latitude is a bounded axis: ``min_lat <= max_lat`` always holds, and
+:meth:`BoundingBox.around` clamps query boxes at the poles (a 5 km box
+centred at 89.999° N simply ends at 90°; it does not raise).
+
+Longitude is a circle. A box may *cross the antimeridian*, encoded as
+``min_lon > max_lon`` (the GeoJSON bbox convention): such a box covers
+``lon >= min_lon`` **or** ``lon <= max_lon``. :meth:`BoundingBox.around`
+wraps overflowing edges into [-180, 180] and produces a crossing box when
+the requested region spans the dateline, so points on the far side are no
+longer silently excluded; a box at least 360° wide degenerates to the
+full longitude range. :meth:`contains`, :meth:`intersects`,
+:meth:`center`, :meth:`area_deg2`, and :meth:`width_km` all honour the
+crossing encoding; consumers that need plain (non-crossing) rectangles —
+e.g. the uniform grid's cell-range arithmetic — can expand a box with
+:meth:`split_antimeridian`. :meth:`union` is exact for plain boxes and
+conservative (full longitude range) when a crossing box is involved;
+R-tree node MBRs are unions of point boxes and therefore never cross.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.geo.point import GeoPoint, KM_PER_DEGREE_LAT, km_per_degree_lon
 
 
+def _wrap_lon(lon: float) -> float:
+    """Map ``lon`` into [-180, 180] (180 stays 180, not -180)."""
+    if -180.0 <= lon <= 180.0:
+        return lon
+    wrapped = math.fmod(lon + 180.0, 360.0)
+    if wrapped < 0.0:
+        wrapped += 360.0
+    return wrapped - 180.0 if wrapped else 180.0
+
+
 @dataclass(frozen=True, slots=True)
 class BoundingBox:
-    """A latitude/longitude rectangle with inclusive bounds."""
+    """A latitude/longitude rectangle with inclusive bounds.
+
+    ``min_lon > max_lon`` encodes an antimeridian-crossing box (see the
+    module docstring); latitude bounds must be ordered.
+    """
 
     min_lat: float
     min_lon: float
@@ -21,81 +58,132 @@ class BoundingBox:
             raise ValueError(
                 f"min_lat {self.min_lat} exceeds max_lat {self.max_lat}"
             )
-        if self.min_lon > self.max_lon:
+        if self.min_lon > self.max_lon and not (
+            -180.0 <= self.min_lon <= 180.0
+            and -180.0 <= self.max_lon <= 180.0
+        ):
             raise ValueError(
-                f"min_lon {self.min_lon} exceeds max_lon {self.max_lon}"
+                "an antimeridian-crossing box (min_lon > max_lon) needs "
+                f"both edges in [-180, 180], got "
+                f"({self.min_lon}, {self.max_lon})"
             )
+
+    @property
+    def crosses_antimeridian(self) -> bool:
+        """Whether this box wraps across the ±180° meridian."""
+        return self.min_lon > self.max_lon
 
     @classmethod
     def around(cls, center: GeoPoint, width_km: float, height_km: float) -> "BoundingBox":
         """Build the ``width_km`` x ``height_km`` box centred on ``center``.
 
         This is how the paper forms query ranges: "a 5 km x 5 km region
-        centered at the point".
+        centered at the point". Latitude edges clamp to ±90; longitude
+        edges wrap at ±180, yielding an antimeridian-crossing box when
+        the region spans the dateline (and the full longitude range when
+        it is 360° wide or the centre is close enough to a pole that
+        every meridian is within reach).
         """
         if width_km <= 0 or height_km <= 0:
             raise ValueError("box dimensions must be positive")
         half_h = (height_km / 2.0) / KM_PER_DEGREE_LAT
-        half_w = (width_km / 2.0) / km_per_degree_lon(center.lat)
+        min_lat = max(center.lat - half_h, -90.0)
+        max_lat = min(center.lat + half_h, 90.0)
+        km_per_lon = km_per_degree_lon(center.lat)
+        half_w = (
+            (width_km / 2.0) / km_per_lon if km_per_lon > 0.0
+            else float("inf")
+        )
+        if not half_w < 180.0:
+            return cls(min_lat, -180.0, max_lat, 180.0)
         return cls(
-            min_lat=center.lat - half_h,
-            min_lon=center.lon - half_w,
-            max_lat=center.lat + half_h,
-            max_lon=center.lon + half_w,
+            min_lat=min_lat,
+            min_lon=_wrap_lon(center.lon - half_w),
+            max_lat=max_lat,
+            max_lon=_wrap_lon(center.lon + half_w),
         )
 
     @classmethod
     def of_points(cls, points: list[GeoPoint]) -> "BoundingBox":
-        """Minimal box covering ``points`` (which must be non-empty)."""
+        """Minimal plain box covering ``points`` (which must be non-empty)."""
         if not points:
             raise ValueError("cannot build a bounding box of zero points")
         lats = [p.lat for p in points]
         lons = [p.lon for p in points]
         return cls(min(lats), min(lons), max(lats), max(lons))
 
+    def split_antimeridian(self) -> list["BoundingBox"]:
+        """This box as one or two plain (non-crossing) boxes.
+
+        Crossing boxes split into their eastern ``[min_lon, 180]`` and
+        western ``[-180, max_lon]`` halves; plain boxes return
+        ``[self]``. The parts cover the same points (±180 appears in one
+        part each).
+        """
+        if not self.crosses_antimeridian:
+            return [self]
+        return [
+            BoundingBox(self.min_lat, self.min_lon, self.max_lat, 180.0),
+            BoundingBox(self.min_lat, -180.0, self.max_lat, self.max_lon),
+        ]
+
+    def _lon_span_deg(self) -> float:
+        """Longitudinal extent in degrees (wrap-aware)."""
+        span = self.max_lon - self.min_lon
+        return span + 360.0 if span < 0.0 else span
+
     @property
     def center(self) -> GeoPoint:
-        """The box's midpoint."""
+        """The box's midpoint (on the covered side of the antimeridian)."""
         return GeoPoint(
             (self.min_lat + self.max_lat) / 2.0,
-            (self.min_lon + self.max_lon) / 2.0,
+            _wrap_lon(self.min_lon + self._lon_span_deg() / 2.0),
         )
 
     def contains(self, point: GeoPoint) -> bool:
         """Whether ``point`` lies inside the box (bounds inclusive)."""
-        return (
-            self.min_lat <= point.lat <= self.max_lat
-            and self.min_lon <= point.lon <= self.max_lon
-        )
+        return self.contains_coords(point.lat, point.lon)
 
     def contains_coords(self, lat: float, lon: float) -> bool:
         """Like :meth:`contains` without constructing a :class:`GeoPoint`."""
-        return (
-            self.min_lat <= lat <= self.max_lat
-            and self.min_lon <= lon <= self.max_lon
-        )
+        if not self.min_lat <= lat <= self.max_lat:
+            return False
+        if self.crosses_antimeridian:
+            return lon >= self.min_lon or lon <= self.max_lon
+        return self.min_lon <= lon <= self.max_lon
 
     def intersects(self, other: "BoundingBox") -> bool:
         """Whether the two boxes overlap (shared edges count)."""
-        return not (
-            other.min_lat > self.max_lat
-            or other.max_lat < self.min_lat
-            or other.min_lon > self.max_lon
-            or other.max_lon < self.min_lon
+        if other.min_lat > self.max_lat or other.max_lat < self.min_lat:
+            return False
+        return any(
+            mine.min_lon <= theirs.max_lon
+            and theirs.min_lon <= mine.max_lon
+            for mine in self.split_antimeridian()
+            for theirs in other.split_antimeridian()
         )
 
     def union(self, other: "BoundingBox") -> "BoundingBox":
-        """The minimal box covering both boxes."""
+        """The minimal plain box covering both boxes.
+
+        Exact for plain boxes (the R-tree only unions those); if either
+        side crosses the antimeridian the result conservatively covers
+        the full longitude range.
+        """
+        min_lat = min(self.min_lat, other.min_lat)
+        max_lat = max(self.max_lat, other.max_lat)
+        if self.crosses_antimeridian or other.crosses_antimeridian:
+            return BoundingBox(min_lat, -180.0, max_lat, 180.0)
         return BoundingBox(
-            min(self.min_lat, other.min_lat),
+            min_lat,
             min(self.min_lon, other.min_lon),
-            max(self.max_lat, other.max_lat),
+            max_lat,
             max(self.max_lon, other.max_lon),
         )
 
     def area_deg2(self) -> float:
         """Area in squared degrees (used by R-tree split heuristics)."""
-        return (self.max_lat - self.min_lat) * (self.max_lon - self.min_lon)
+        return (self.max_lat - self.min_lat) * self._lon_span_deg()
 
     def enlargement(self, other: "BoundingBox") -> float:
         """Area increase needed for this box to also cover ``other``."""
@@ -103,7 +191,7 @@ class BoundingBox:
 
     def width_km(self) -> float:
         """East-west extent in kilometres (measured at the centre latitude)."""
-        return (self.max_lon - self.min_lon) * km_per_degree_lon(self.center.lat)
+        return self._lon_span_deg() * km_per_degree_lon(self.center.lat)
 
     def height_km(self) -> float:
         """North-south extent in kilometres."""

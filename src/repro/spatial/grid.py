@@ -45,27 +45,45 @@ class GridIndex:
         self._size += 1
 
     def range_query(self, box: BoundingBox) -> list[Any]:
-        """Ids of all objects inside ``box``."""
-        lo_row = int(
-            math.floor((box.min_lat - self._bounds.min_lat) / self._lat_step)
-        )
-        hi_row = int(
-            math.floor((box.max_lat - self._bounds.min_lat) / self._lat_step)
-        )
-        lo_col = int(
-            math.floor((box.min_lon - self._bounds.min_lon) / self._lon_step)
-        )
-        hi_col = int(
-            math.floor((box.max_lon - self._bounds.min_lon) / self._lon_step)
-        )
-        lo_row, hi_row = max(lo_row, 0), min(hi_row, self._n - 1)
-        lo_col, hi_col = max(lo_col, 0), min(hi_col, self._n - 1)
+        """Ids of all objects inside ``box``.
+
+        Antimeridian-crossing boxes are handled by scanning each plain
+        half separately (the cell-range arithmetic needs ordered
+        longitude edges); membership always tests against the full box.
+        """
         results: list[Any] = []
-        for row in range(lo_row, hi_row + 1):
-            for col in range(lo_col, hi_col + 1):
-                for object_id, lat, lon in self._cells.get((row, col), ()):
-                    if box.contains_coords(lat, lon):
-                        results.append(object_id)
+        scanned: set[tuple[int, int]] = set()
+        for part in box.split_antimeridian():
+            lo_row = int(
+                math.floor(
+                    (part.min_lat - self._bounds.min_lat) / self._lat_step
+                )
+            )
+            hi_row = int(
+                math.floor(
+                    (part.max_lat - self._bounds.min_lat) / self._lat_step
+                )
+            )
+            lo_col = int(
+                math.floor(
+                    (part.min_lon - self._bounds.min_lon) / self._lon_step
+                )
+            )
+            hi_col = int(
+                math.floor(
+                    (part.max_lon - self._bounds.min_lon) / self._lon_step
+                )
+            )
+            lo_row, hi_row = max(lo_row, 0), min(hi_row, self._n - 1)
+            lo_col, hi_col = max(lo_col, 0), min(hi_col, self._n - 1)
+            for row in range(lo_row, hi_row + 1):
+                for col in range(lo_col, hi_col + 1):
+                    if (row, col) in scanned:
+                        continue
+                    scanned.add((row, col))
+                    for object_id, lat, lon in self._cells.get((row, col), ()):
+                        if box.contains_coords(lat, lon):
+                            results.append(object_id)
         return results
 
     def occupancy(self) -> dict[str, float]:

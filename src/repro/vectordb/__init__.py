@@ -11,6 +11,13 @@ and :func:`save_collection` / :func:`load_collection` snapshot both — one
 directory per plain collection, one sub-directory per shard (schema v2,
 which also persists HNSW config and payload-index fields; see
 :mod:`repro.vectordb.persistence`).
+
+Offline index lifecycle: ``build_hnsw`` on either backend constructs the
+HNSW graph(s) eagerly — sharded collections build per-shard graphs in
+parallel worker processes — and :func:`reshard_snapshot` rewrites a saved
+snapshot for a different shard count (``VectorDBClient.reshard_collection``
+is the in-memory equivalent), so shard counts are an operational knob
+rather than frozen at creation time.
 """
 
 from repro.vectordb.client import VectorDBClient
@@ -34,7 +41,11 @@ from repro.vectordb.filters import (
 )
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
-from repro.vectordb.persistence import load_collection, save_collection
+from repro.vectordb.persistence import (
+    load_collection,
+    reshard_snapshot,
+    save_collection,
+)
 from repro.vectordb.sharded import AnyCollection, ShardedCollection, shard_for
 
 __all__ = [
@@ -59,6 +70,7 @@ __all__ = [
     "VectorDBClient",
     "load_collection",
     "normalize_rows",
+    "reshard_snapshot",
     "save_collection",
     "shard_for",
     "similarity",

@@ -23,10 +23,28 @@ from repro.vectordb.sharded import AnyCollection, ShardedCollection
 
 
 class VectorDBClient:
-    """Manages named collections, in the style of a Qdrant client."""
+    """Manages named collections, in the style of a Qdrant client.
+
+    Owns its collections' lifecycle: dropping a collection (or exiting
+    the client's ``with`` block) closes it, releasing sharded
+    collections' fan-out worker threads instead of leaking them until
+    garbage collection.
+    """
 
     def __init__(self) -> None:
         self._collections: dict[str, AnyCollection] = {}
+
+    def __enter__(self) -> "VectorDBClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close and drop every collection (idempotent)."""
+        while self._collections:
+            _, collection = self._collections.popitem()
+            collection.close()
 
     def create_collection(
         self,
@@ -92,10 +110,63 @@ class VectorDBClient:
         return collection
 
     def delete_collection(self, name: str) -> None:
-        """Drop a collection (missing name raises)."""
-        if name not in self._collections:
+        """Drop a collection and close it (missing name raises).
+
+        Closing matters for sharded collections, whose fan-out thread
+        pools would otherwise outlive the drop in long-lived processes.
+        """
+        collection = self._collections.pop(name, None)
+        if collection is None:
             raise CollectionNotFound(f"collection {name!r} not found")
-        del self._collections[name]
+        collection.close()
+
+    def reshard_collection(self, name: str, new_shards: int) -> AnyCollection:
+        """Re-route a live collection's points across ``new_shards`` shards.
+
+        The in-memory counterpart of
+        :func:`repro.vectordb.persistence.reshard_snapshot`: every point
+        is re-assigned via ``shard_for(id, new_shards)``, global insertion
+        order, payloads, payload indexes, and the HNSW config carry over,
+        and the old backend is closed and replaced under the same name.
+        ``new_shards=1`` produces a plain (unsharded) collection. If the
+        old backend had its HNSW graphs built, the new one is built
+        eagerly too, so resharding never reintroduces first-search
+        latency.
+        """
+        old = self.get_collection(name)
+        if new_shards <= 0:
+            raise CollectionError(
+                f"shard count must be positive, got {new_shards}"
+            )
+        if new_shards > 1:
+            new: AnyCollection = ShardedCollection(
+                name, old.dim, metric=old.metric, hnsw=old.hnsw_config,
+                shards=new_shards,
+            )
+        else:
+            new = Collection(
+                name, old.dim, metric=old.metric, hnsw=old.hnsw_config
+            )
+        order = (
+            old.point_order if isinstance(old, ShardedCollection)
+            else old.point_ids()
+        )
+        new.upsert(
+            PointStruct(
+                id=point_id,
+                vector=old.point_vector(point_id),
+                payload=old.retrieve(point_id).payload,
+            )
+            for point_id in order
+        )
+        for field in old.indexed_payload_fields:
+            new.create_payload_index(field)
+        was_built = old.hnsw_is_built and len(old) > 0
+        old.close()
+        self._collections[name] = new
+        if was_built:
+            new.build_hnsw()
+        return new
 
     def list_collections(self) -> list[str]:
         """Names of all collections, sorted."""

@@ -12,6 +12,17 @@ and shared across the whole batch, exact scoring runs as one matrix–matrix
 product, and per-query results are guaranteed equivalent to calling
 :meth:`Collection.search` once per query (same hits; scores equal up to
 float accumulation order).
+
+Index lifecycle: the HNSW graph can be built eagerly with
+:meth:`Collection.build_hnsw` (the bulk-scored
+:meth:`~repro.vectordb.hnsw.HNSWIndex.from_vectors` path, used by the
+data-preparation step so first-query latency never pays for graph
+construction) or attached from an external build with
+:meth:`Collection.attach_hnsw` (sharded collections build per-shard
+graphs in parallel worker processes). A graph is never required: exact
+and selective-filter searches bypass it, and any approximate search on a
+graph-less collection still builds one on demand. Points upserted after
+a build are appended to the live graph, so it cannot go stale.
 """
 
 from __future__ import annotations
@@ -105,6 +116,26 @@ class Collection:
         """All point ids, in insertion order."""
         return list(self._ids)
 
+    def point_vector(self, point_id: str) -> np.ndarray:
+        """The stored vector of ``point_id`` (copy)."""
+        node = self._id_to_node.get(point_id)
+        if node is None:
+            raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
+        return self._flat.vector(node).copy()
+
+    def vector_matrix(self) -> np.ndarray:
+        """All vectors as an ``(n, dim)`` view in node-id order.
+
+        A view into live storage (valid until the next upsert
+        reallocates); callers that keep it must copy. Bulk index builds
+        use this to avoid the per-row stacking and payload copies of
+        :meth:`export_state`.
+        """
+        return self._flat.matrix()
+
+    def close(self) -> None:
+        """Release resources (no-op here; surface parity with sharded)."""
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
@@ -139,6 +170,11 @@ class Collection:
                 continue
             node = self._flat.add(vector)
             if self._hnsw is not None:
+                # An attached graph may trail the collection (built in a
+                # worker while points kept arriving); append any missing
+                # tail first so graph node ids stay equal to flat node ids.
+                for missing in range(len(self._hnsw), node):
+                    self._hnsw.add(self._flat.vector(missing))
                 self._hnsw.add(vector)
             self._ids.append(point.id)
             self._payloads.append(dict(point.payload))
@@ -216,17 +252,60 @@ class Collection:
             dtype=np.int64,
         )
 
-    def _ensure_hnsw(self) -> HNSWIndex:
-        if self._hnsw is None:
+    @property
+    def hnsw_is_built(self) -> bool:
+        """Whether an HNSW graph exists and covers every point."""
+        return self._hnsw is not None and len(self._hnsw) == len(self._ids)
+
+    def build_hnsw(self, force: bool = False) -> HNSWIndex:
+        """Build the HNSW graph now, instead of lazily on first search.
+
+        Uses the bulk-scored :meth:`HNSWIndex.from_vectors` constructor.
+        Idempotent: an up-to-date graph is returned as-is, and a graph
+        that is missing recently attached tail points is caught up
+        incrementally (the staleness guard for externally attached
+        graphs — see :meth:`attach_hnsw`). ``force`` discards any
+        existing graph and rebuilds from scratch.
+        """
+        if force:
+            self._hnsw = None
+        index = self._hnsw
+        if index is None:
             cfg = self._hnsw_config
-            index = HNSWIndex(
-                self.dim, m=cfg.m, ef_construction=cfg.ef_construction,
-                seed=cfg.seed,
+            index = HNSWIndex.from_vectors(
+                self._flat.matrix(), m=cfg.m,
+                ef_construction=cfg.ef_construction, seed=cfg.seed,
+                dim=self.dim,
             )
-            for node in range(len(self._ids)):
-                index.add(self._flat.vector(node))
             self._hnsw = index
-        return self._hnsw
+        elif len(index) < len(self._ids):
+            for node in range(len(index), len(self._ids)):
+                index.add(self._flat.vector(node))
+        return index
+
+    def attach_hnsw(self, index: HNSWIndex) -> None:
+        """Install an externally built graph (parallel per-shard builds).
+
+        The graph must have been built from this collection's vectors in
+        node-id (insertion) order — e.g. by ``HNSWIndex.from_vectors``
+        over :meth:`export_state` vectors in a worker process. It may
+        trail behind points upserted after the build was started; the
+        missing tail is appended on the next :meth:`build_hnsw` or
+        approximate search.
+        """
+        if index.dim != self.dim:
+            raise CollectionError(
+                f"attached graph dim {index.dim} != collection dim {self.dim}"
+            )
+        if len(index) > len(self._ids):
+            raise CollectionError(
+                f"attached graph has {len(index)} nodes, collection has "
+                f"only {len(self._ids)} points"
+            )
+        self._hnsw = index
+
+    def _ensure_hnsw(self) -> HNSWIndex:
+        return self.build_hnsw()
 
     def search(
         self,
@@ -241,14 +320,19 @@ class Collection:
         ``exact=True`` forces brute-force scoring (used to measure HNSW
         recall). Otherwise, selective filters use exact scoring over the
         matching subset and broad/absent filters use the HNSW graph.
+
+        ``k = 0`` returns no hits and ``k`` beyond the population
+        truncates to every (matching) point; negative ``k`` raises.
         """
-        if len(self._ids) == 0:
-            return []
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
         query = np.asarray(vector, dtype=np.float32)
         if query.shape != (self.dim,):
             raise DimensionMismatch(
                 f"query shape {query.shape} != ({self.dim},)"
             )
+        if k == 0 or len(self._ids) == 0:
+            return []
 
         if flt is not None:
             matching = self._matching_nodes(flt)
@@ -293,8 +377,11 @@ class Collection:
         filtered search over payloads), exact scoring dispatches to the
         flat index's matrix–matrix path, and the HNSW path reuses the
         graph's vectorized traversal per query. Returns one hit list per
-        query, equivalent to ``[self.search(v, k, ...) for v in vectors]``.
+        query, equivalent to ``[self.search(v, k, ...) for v in vectors]``
+        (including the ``k = 0`` / oversized-``k`` edge behaviour).
         """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
         queries = np.asarray(vectors, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise DimensionMismatch(
@@ -303,7 +390,7 @@ class Collection:
         n_queries = queries.shape[0]
         if n_queries == 0:
             return []
-        if len(self._ids) == 0:
+        if k == 0 or len(self._ids) == 0:
             return [[] for _ in range(n_queries)]
 
         if flt is not None:
@@ -344,11 +431,11 @@ class Collection:
 
     def export_state(self) -> tuple[np.ndarray, list[str], list[dict[str, Any]]]:
         """``(vectors, ids, payloads)`` snapshot for serialization."""
-        n = len(self._ids)
-        vectors = np.stack([self._flat.vector(i) for i in range(n)]) if n else (
-            np.zeros((0, self.dim), dtype=np.float32)
+        return (
+            self._flat.matrix().copy(),
+            list(self._ids),
+            [dict(p) for p in self._payloads],
         )
-        return vectors, list(self._ids), [dict(p) for p in self._payloads]
 
     @classmethod
     def from_state(

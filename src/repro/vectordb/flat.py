@@ -56,6 +56,14 @@ class FlatIndex:
             raise KeyError(f"node {node_id} not in index")
         return self._vectors[node_id]
 
+    def matrix(self) -> np.ndarray:
+        """All stored vectors as an ``(n, dim)`` view, in node-id order.
+
+        A view into the live storage (valid until the next :meth:`add`
+        reallocates); callers that keep it must copy.
+        """
+        return self._vectors[: self._count]
+
     def search(
         self,
         query: np.ndarray,

@@ -30,6 +30,17 @@ any per-neighbour Python work, and the visited set is a stamped array
 reused across calls (no per-search set allocation). ``search_batch``
 answers many queries over this shared machinery; quality is pinned by the
 recall regression tests.
+
+Bulk construction: :meth:`HNSWIndex.from_vectors` builds the graph over a
+whole matrix at once. It inserts in row order (so node ids equal row
+indices, as an ``add`` loop would give), but pre-scores each insert's
+similarities to every earlier node with one chunked matrix product —
+inside the beam search, neighbour blocks are then scored by a row gather
+instead of a fresh gather + dot per visit. Offline index builds (prepare
+time, snapshot loads) use this path; ``add`` remains the incremental path
+that keeps an already-built graph fresh under later upserts. Built
+indexes pickle (the thread-local visited scratch is rebuilt on load), so
+per-shard graphs can be constructed in worker processes and shipped back.
 """
 
 from __future__ import annotations
@@ -88,6 +99,17 @@ class HNSWIndex:
 
     def __len__(self) -> int:
         return self._count
+
+    def __getstate__(self) -> dict:
+        # The thread-local visited scratch holds per-thread numpy arrays
+        # and cannot (and need not) cross process boundaries.
+        state = self.__dict__.copy()
+        del state["_visited_tls"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._visited_tls = threading.local()
 
     @property
     def dim(self) -> int:
@@ -227,25 +249,40 @@ class HNSWIndex:
     def _select_neighbors_heuristic(
         self, query: np.ndarray, candidates: list[tuple[float, int]], m: int
     ) -> list[int]:
-        """Algorithm 4: diversity-preserving neighbour selection."""
+        """Algorithm 4: diversity-preserving neighbour selection.
+
+        A candidate is kept only if it is closer to the query than to every
+        already-kept neighbour. Selecting a candidate can only ever *kill*
+        later candidates, so instead of re-scoring each candidate against
+        the growing kept set, the candidate-to-candidate similarities are
+        computed as one matrix product and an alive-mask column update per
+        selection replaces the per-candidate dot + ``all`` of the naive
+        loop — same selections, ~one vector op per kept neighbour.
+        """
         ordered = sorted(candidates, key=lambda pair: -pair[0])
+        n_cand = len(ordered)
+        if n_cand <= 1 or m <= 1:
+            return [node for _, node in ordered[:m]]
+        nodes = [node for _, node in ordered]
+        sims_to_query = np.fromiter(
+            (sim for sim, _ in ordered), dtype=np.float32, count=n_cand
+        )
+        cand_vectors = self._vectors[nodes]
+        cross = cand_vectors @ cand_vectors.T
+        alive = np.ones(n_cand, dtype=bool)
         selected: list[int] = []
-        for sim, node in ordered:
+        for i in range(n_cand):
+            if not alive[i]:
+                continue
+            selected.append(nodes[i])
             if len(selected) >= m:
                 break
-            if not selected:
-                selected.append(node)
-                continue
-            # Keep `node` only if it is closer to the query than to any
-            # already-selected neighbour (sim to query > sim to selected).
-            vec = self._vectors[node]
-            sims_to_selected = self._vectors[selected] @ vec
-            if np.all(sims_to_selected < sim):
-                selected.append(node)
+            # Kill every candidate at least as close to `i` as to the query.
+            alive &= cross[i] < sims_to_query
         # Pad with nearest skipped candidates if the heuristic was too picky.
         if len(selected) < m:
             chosen = set(selected)
-            for _, node in ordered:
+            for node in nodes:
                 if len(selected) >= m:
                     break
                 if node not in chosen:
@@ -288,32 +325,150 @@ class HNSWIndex:
             found = self._search_layer(
                 query, entry, ef=self._ef_construction, layer=layer
             )
-            m_layer = self._m0 if layer == 0 else self._m
-            neighbors = self._select_neighbors_heuristic(
-                query, found, self._m
-            )
-            self._links[node][layer] = list(neighbors)
-            if layer == 0:
-                self._sync_adj0(node)
-            for neighbor in neighbors:
-                links = self._links[neighbor][layer]
-                links.append(node)
-                if len(links) > m_layer:
-                    nvec = self._vectors[neighbor]
-                    cand = [
-                        (float(self._vectors[x] @ nvec), x) for x in links
-                    ]
-                    self._links[neighbor][layer] = (
-                        self._select_neighbors_heuristic(nvec, cand, m_layer)
-                    )
-                if layer == 0:
-                    self._sync_adj0(neighbor)
+            self._link_new_node(node, layer, found)
             entry = found
 
         if level > self._max_level:
             self._max_level = level
             self._entry_point = node
         return node
+
+    def _link_new_node(
+        self, node: int, layer: int, candidates: list[tuple[float, int]]
+    ) -> None:
+        """Wire ``node`` into ``layer``: heuristic selection, bidirectional
+        links, degree-cap re-pruning (the second half of Algorithm 1)."""
+        query = self._vectors[node]
+        m_layer = self._m0 if layer == 0 else self._m
+        neighbors = self._select_neighbors_heuristic(
+            query, candidates, self._m
+        )
+        self._links[node][layer] = list(neighbors)
+        if layer == 0:
+            self._sync_adj0(node)
+        for neighbor in neighbors:
+            links = self._links[neighbor][layer]
+            links.append(node)
+            if len(links) > m_layer:
+                nvec = self._vectors[neighbor]
+                sims = self._vectors[links] @ nvec
+                cand = list(zip(sims.tolist(), links))
+                self._links[neighbor][layer] = (
+                    self._select_neighbors_heuristic(nvec, cand, m_layer)
+                )
+            if layer == 0:
+                self._sync_adj0(neighbor)
+
+    # ------------------------------------------------------------------
+    # bulk construction
+    # ------------------------------------------------------------------
+
+    #: Row chunk for :meth:`from_vectors` pre-scoring; bounds the scratch
+    #: similarity block at ``BULK_CHUNK × n`` float32.
+    BULK_CHUNK = 512
+
+    #: Above this many rows, :meth:`from_vectors` falls back to the
+    #: incremental insert loop — the pre-scored build's one-off similarity
+    #: products are O(n²·dim), which stops paying past tens of thousands
+    #: of points per graph (shards keep per-graph n well under this).
+    PRESCORE_THRESHOLD = 32768
+
+    @classmethod
+    def from_vectors(
+        cls,
+        vectors: np.ndarray,
+        m: int = 16,
+        ef_construction: int = 100,
+        seed: int = 7,
+        dim: int | None = None,
+    ) -> "HNSWIndex":
+        """Build an index over a whole ``(n, dim)`` matrix at once.
+
+        The offline-build fast path used at prepare time and by
+        ``Collection.build_hnsw``. Node ids equal row indices, exactly as
+        an :meth:`add` loop would assign them, and the level draws consume
+        the seeded RNG in the same order. The difference is candidate
+        generation: each insert's similarities to every earlier node are
+        pre-scored with one chunked matrix product, and the per-layer
+        candidate set is the *exact* top-``ef_construction`` of the nodes
+        on that layer — no beam traversal of the half-built graph.
+        Neighbour selection (Algorithm 4), bidirectional linking, and
+        degree-cap re-pruning are shared with the incremental path, so the
+        graph obeys the same invariants; candidate lists here are exact
+        where the beam's are approximate, so navigability is as good or
+        better (pinned by the recall tests). Past
+        :attr:`PRESCORE_THRESHOLD` rows the quadratic pre-scoring stops
+        paying and construction falls back to incremental inserts.
+        """
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError(
+                f"from_vectors expects an (n, dim) matrix, got shape "
+                f"{vectors.shape}"
+            )
+        n, mat_dim = vectors.shape
+        if dim is None:
+            dim = mat_dim
+        elif n and dim != mat_dim:
+            raise ValueError(f"dim {dim} != matrix dim {mat_dim}")
+        index = cls(
+            dim, m=m, ef_construction=ef_construction, seed=seed,
+            initial_capacity=max(1024, n),
+        )
+        if n > cls.PRESCORE_THRESHOLD:
+            for row in vectors:
+                index.add(row)
+        elif n:
+            index._bulk_build(vectors)
+        return index
+
+    def _bulk_build(self, vectors: np.ndarray) -> None:
+        """Pre-scored construction over ``vectors`` (must be empty self)."""
+        n = vectors.shape[0]
+        ef = self._ef_construction
+        #: members[L] = node ids present on layer L, in insertion order.
+        members: list[list[int]] = []
+        for start in range(0, n, self.BULK_CHUNK):
+            stop = min(start + self.BULK_CHUNK, n)
+            # Rows [start, stop) against all nodes < stop; row i only ever
+            # reads columns < i, so one product covers the whole chunk.
+            block = vectors[start:stop] @ vectors[:stop].T
+            for node in range(start, stop):
+                self._vectors[node] = vectors[node]
+                self._count += 1
+                level = self._draw_level()
+                self._links.append([[] for _ in range(level + 1)])
+                self._adj0_len[node] = 0
+                while len(members) <= level:
+                    members.append([])
+                if self._entry_point < 0:
+                    self._entry_point = node
+                    self._max_level = level
+                else:
+                    srow = block[node - start]
+                    for layer in range(min(level, self._max_level), -1, -1):
+                        if layer == 0:
+                            pool_ids = np.arange(node)
+                            pool_sims = srow[:node]
+                        else:
+                            pool = members[layer]
+                            if not pool:
+                                continue
+                            pool_ids = np.asarray(pool)
+                            pool_sims = srow[pool_ids]
+                        if pool_sims.size > ef:
+                            top = np.argpartition(-pool_sims, ef - 1)[:ef]
+                            pool_ids = pool_ids[top]
+                            pool_sims = pool_sims[top]
+                        found = list(
+                            zip(pool_sims.tolist(), pool_ids.tolist())
+                        )
+                        self._link_new_node(node, layer, found)
+                    if level > self._max_level:
+                        self._max_level = level
+                        self._entry_point = node
+                for layer in range(level + 1):
+                    members[layer].append(node)
 
     # ------------------------------------------------------------------
     # search

@@ -18,11 +18,19 @@ v1 snapshots (no ``schema`` key) still load: missing ``hnsw`` and
 ``indexed_payload_fields`` fall back to defaults / no indexes, exactly
 the v1 behaviour. The HNSW graph itself is never stored; it is rebuilt
 lazily after load, trading load time for format simplicity.
+
+Resharding: :func:`reshard_snapshot` rewrites a snapshot for a different
+shard count without touching embeddings — every point is re-routed by
+``shard_for(id, new_shards)`` while the global insertion order, payload
+indexes, and HNSW config carry over — so deployments can scale a
+collection's shard count up or down offline instead of being frozen at
+whatever ``shards=N`` it was created with.
 """
 
 from __future__ import annotations
 
 import json
+import shutil
 from dataclasses import asdict
 from pathlib import Path
 
@@ -31,7 +39,7 @@ import numpy as np
 from repro.errors import CollectionError
 from repro.vectordb.collection import Collection, HnswConfig
 from repro.vectordb.distance import Metric
-from repro.vectordb.sharded import AnyCollection, ShardedCollection
+from repro.vectordb.sharded import AnyCollection, ShardedCollection, shard_for
 
 #: Current snapshot schema version.
 SCHEMA_VERSION = 2
@@ -96,26 +104,200 @@ def load_collection(
     return _load_single(directory, hnsw_config, meta=meta)
 
 
+def reshard_snapshot(
+    snapshot_dir: str | Path,
+    new_shards: int,
+    out_dir: str | Path | None = None,
+) -> Path:
+    """Rewrite a snapshot with its points re-routed across ``new_shards``.
+
+    Works on any :func:`save_collection` output — sharded snapshots of
+    any shard count, plain single-collection snapshots (treated as one
+    source shard), and v1 snapshots. Source shards are streamed one at a
+    time (raw arrays only; no collections or HNSW graphs are
+    instantiated), each point lands in ``shard_for(id, new_shards)``,
+    and within every new shard points keep their global-insertion-order
+    ranking, so a reload sees identical ``scroll`` order, counts,
+    payload-index configuration, and ``HnswConfig``. The result is
+    always the sharded layout (``new_shards`` may be 1).
+
+    ``out_dir`` defaults to rewriting ``snapshot_dir`` in place (built in
+    a temporary sibling, swapped in on success). Returns the directory
+    written.
+    """
+    snapshot_dir = Path(snapshot_dir)
+    if new_shards <= 0:
+        raise CollectionError(
+            f"shard count must be positive, got {new_shards}"
+        )
+    meta = _read_meta(snapshot_dir)
+    in_place = out_dir is None
+    target = (
+        snapshot_dir.parent / f".{snapshot_dir.name}.reshard-tmp"
+        if in_place else Path(out_dir)
+    )
+    if target.resolve() == snapshot_dir.resolve():
+        in_place, target = True, (
+            snapshot_dir.parent / f".{snapshot_dir.name}.reshard-tmp"
+        )
+    if target.exists():
+        raise CollectionError(f"reshard target {target} already exists")
+
+    if "shards" in meta:
+        source_dirs = [
+            _shard_dir(snapshot_dir, index) for index in range(meta["shards"])
+        ]
+        order: list[str] = list(meta["order"])
+    else:
+        source_dirs = [snapshot_dir]
+        order = []  # single snapshots carry their order in the rows
+    position = {point_id: rank for rank, point_id in enumerate(order)}
+
+    # One bucket per new shard: (global rank, id, vector row, payload).
+    buckets: list[list[tuple[int, str, np.ndarray, dict]]] = [
+        [] for _ in range(new_shards)
+    ]
+    dim = meta.get("dim")  # v1 single snapshots: fall back to the matrix
+    for source_dir in source_dirs:
+        vectors, ids, payloads = _read_single_raw(source_dir)
+        if dim is None and vectors.ndim == 2:
+            dim = int(vectors.shape[1])
+        for row, (point_id, payload) in enumerate(zip(ids, payloads)):
+            if position:
+                rank = position.get(point_id)
+                if rank is None:
+                    raise CollectionError(
+                        f"point {point_id!r} in {source_dir} missing from "
+                        "the snapshot's global order"
+                    )
+            else:
+                rank = len(order)
+                order.append(point_id)
+            buckets[shard_for(point_id, new_shards)].append(
+                (rank, point_id, vectors[row], payload)
+            )
+    total = sum(len(bucket) for bucket in buckets)
+    if total != len(order) or (position and total != len(position)):
+        raise CollectionError(
+            f"snapshot at {snapshot_dir} holds {total} points but its "
+            f"global order lists {len(order)}"
+        )
+
+    hnsw = meta.get("hnsw") or asdict(HnswConfig())
+    indexed = sorted(meta.get("indexed_payload_fields", ()))
+    if dim is None:
+        dim = 1
+
+    target.mkdir(parents=True, exist_ok=False)
+    try:
+        for index, bucket in enumerate(buckets):
+            bucket.sort(key=lambda entry: entry[0])
+            _write_single_raw(
+                _shard_dir(target, index),
+                name=f"{meta['name']}/shard-{index:02d}",
+                dim=dim,
+                metric=meta["metric"],
+                vectors=(
+                    np.stack([entry[2] for entry in bucket])
+                    if bucket else np.zeros((0, dim), dtype=np.float32)
+                ),
+                ids=[entry[1] for entry in bucket],
+                payloads=[entry[3] for entry in bucket],
+                hnsw=hnsw,
+                indexed=indexed,
+            )
+        top = _meta_dict(
+            name=meta["name"], dim=dim, metric=meta["metric"], count=total,
+            hnsw=hnsw, indexed=indexed,
+        )
+        top["shards"] = new_shards
+        top["order"] = order
+        (target / _META_FILE).write_text(json.dumps(top, indent=2))
+    except BaseException:
+        shutil.rmtree(target, ignore_errors=True)
+        raise
+    if in_place:
+        # Swap by renames so a crash never leaves the published path as
+        # the only copy destroyed: the original moves aside, the new
+        # tree takes its place, and only then is the old copy deleted.
+        retired = snapshot_dir.parent / f".{snapshot_dir.name}.reshard-old"
+        if retired.exists():
+            shutil.rmtree(retired)
+        snapshot_dir.rename(retired)
+        try:
+            target.rename(snapshot_dir)
+        except BaseException:
+            retired.rename(snapshot_dir)  # restore the original
+            raise
+        shutil.rmtree(retired)
+        return snapshot_dir
+    return target
+
+
 # ----------------------------------------------------------------------
 # single-collection snapshots
 # ----------------------------------------------------------------------
 
 
-def _base_meta(collection: AnyCollection) -> dict:
+def _meta_dict(
+    name: str,
+    dim: int,
+    metric: str,
+    count: int,
+    hnsw: dict,
+    indexed: list[str],
+) -> dict:
+    """The one place snapshot ``meta.json`` keys are spelled out."""
     return {
         "schema": SCHEMA_VERSION,
-        "name": collection.name,
-        "dim": collection.dim,
-        "metric": collection.metric.value,
-        "count": len(collection),
-        "hnsw": asdict(collection.hnsw_config),
-        "indexed_payload_fields": sorted(collection.indexed_payload_fields),
+        "name": name,
+        "dim": dim,
+        "metric": metric,
+        "count": count,
+        "hnsw": hnsw,
+        "indexed_payload_fields": indexed,
     }
 
 
+def _base_meta(collection: AnyCollection) -> dict:
+    return _meta_dict(
+        name=collection.name,
+        dim=collection.dim,
+        metric=collection.metric.value,
+        count=len(collection),
+        hnsw=asdict(collection.hnsw_config),
+        indexed=sorted(collection.indexed_payload_fields),
+    )
+
+
 def _save_single(collection: Collection, directory: Path) -> None:
-    directory.mkdir(parents=True, exist_ok=True)
     vectors, ids, payloads = collection.export_state()
+    _write_single_raw(
+        directory,
+        name=collection.name,
+        dim=collection.dim,
+        metric=collection.metric.value,
+        vectors=vectors,
+        ids=ids,
+        payloads=payloads,
+        hnsw=asdict(collection.hnsw_config),
+        indexed=sorted(collection.indexed_payload_fields),
+    )
+
+
+def _write_single_raw(
+    directory: Path,
+    name: str,
+    dim: int,
+    metric: str,
+    vectors: np.ndarray,
+    ids: list[str],
+    payloads: list[dict],
+    hnsw: dict,
+    indexed: list[str],
+) -> None:
+    """Write one single-collection snapshot from raw arrays."""
+    directory.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(directory / _VECTORS_FILE, vectors=vectors)
     with open(directory / _PAYLOADS_FILE, "w", encoding="utf-8") as fh:
         for point_id, payload in zip(ids, payloads):
@@ -124,8 +306,38 @@ def _save_single(collection: Collection, directory: Path) -> None:
                            ensure_ascii=False)
                 + "\n"
             )
-    meta = _base_meta(collection)
+    meta = _meta_dict(
+        name=name, dim=dim, metric=metric, count=len(ids),
+        hnsw=hnsw, indexed=indexed,
+    )
     (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+
+
+def _read_single_raw(
+    directory: Path,
+) -> tuple[np.ndarray, list[str], list[dict]]:
+    """Read one single-collection snapshot's raw ``(vectors, ids,
+    payloads)`` without instantiating a collection (streaming reshard)."""
+    meta = _read_meta(directory)
+    with np.load(directory / _VECTORS_FILE) as npz:
+        vectors = npz["vectors"].astype(np.float32)
+    ids: list[str] = []
+    payloads: list[dict] = []
+    with open(directory / _PAYLOADS_FILE, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            ids.append(row["id"])
+            payloads.append(row["payload"])
+    if len(ids) != meta["count"] or vectors.shape[0] != meta["count"]:
+        raise CollectionError(
+            f"snapshot at {directory} is inconsistent: meta says "
+            f"{meta['count']} points, found {len(ids)} payloads / "
+            f"{vectors.shape[0]} vectors"
+        )
+    return vectors, ids, payloads
 
 
 def _read_meta(directory: Path) -> dict:
@@ -147,27 +359,10 @@ def _load_single(
 ) -> Collection:
     if meta is None:
         meta = _read_meta(directory)
-    with np.load(directory / _VECTORS_FILE) as npz:
-        vectors = npz["vectors"]
-    ids: list[str] = []
-    payloads: list[dict] = []
-    with open(directory / _PAYLOADS_FILE, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            row = json.loads(line)
-            ids.append(row["id"])
-            payloads.append(row["payload"])
-    if len(ids) != meta["count"] or vectors.shape[0] != meta["count"]:
-        raise CollectionError(
-            f"snapshot at {directory} is inconsistent: meta says "
-            f"{meta['count']} points, found {len(ids)} payloads / "
-            f"{vectors.shape[0]} vectors"
-        )
+    vectors, ids, payloads = _read_single_raw(directory)
     collection = Collection.from_state(
         name=meta["name"],
-        vectors=vectors.astype(np.float32),
+        vectors=vectors,
         ids=ids,
         payloads=payloads,
         metric=Metric(meta["metric"]),

@@ -10,7 +10,12 @@ over either backend.
 
 Searches fan out across shards on a thread pool (the exact-scoring kernel
 is a BLAS matrix product, which releases the GIL) and the per-shard top-k
-lists are merged into the exact global top-k. Filters are evaluated per
+lists are merged into the exact global top-k. Offline index builds fan
+out too, but on a *process* pool: :meth:`ShardedCollection.build_hnsw`
+builds each shard's HNSW graph in a worker process (graph construction
+is Python-heavy, so threads would serialize on the GIL) and attaches the
+pickled results — data preparation calls it eagerly so queries never pay
+for lazy graph construction. Filters are evaluated per
 shard, against that shard's payloads and payload indexes only — which also
 keeps each shard's filtered candidate set small enough for the exact
 brute-force path where a monolithic collection would spill past
@@ -32,10 +37,13 @@ the unsharded graph holds in general.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import threading
 import zlib
 from collections.abc import Iterable, Sequence
 from itertools import chain
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Union
 
 import numpy as np
@@ -49,6 +57,41 @@ from repro.vectordb.collection import (
 )
 from repro.vectordb.distance import Metric
 from repro.vectordb.filters import Filter
+from repro.vectordb.hnsw import HNSWIndex
+
+
+def _build_pool_context():
+    """Start-method context for the per-shard build pool.
+
+    ``fork`` is the cheap path (no re-import in the workers) but is only
+    safe while the process is single-threaded — forking with live
+    threads (e.g. a sharded collection's fan-out pool after a search)
+    can clone a held lock into the child and deadlock it. The eager
+    prepare-time build runs before any search threads exist, so it gets
+    ``fork``; otherwise fall back to ``forkserver``/``spawn``, whose
+    workers start clean.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
+
+
+def _build_shard_graph(
+    payload: tuple[np.ndarray, int, HnswConfig]
+) -> HNSWIndex:
+    """Worker-process entry: build one shard's HNSW graph from its vectors.
+
+    Module-level so it is importable under both ``fork`` and ``spawn``
+    start methods; the built index pickles back to the parent.
+    """
+    vectors, dim, cfg = payload
+    return HNSWIndex.from_vectors(
+        vectors, m=cfg.m, ef_construction=cfg.ef_construction,
+        seed=cfg.seed, dim=dim,
+    )
 
 
 def shard_for(point_id: str, n_shards: int) -> int:
@@ -203,15 +246,67 @@ class ShardedCollection:
         for shard in self._shards:
             shard.create_payload_index(field)
 
-    def close(self) -> None:
+    @property
+    def hnsw_is_built(self) -> bool:
+        """Whether every non-empty shard has an up-to-date HNSW graph."""
+        return all(
+            shard.hnsw_is_built for shard in self._shards if len(shard)
+        )
+
+    def build_hnsw(self, parallel: int | None = None,
+                   force: bool = False) -> None:
+        """Build every shard's HNSW graph now, in parallel worker processes.
+
+        Graph construction is the dominant offline cost and per-shard
+        builds are independent, so shards that need a graph are built on a
+        process pool (construction is Python-and-numpy-heavy, where a
+        thread pool would serialize on the GIL) and the finished graphs
+        are pickled back and attached. ``parallel`` caps the worker count
+        (default: one per pending shard, bounded by the CPU count);
+        ``parallel=1``, a single pending shard, or an unusable process
+        pool (e.g. a sandbox that forbids subprocesses) all degrade to
+        the same in-process bulk builds. ``force`` rebuilds existing
+        graphs too. Idempotent: shards already covered are skipped.
+        """
+        pending = [
+            shard for shard in self._shards
+            if len(shard) and (force or not shard.hnsw_is_built)
+        ]
+        if not pending:
+            return
+        if parallel is None:
+            parallel = min(len(pending), os.cpu_count() or 1)
+        if parallel > 1 and len(pending) > 1:
+            jobs = [
+                (shard.vector_matrix(), shard.dim, shard.hnsw_config)
+                for shard in pending
+            ]
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(parallel, len(pending)),
+                    mp_context=_build_pool_context(),
+                ) as pool:
+                    graphs = list(pool.map(_build_shard_graph, jobs))
+            except Exception:
+                graphs = None  # fall back to in-process builds below
+            if graphs is not None:
+                for shard, graph in zip(pending, graphs):
+                    shard.attach_hnsw(graph)
+                return
+        for shard in pending:
+            shard.build_hnsw(force=force)
+
+    def close(self, wait: bool = False) -> None:
         """Release the fan-out thread pool (idempotent).
 
         The data stays readable, but multi-shard searches are no longer
         possible after closing; long-lived processes that drop a sharded
-        collection should close it rather than wait for GC to reap the
-        worker threads.
+        collection must close it (``VectorDBClient.delete_collection``
+        and the client's context-manager exit do) rather than wait for GC
+        to reap the worker threads. ``wait=True`` blocks until the
+        workers have exited.
         """
-        self._pool.shutdown(wait=False)
+        self._pool.shutdown(wait=wait)
 
     def set_payload(self, point_id: str, payload: dict[str, Any]) -> None:
         """Merge ``payload`` into an existing point's payload."""
@@ -224,6 +319,10 @@ class ShardedCollection:
     def retrieve(self, point_id: str) -> SearchHit:
         """Fetch one point's payload (score 1.0 placeholder)."""
         return self._owning_shard(point_id).retrieve(point_id)
+
+    def point_vector(self, point_id: str) -> np.ndarray:
+        """The stored vector of ``point_id`` (copy)."""
+        return self._owning_shard(point_id).point_vector(point_id)
 
     def count(self, flt: Filter | None = None) -> int:
         """Points matching ``flt``; each shard narrows via its indexes."""
@@ -247,12 +346,21 @@ class ShardedCollection:
         exact: bool = False,
         ef: int | None = None,
     ) -> list[SearchHit]:
-        """Global top-``k``: per-shard top-``k`` fan-out, exact merge."""
+        """Global top-``k``: per-shard top-``k`` fan-out, exact merge.
+
+        Edge behaviour matches :meth:`Collection.search`: ``k = 0``
+        returns no hits, oversized ``k`` truncates to the matching
+        population, negative ``k`` raises.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
         query = np.asarray(vector, dtype=np.float32)
         if query.shape != (self.dim,):
             raise DimensionMismatch(
                 f"query shape {query.shape} != ({self.dim},)"
             )
+        if k == 0:
+            return []
         per_shard = self._fan_out(
             lambda shard: shard.search(query, k, flt=flt, exact=exact, ef=ef)
         )
@@ -267,6 +375,8 @@ class ShardedCollection:
         ef: int | None = None,
     ) -> list[list[SearchHit]]:
         """Batched :meth:`search`: one fan-out, per-query exact merges."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
         queries = np.asarray(vectors, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise DimensionMismatch(
@@ -275,6 +385,8 @@ class ShardedCollection:
         n_queries = queries.shape[0]
         if n_queries == 0:
             return []
+        if k == 0:
+            return [[] for _ in range(n_queries)]
         per_shard = self._fan_out(
             lambda shard: shard.search_batch(
                 queries, k, flt=flt, exact=exact, ef=ef

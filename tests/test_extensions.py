@@ -133,7 +133,8 @@ class TestCLI:
         }
         choices = set(actions["command"].choices)
         assert choices == {
-            "build-data", "stats", "query", "table2", "queries", "demo",
+            "build-data", "stats", "query", "table2", "queries", "reshard",
+            "demo",
         }
 
     def test_stats_command(self, capsys):

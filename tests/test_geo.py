@@ -72,9 +72,18 @@ class TestGeoPoint:
 class TestBoundingBox:
     def test_invalid_bounds_raise(self):
         with pytest.raises(ValueError):
-            BoundingBox(1, 0, 0, 1)
+            BoundingBox(1, 0, 0, 1)  # latitude must be ordered
         with pytest.raises(ValueError):
-            BoundingBox(0, 1, 1, 0)
+            # min_lon > max_lon is only legal as an antimeridian crossing,
+            # which requires both edges inside [-180, 180].
+            BoundingBox(0, 200, 1, 10)
+
+    def test_reversed_lon_is_antimeridian_crossing(self):
+        box = BoundingBox(0, 170, 1, -170)
+        assert box.crosses_antimeridian
+        assert box.contains_coords(0.5, 175)
+        assert box.contains_coords(0.5, -175)
+        assert not box.contains_coords(0.5, 0)
 
     def test_around_has_requested_size(self):
         center = GeoPoint(38.6, -90.2)
@@ -132,6 +141,98 @@ class TestBoundingBox:
         box = BoundingBox.around(GeoPoint(lat, lon), w, h)
         assert box.center.lat == pytest.approx(lat, abs=1e-9)
         assert box.center.lon == pytest.approx(lon, abs=1e-9)
+
+
+class TestBoundingBoxBoundaries:
+    """Pole clamping and antimeridian wrapping in query boxes."""
+
+    def test_around_clamps_latitude_at_the_poles(self):
+        box = BoundingBox.around(GeoPoint(89.99, 10.0), 5.0, 5.0)
+        assert box.max_lat == 90.0
+        assert box.min_lat < 90.0
+        box = BoundingBox.around(GeoPoint(-89.99, 10.0), 5.0, 5.0)
+        assert box.min_lat == -90.0
+
+    def test_around_at_pole_covers_all_longitudes(self):
+        box = BoundingBox.around(GeoPoint(90.0, 0.0), 5.0, 5.0)
+        assert (box.min_lon, box.max_lon) == (-180.0, 180.0)
+        assert box.contains_coords(89.999, 123.0)
+        assert box.contains_coords(89.999, -123.0)
+
+    def test_around_wraps_across_antimeridian(self):
+        center = GeoPoint(0.0, 179.99)
+        box = BoundingBox.around(center, 10.0, 10.0)
+        assert box.crosses_antimeridian
+        assert box.contains(center)
+        # ~0.045 deg on each side of 179.99: both sides of the seam.
+        assert box.contains_coords(0.0, -179.99)
+        assert box.contains_coords(0.0, 179.96)
+        assert not box.contains_coords(0.0, 0.0)
+        assert box.width_km() == pytest.approx(10.0, rel=0.01)
+        assert box.center.lon == pytest.approx(179.99, abs=1e-6)
+
+    def test_around_very_wide_box_covers_full_circle(self):
+        box = BoundingBox.around(GeoPoint(0.0, 0.0), 50000.0, 10.0)
+        assert (box.min_lon, box.max_lon) == (-180.0, 180.0)
+        assert box.contains_coords(0.0, 180.0)
+
+    def test_crossing_box_split_halves_cover_same_points(self):
+        box = BoundingBox(0, 170, 1, -170)
+        east, west = box.split_antimeridian()
+        for lon in (171.0, 179.5, 180.0, -180.0, -179.5, -171.0):
+            assert box.contains_coords(0.5, lon)
+            assert east.contains_coords(0.5, lon) or west.contains_coords(
+                0.5, lon
+            )
+        plain = BoundingBox(0, 0, 1, 1)
+        assert plain.split_antimeridian() == [plain]
+
+    def test_crossing_box_intersects_plain_boxes_on_both_sides(self):
+        box = BoundingBox(0, 170, 1, -170)
+        assert box.intersects(BoundingBox(0, 175, 1, 176))
+        assert box.intersects(BoundingBox(0, -176, 1, -175))
+        assert not box.intersects(BoundingBox(0, -10, 1, 10))
+        assert BoundingBox(0, 175, 1, 176).intersects(box)
+
+    def test_two_crossing_boxes_intersect(self):
+        a = BoundingBox(0, 170, 1, -170)
+        b = BoundingBox(0, 175, 1, -175)
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_crossing_box_area_and_union_are_sane(self):
+        box = BoundingBox(0, 170, 1, -170)
+        assert box.area_deg2() == pytest.approx(20.0)
+        u = box.union(BoundingBox(2, 0, 3, 1))
+        assert u.contains_coords(0.5, 180.0) and u.contains_coords(2.5, 0.5)
+
+    def test_contains_and_intersects_agree_near_the_seam(self):
+        box = BoundingBox.around(GeoPoint(10.0, -179.995), 4.0, 4.0)
+        inside = GeoPoint(10.0, 179.99)
+        assert box.contains(inside)
+        point_box = BoundingBox(inside.lat, inside.lon, inside.lat, inside.lon)
+        assert box.intersects(point_box)
+
+    def test_grid_range_query_spans_the_seam(self):
+        from repro.spatial.grid import GridIndex
+
+        bounds = BoundingBox(-5, -180, 5, 180)
+        grid = GridIndex(bounds, cells_per_axis=32)
+        grid.insert("east", 0.0, 179.5)
+        grid.insert("west", 0.0, -179.5)
+        grid.insert("far", 0.0, 0.0)
+        box = BoundingBox.around(GeoPoint(0.0, 180.0), 250.0, 250.0)
+        assert box.crosses_antimeridian
+        assert sorted(grid.range_query(box)) == ["east", "west"]
+
+    def test_rtree_range_query_spans_the_seam(self):
+        from repro.spatial.rtree import RTree
+
+        tree = RTree()
+        tree.insert("east", 0.0, 179.5)
+        tree.insert("west", 0.0, -179.5)
+        tree.insert("far", 0.0, 0.0)
+        box = BoundingBox.around(GeoPoint(0.0, 180.0), 250.0, 250.0)
+        assert sorted(tree.range_query(box)) == ["east", "west"]
 
 
 class TestRegions:

@@ -1,0 +1,249 @@
+"""Offline HNSW build lifecycle: bulk construction, eager/parallel builds.
+
+Covers the bulk ``HNSWIndex.from_vectors`` constructor (recall parity
+with the incremental insert loop, determinism, pickling for process
+workers), the explicit ``build_hnsw`` entry points on both collection
+backends (idempotence, staleness catch-up after ``attach_hnsw``), and the
+prepare-time eager build.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import CollectionError
+from repro.vectordb.collection import Collection, HnswConfig, PointStruct
+from repro.vectordb.flat import FlatIndex
+from repro.vectordb.hnsw import HNSWIndex
+from repro.vectordb.sharded import ShardedCollection
+
+
+def unit_vectors(n: int, dim: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vecs = rng.standard_normal((n, dim)).astype(np.float32)
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+def points_of(vecs: np.ndarray, payload=None) -> list[PointStruct]:
+    return [
+        PointStruct(id=f"p{i}", vector=vecs[i], payload=dict(payload or {}))
+        for i in range(vecs.shape[0])
+    ]
+
+
+class TestFromVectors:
+    def test_matches_add_loop_node_ids_and_levels(self):
+        vecs = unit_vectors(400, 16, seed=3)
+        bulk = HNSWIndex.from_vectors(vecs, m=8, ef_construction=40, seed=5)
+        inc = HNSWIndex(16, m=8, ef_construction=40, seed=5)
+        for v in vecs:
+            inc.add(v)
+        assert len(bulk) == len(inc) == 400
+        # Same seeded RNG stream -> identical level assignment per node.
+        assert [bulk.level_of(n) for n in range(400)] == [
+            inc.level_of(n) for n in range(400)
+        ]
+        for node in (0, 17, 399):
+            assert np.allclose(bulk.vector(node), vecs[node])
+
+    def test_recall_parity_with_incremental(self):
+        vecs = unit_vectors(1200, 32, seed=1)
+        queries = unit_vectors(25, 32, seed=2)
+        flat = FlatIndex(32)
+        for v in vecs:
+            flat.add(v)
+        bulk = HNSWIndex.from_vectors(vecs, m=12, ef_construction=80)
+        inc = HNSWIndex(32, m=12, ef_construction=80)
+        for v in vecs:
+            inc.add(v)
+
+        def recall(index: HNSWIndex) -> float:
+            hits = 0
+            for q in queries:
+                approx = {i for i, _ in index.search(q, 10, ef=80)}
+                exact = {i for i, _ in flat.search(q, 10)}
+                hits += len(approx & exact)
+            return hits / (25 * 10)
+
+        bulk_recall = recall(bulk)
+        assert bulk_recall >= 0.85
+        assert bulk_recall >= recall(inc) - 0.05
+
+    def test_deterministic(self):
+        vecs = unit_vectors(300, 16, seed=7)
+        q = unit_vectors(1, 16, seed=8)[0]
+        a = HNSWIndex.from_vectors(vecs, seed=9).search(q, 5)
+        b = HNSWIndex.from_vectors(vecs, seed=9).search(q, 5)
+        assert a == b
+
+    def test_empty_matrix_needs_dim(self):
+        index = HNSWIndex.from_vectors(
+            np.zeros((0, 8), dtype=np.float32)
+        )
+        assert len(index) == 0
+        assert index.dim == 8
+        index = HNSWIndex.from_vectors(np.zeros((0, 3)), dim=7)
+        assert index.dim == 7
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            HNSWIndex.from_vectors(np.zeros(8, dtype=np.float32))
+        with pytest.raises(ValueError):
+            HNSWIndex.from_vectors(np.zeros((4, 8)), dim=5)
+
+    def test_incremental_adds_after_bulk_build(self):
+        vecs = unit_vectors(200, 16, seed=4)
+        index = HNSWIndex.from_vectors(vecs[:150])
+        for v in vecs[150:]:
+            index.add(v)
+        assert len(index) == 200
+        assert index.search(vecs[180], 1, ef=64)[0][0] == 180
+
+    def test_pickle_round_trip(self):
+        vecs = unit_vectors(250, 16, seed=6)
+        index = HNSWIndex.from_vectors(vecs)
+        clone = pickle.loads(pickle.dumps(index))
+        q = unit_vectors(1, 16, seed=11)[0]
+        assert clone.search(q, 5) == index.search(q, 5)
+        # The restored index accepts further inserts and searches.
+        clone.add(unit_vectors(1, 16, seed=12)[0])
+        assert len(clone) == 251
+
+
+class TestCollectionBuild:
+    def test_build_is_idempotent(self):
+        vecs = unit_vectors(120, 16)
+        collection = Collection("c", 16)
+        collection.upsert(points_of(vecs))
+        assert not collection.hnsw_is_built
+        index = collection.build_hnsw()
+        assert collection.hnsw_is_built
+        assert collection.build_hnsw() is index  # no rebuild
+        assert collection.build_hnsw(force=True) is not index
+
+    def test_search_after_eager_build_matches_lazy(self):
+        vecs = unit_vectors(300, 16, seed=5)
+        q = unit_vectors(1, 16, seed=6)[0]
+        eager = Collection("eager", 16)
+        eager.upsert(points_of(vecs))
+        eager.build_hnsw()
+        lazy = Collection("lazy", 16)
+        lazy.upsert(points_of(vecs))
+        assert [h.id for h in eager.search(q, 10)] == [
+            h.id for h in lazy.search(q, 10)
+        ]
+
+    def test_upsert_keeps_built_graph_fresh(self):
+        vecs = unit_vectors(150, 16, seed=7)
+        collection = Collection("c", 16)
+        collection.upsert(points_of(vecs[:100]))
+        collection.build_hnsw()
+        collection.upsert(points_of(vecs)[100:])
+        assert collection.hnsw_is_built
+        hit = collection.search(vecs[140], 1)[0]
+        assert hit.id == "p140"
+
+    def test_attach_validates_and_catches_up(self):
+        vecs = unit_vectors(120, 16, seed=8)
+        collection = Collection("c", 16)
+        collection.upsert(points_of(vecs))
+        with pytest.raises(CollectionError):
+            collection.attach_hnsw(HNSWIndex.from_vectors(unit_vectors(5, 8)))
+        too_big = HNSWIndex.from_vectors(unit_vectors(200, 16))
+        with pytest.raises(CollectionError):
+            collection.attach_hnsw(too_big)
+        # A trailing graph attaches; the staleness guard tops it up.
+        trailing = HNSWIndex.from_vectors(vecs[:80])
+        collection.attach_hnsw(trailing)
+        assert not collection.hnsw_is_built
+        collection.build_hnsw()
+        assert collection.hnsw_is_built
+        assert len(trailing) == 120
+
+    def test_upsert_after_trailing_attach_stays_aligned(self):
+        vecs = unit_vectors(60, 16, seed=9)
+        collection = Collection("c", 16)
+        collection.upsert(points_of(vecs[:50]))
+        collection.attach_hnsw(HNSWIndex.from_vectors(vecs[:30]))
+        collection.upsert(points_of(vecs)[50:])
+        assert collection.hnsw_is_built  # tail was appended in id order
+        assert collection.search(vecs[55], 1)[0].id == "p55"
+
+
+class TestShardedBuild:
+    def test_parallel_build_then_search(self):
+        vecs = unit_vectors(600, 16, seed=10)
+        sharded = ShardedCollection("s", 16, shards=4)
+        sharded.upsert(points_of(vecs))
+        assert not sharded.hnsw_is_built
+        sharded.build_hnsw(parallel=4)
+        assert sharded.hnsw_is_built
+        for shard in sharded.shard_collections:
+            assert not len(shard) or shard.hnsw_is_built
+        exact = {h.id for h in sharded.search(vecs[0], 10, exact=True)}
+        approx = {h.id for h in sharded.search(vecs[0], 10)}
+        assert len(approx & exact) >= 5
+        sharded.close()
+
+    def test_serial_build_equals_parallel_build(self):
+        vecs = unit_vectors(400, 16, seed=11)
+        q = unit_vectors(1, 16, seed=12)[0]
+        parallel = ShardedCollection("p", 16, shards=3)
+        parallel.upsert(points_of(vecs))
+        parallel.build_hnsw(parallel=3)
+        serial = ShardedCollection("s", 16, shards=3)
+        serial.upsert(points_of(vecs))
+        serial.build_hnsw(parallel=1)
+        # Same per-shard vectors + same seeded build -> same graphs.
+        assert [h.id for h in parallel.search(q, 10)] == [
+            h.id for h in serial.search(q, 10)
+        ]
+        parallel.close()
+        serial.close()
+
+    def test_build_skips_built_shards(self):
+        vecs = unit_vectors(200, 16, seed=13)
+        sharded = ShardedCollection("s", 16, shards=2)
+        sharded.upsert(points_of(vecs))
+        sharded.build_hnsw(parallel=1)
+        graphs = [
+            shard._hnsw for shard in sharded.shard_collections  # noqa: SLF001
+        ]
+        sharded.build_hnsw(parallel=2)  # no-op: everything is built
+        assert [
+            shard._hnsw for shard in sharded.shard_collections  # noqa: SLF001
+        ] == graphs
+        sharded.close()
+
+    def test_empty_collection_build_is_noop(self):
+        sharded = ShardedCollection("s", 16, shards=2)
+        sharded.build_hnsw(parallel=2)
+        assert sharded.hnsw_is_built  # vacuously: no non-empty shards
+        sharded.close()
+
+
+class TestEagerPrepare:
+    def test_prepare_builds_graphs_eagerly(self):
+        from repro.eval.corpus import build_corpus
+
+        corpus = build_corpus("SB", seed=21, count=60, shards=2)
+        collection = corpus.prepared.client.get_collection(
+            corpus.prepared.collection_name
+        )
+        assert collection.hnsw_is_built
+        corpus.prepared.client.close()
+
+    def test_prepare_lazy_opt_out(self):
+        from repro.eval.corpus import build_corpus
+
+        corpus = build_corpus(
+            "SB", seed=22, count=60, shards=1, eager_index=False
+        )
+        collection = corpus.prepared.client.get_collection(
+            corpus.prepared.collection_name
+        )
+        assert not collection.hnsw_is_built
+        corpus.prepared.client.close()

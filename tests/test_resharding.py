@@ -1,0 +1,231 @@
+"""Resharding equivalence: snapshots and live collections re-routed to a
+different shard count must be indistinguishable to every read path.
+
+Also holds the resource-lifecycle regressions: dropping (or exiting) a
+client must not leak sharded fan-out worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import CollectionError
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import Collection, HnswConfig, PointStruct
+from repro.vectordb.filters import FieldMatch
+from repro.vectordb.persistence import (
+    load_collection,
+    reshard_snapshot,
+    save_collection,
+)
+from repro.vectordb.sharded import ShardedCollection, shard_for
+
+
+def unit_vectors(n: int, dim: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vecs = rng.standard_normal((n, dim)).astype(np.float32)
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+def make_points(n: int, dim: int, seed: int = 0) -> list[PointStruct]:
+    vecs = unit_vectors(n, dim, seed)
+    return [
+        PointStruct(
+            id=f"poi-{i}",
+            vector=vecs[i],
+            payload={"city": f"c{i % 3}", "stars": float(i % 5)},
+        )
+        for i in range(n)
+    ]
+
+
+def build_sharded(n: int, dim: int, shards: int, seed: int = 0):
+    collection = ShardedCollection(
+        "resh", dim, shards=shards,
+        hnsw=HnswConfig(m=8, ef_construction=40, seed=3),
+    )
+    collection.upsert(make_points(n, dim, seed))
+    collection.create_payload_index("city")
+    return collection
+
+
+def assert_equivalent(original, resharded, queries: np.ndarray) -> None:
+    assert len(resharded) == len(original)
+    assert resharded.count() == original.count()
+    # Identical scroll order (global insertion order survives).
+    assert [h.id for h in resharded.scroll()] == [
+        h.id for h in original.scroll()
+    ]
+    # Payload-index-backed filtered reads.
+    flt = FieldMatch("city", "c1")
+    assert resharded.indexed_payload_fields == original.indexed_payload_fields
+    assert resharded.count(flt) == original.count(flt)
+    assert [h.id for h in resharded.scroll(flt)] == [
+        h.id for h in original.scroll(flt)
+    ]
+    # Exact search returns the same hits with the same scores.
+    for q in queries:
+        want = original.search(q, 10, exact=True)
+        got = resharded.search(q, 10, exact=True)
+        assert [h.id for h in want] == [h.id for h in got]
+        np.testing.assert_allclose(
+            [h.score for h in want], [h.score for h in got],
+            rtol=0, atol=1e-5,
+        )
+        want_f = original.search(q, 10, flt=flt, exact=True)
+        got_f = resharded.search(q, 10, flt=flt, exact=True)
+        assert [h.id for h in want_f] == [h.id for h in got_f]
+
+
+class TestSnapshotReshard:
+    @pytest.mark.parametrize("src_shards,dst_shards", [
+        (4, 2), (2, 4), (3, 1), (1, 3), (4, 7),
+    ])
+    def test_round_trip_equivalence(self, tmp_path, src_shards, dst_shards):
+        original = build_sharded(180, 16, src_shards, seed=src_shards)
+        queries = unit_vectors(8, 16, seed=99)
+        src = tmp_path / "snap"
+        save_collection(original, src)
+        out = reshard_snapshot(src, dst_shards, out_dir=tmp_path / "out")
+        resharded = load_collection(out)
+        assert resharded.n_shards == dst_shards
+        for point_id in resharded.point_order:
+            index = resharded._id_to_shard[point_id]  # noqa: SLF001
+            assert index == shard_for(point_id, dst_shards)
+        assert_equivalent(original, resharded, queries)
+        assert resharded.hnsw_config == original.hnsw_config
+        original.close()
+        resharded.close()
+
+    def test_in_place_reshard(self, tmp_path):
+        original = build_sharded(90, 8, 3, seed=5)
+        src = tmp_path / "snap"
+        save_collection(original, src)
+        written = reshard_snapshot(src, 2)
+        assert written == src
+        resharded = load_collection(src)
+        assert resharded.n_shards == 2
+        assert_equivalent(original, resharded, unit_vectors(4, 8, seed=1))
+        original.close()
+        resharded.close()
+
+    def test_plain_snapshot_reshards(self, tmp_path):
+        plain = Collection("resh", 8, hnsw=HnswConfig(m=4, ef_construction=20))
+        plain.upsert(make_points(70, 8, seed=2))
+        plain.create_payload_index("city")
+        src = tmp_path / "snap"
+        save_collection(plain, src)
+        out = reshard_snapshot(src, 3, out_dir=tmp_path / "out")
+        resharded = load_collection(out)
+        assert resharded.n_shards == 3
+        assert_equivalent(plain, resharded, unit_vectors(4, 8, seed=3))
+        assert resharded.hnsw_config == plain.hnsw_config
+        resharded.close()
+
+    def test_empty_collection_reshards(self, tmp_path):
+        empty = ShardedCollection("resh", 12, shards=2)
+        src = tmp_path / "snap"
+        save_collection(empty, src)
+        out = reshard_snapshot(src, 4, out_dir=tmp_path / "out")
+        resharded = load_collection(out)
+        assert len(resharded) == 0
+        assert resharded.n_shards == 4
+        assert resharded.dim == 12
+        empty.close()
+        resharded.close()
+
+    def test_invalid_targets_raise(self, tmp_path):
+        original = build_sharded(20, 8, 2)
+        src = tmp_path / "snap"
+        save_collection(original, src)
+        with pytest.raises(CollectionError):
+            reshard_snapshot(src, 0)
+        (tmp_path / "occupied").mkdir()
+        with pytest.raises(CollectionError):
+            reshard_snapshot(src, 2, out_dir=tmp_path / "occupied")
+        with pytest.raises(CollectionError):
+            reshard_snapshot(tmp_path / "missing", 2)
+        original.close()
+
+
+class TestClientReshard:
+    def test_live_reshard_equivalence(self):
+        with VectorDBClient() as client:
+            collection = client.create_collection("live", dim=16, shards=3)
+            collection.upsert(make_points(120, 16, seed=4))
+            collection.create_payload_index("city")
+            reference = build_sharded(120, 16, 3, seed=4)
+            resharded = client.reshard_collection("live", 5)
+            assert client.get_collection("live") is resharded
+            assert resharded.n_shards == 5
+            assert_equivalent(reference, resharded, unit_vectors(5, 16, seed=6))
+            reference.close()
+
+    def test_reshard_to_single_gives_plain_collection(self):
+        with VectorDBClient() as client:
+            collection = client.create_collection("live", dim=8, shards=4)
+            collection.upsert(make_points(50, 8, seed=7))
+            new = client.reshard_collection("live", 1)
+            assert isinstance(new, Collection)
+            assert [h.id for h in new.scroll()] == [
+                f"poi-{i}" for i in range(50)
+            ]
+
+    def test_reshard_preserves_built_graphs(self):
+        with VectorDBClient() as client:
+            collection = client.create_collection("live", dim=16, shards=2)
+            collection.upsert(make_points(80, 16, seed=8))
+            collection.build_hnsw(parallel=1)
+            new = client.reshard_collection("live", 3)
+            assert new.hnsw_is_built
+
+
+def _shard_worker_threads(name: str) -> list[threading.Thread]:
+    prefix = f"shard-{name}"
+    return [
+        thread for thread in threading.enumerate()
+        if thread.name.startswith(prefix)
+    ]
+
+
+def _assert_workers_exit(name: str, timeout_s: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if not _shard_worker_threads(name):
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"worker threads still alive: {_shard_worker_threads(name)}"
+    )
+
+
+class TestWorkerLifecycle:
+    def test_delete_collection_releases_worker_threads(self):
+        client = VectorDBClient()
+        collection = client.create_collection("leaky", dim=8, shards=4)
+        collection.upsert(make_points(40, 8, seed=9))
+        collection.search(unit_vectors(1, 8)[0], 3)  # spin up the pool
+        assert _shard_worker_threads("leaky")
+        client.delete_collection("leaky")
+        _assert_workers_exit("leaky")
+
+    def test_client_context_manager_closes_collections(self):
+        with VectorDBClient() as client:
+            collection = client.create_collection("scoped", dim=8, shards=3)
+            collection.upsert(make_points(30, 8, seed=10))
+            collection.search(unit_vectors(1, 8)[0], 3)
+            assert _shard_worker_threads("scoped")
+        _assert_workers_exit("scoped")
+        assert client.list_collections() == []
+
+    def test_close_is_idempotent(self):
+        client = VectorDBClient()
+        client.create_collection("x", dim=4, shards=2)
+        client.close()
+        client.close()
+        with pytest.raises(Exception):
+            client.get_collection("x")

@@ -211,6 +211,68 @@ class TestDegenerateLayouts:
             sharded.search_batch(np.zeros((2, 4), np.float32), 3)
 
 
+class TestKEdgeCases:
+    """``k = 0``, oversized ``k``, and all-empty shards truncate gracefully
+    instead of raising or returning wrong-length results (both backends)."""
+
+    def _backends(self, n: int = 12):
+        plain = Collection("edge", 8)
+        sharded = ShardedCollection("edge", 8, shards=3)
+        if n:
+            points = make_points(n, 8, seed=5)
+            plain.upsert(points)
+            sharded.upsert(points)
+        return plain, sharded
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_k_zero_returns_empty(self, exact):
+        q = unit_vectors(1, 8, seed=6)[0]
+        for backend in self._backends():
+            assert backend.search(q, 0, exact=exact) == []
+            assert backend.search_batch([q, q], 0, exact=exact) == [[], []]
+
+    def test_k_zero_with_filter(self):
+        q = unit_vectors(1, 8, seed=6)[0]
+        flt = FieldMatch("city", "city1")
+        for backend in self._backends():
+            assert backend.search(q, 0, flt=flt) == []
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_k_beyond_population_truncates(self, exact):
+        q = unit_vectors(1, 8, seed=7)[0]
+        for backend in self._backends(n=12):
+            hits = backend.search(q, 100, exact=exact)
+            assert len(hits) == 12
+            assert len({h.id for h in hits}) == 12
+            batch = backend.search_batch([q], 100, exact=exact)
+            assert len(batch[0]) == 12
+
+    def test_negative_k_raises(self):
+        q = unit_vectors(1, 8, seed=8)[0]
+        for backend in self._backends():
+            with pytest.raises(ValueError):
+                backend.search(q, -1)
+            with pytest.raises(ValueError):
+                backend.search_batch([q], -1)
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_all_empty_shards(self, exact):
+        q = unit_vectors(1, 8, seed=9)[0]
+        for backend in self._backends(n=0):
+            assert backend.search(q, 5, exact=exact) == []
+            assert backend.search_batch([q, q], 5, exact=exact) == [[], []]
+            assert backend.search(q, 0, exact=exact) == []
+
+    def test_merge_top_k_edges(self):
+        from repro.vectordb.sharded import _merge_top_k
+        from repro.vectordb.collection import SearchHit
+
+        hit = SearchHit(id="a", score=0.5, payload={})
+        assert _merge_top_k([], 5) == []
+        assert _merge_top_k([[hit]], 0) == []
+        assert _merge_top_k([[hit], []], 3) == [hit]
+
+
 class TestWrites:
     def test_payload_update_and_retrieve(self):
         _, sharded = build_pair(1, 8, 3, n=60)
