@@ -8,6 +8,7 @@ Commands::
     table2       reproduce the paper's Table 2
     queries      show the harvested evaluation query set for a city
     reshard      re-route a collection snapshot to a new shard count
+    snapshot     inspect or migrate saved collection snapshots
     demo         write (or serve) the Figure-3 demo page
 """
 
@@ -188,6 +189,54 @@ def cmd_reshard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot_inspect(args: argparse.Namespace) -> int:
+    """``snapshot inspect``: summarize a snapshot without loading it.
+
+    Prints schema version, point count, shard layout, vector storage
+    format (``npy`` = mmap-capable v3, ``npz`` = legacy compressed), and
+    whether persisted HNSW graphs are present.
+    """
+    from repro.vectordb.persistence import inspect_snapshot
+
+    info = inspect_snapshot(args.snapshot)
+    print(json.dumps(info, indent=2))
+    if not info["mmap_capable"] or not info["graphs_persisted"]:
+        print(
+            f"\nhint: `python -m repro snapshot migrate {args.snapshot}` "
+            "rewrites this snapshot as schema v3 (memory-mappable vectors "
+            "+ persisted HNSW graphs) for near-instant cold starts",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_snapshot_migrate(args: argparse.Namespace) -> int:
+    """``snapshot migrate``: rewrite any snapshot as schema v3.
+
+    Upgrades v1/v2 snapshots (and v3 snapshots missing graph files) to
+    the current layout: raw ``vectors.npy`` matrices that loads can
+    memory-map, plus persisted HNSW graphs (built now unless
+    ``--no-graphs``) so the next load skips reconstruction entirely.
+    The rewrite is atomic — an interrupted migration leaves the original
+    snapshot intact.
+    """
+    from repro.vectordb.persistence import inspect_snapshot, migrate_snapshot
+
+    written = migrate_snapshot(
+        args.snapshot,
+        out_dir=args.out or None,
+        build_graphs=not args.no_graphs,
+    )
+    info = inspect_snapshot(written)
+    shards = info["shards"] or 1
+    print(
+        f"migrated {args.snapshot} -> {written}: schema {info['schema']}, "
+        f"{info['count']} points across {shards} shard(s), "
+        f"graphs {'persisted' if info['graphs_persisted'] else 'omitted'}"
+    )
+    return 0
+
+
 def cmd_queries(args: argparse.Namespace) -> int:
     corpus = _corpus(args, args.city)
     queries = build_test_queries(corpus, count=args.count)
@@ -283,6 +332,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="",
                    help="output directory (default: rewrite in place)")
     p.set_defaults(func=cmd_reshard)
+
+    p = sub.add_parser("snapshot",
+                       help="inspect or migrate collection snapshots")
+    snap_sub = p.add_subparsers(dest="snapshot_command", required=True)
+    sp = snap_sub.add_parser(
+        "inspect", help="summarize a snapshot without loading it"
+    )
+    sp.add_argument("snapshot", help="snapshot directory (save_collection)")
+    sp.set_defaults(func=cmd_snapshot_inspect)
+    sp = snap_sub.add_parser(
+        "migrate",
+        help="rewrite a snapshot as schema v3 (mmap vectors + graphs)",
+    )
+    sp.add_argument("snapshot", help="snapshot directory (save_collection)")
+    sp.add_argument("--out", default="",
+                    help="output directory (default: rewrite in place)")
+    sp.add_argument("--no-graphs", action="store_true",
+                    help="do not build/persist HNSW graphs during migration")
+    sp.set_defaults(func=cmd_snapshot_migrate)
 
     p = sub.add_parser("demo", help="write or serve the demo page")
     _add_common(p)

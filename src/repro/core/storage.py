@@ -50,12 +50,21 @@ def load_prepared(
     directory: str | Path,
     embedder: EmbeddingModel | None = None,
     client: VectorDBClient | None = None,
+    mmap: bool = False,
 ) -> PreparedCity:
     """Load a prepared city written by :func:`save_prepared`.
 
     ``embedder`` must match the one used at preparation time (the manifest
     records dim and model id and mismatches are rejected) — query vectors
     have to live in the same space as the stored document vectors.
+
+    ``mmap=True`` memory-maps the collection's vector matrix instead of
+    loading it into RAM (schema v3 snapshots; see
+    :func:`repro.vectordb.persistence.load_collection`) — restarts of a
+    served deployment fault in only the pages queries touch. Snapshots
+    whose collection was prepared with an eager index build reload with
+    their HNSW graphs attached, so the first query pays no
+    reconstruction either way.
     """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST
@@ -83,7 +92,7 @@ def load_prepared(
             f"snapshot dataset has {len(dataset)} POIs, manifest says "
             f"{manifest['poi_count']}"
         )
-    collection = load_collection(directory / _COLLECTION_DIR)
+    collection = load_collection(directory / _COLLECTION_DIR, mmap=mmap)
     if client is None:
         client = VectorDBClient()
     client.attach_collection(collection)

@@ -8,8 +8,11 @@ shards — points route by CRC-32 of their id via
 thread pool and merge into the exact global top-k, filters evaluate per
 shard). :class:`VectorDBClient` fronts both (``create_collection(shards=N)``),
 and :func:`save_collection` / :func:`load_collection` snapshot both — one
-directory per plain collection, one sub-directory per shard (schema v2,
-which also persists HNSW config and payload-index fields; see
+directory per plain collection, one sub-directory per shard (schema v3:
+raw memory-mappable vector matrices, persisted HNSW graphs, HNSW config,
+and payload-index fields; ``load_collection(..., mmap=True)`` serves
+large collections off the page cache, and v1/v2 snapshots still load —
+:func:`migrate_snapshot` upgrades them; see
 :mod:`repro.vectordb.persistence`).
 
 Offline index lifecycle: ``build_hnsw`` on either backend constructs the
@@ -42,7 +45,9 @@ from repro.vectordb.filters import (
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.persistence import (
+    inspect_snapshot,
     load_collection,
+    migrate_snapshot,
     reshard_snapshot,
     save_collection,
 )
@@ -68,7 +73,9 @@ __all__ = [
     "SearchHit",
     "ShardedCollection",
     "VectorDBClient",
+    "inspect_snapshot",
     "load_collection",
+    "migrate_snapshot",
     "normalize_rows",
     "reshard_snapshot",
     "save_collection",

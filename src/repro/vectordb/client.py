@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -167,6 +168,42 @@ class VectorDBClient:
         if was_built:
             new.build_hnsw()
         return new
+
+    def save(self, name: str, directory: str | Path) -> None:
+        """Snapshot the named collection to ``directory`` (atomic).
+
+        Writes snapshot schema v3: vectors as a raw float32 matrix (so a
+        later :meth:`load` can memory-map it) and any fully built HNSW
+        graphs alongside, making the next cold start O(metadata) instead
+        of O(graph rebuild). See
+        :func:`repro.vectordb.persistence.save_collection`.
+        """
+        from repro.vectordb.persistence import save_collection
+
+        save_collection(self.get_collection(name), directory)
+
+    def load(
+        self,
+        directory: str | Path,
+        hnsw: HnswConfig | None = None,
+        mmap: bool = False,
+    ) -> AnyCollection:
+        """Load a snapshot and register it under its stored name.
+
+        ``mmap=True`` serves the collection off a read-only memory map
+        of the snapshot's vector file instead of materializing vectors
+        in RAM (upserts after load copy on write). Persisted HNSW graphs
+        are attached; a damaged graph file degrades to a lazy rebuild
+        with a warning. Replaces any same-named collection (closing it).
+        See :func:`repro.vectordb.persistence.load_collection`.
+        """
+        from repro.vectordb.persistence import load_collection
+
+        collection = load_collection(directory, hnsw=hnsw, mmap=mmap)
+        previous = self._collections.get(collection.name)
+        if previous is not None:
+            previous.close()
+        return self.attach_collection(collection)
 
     def list_collections(self) -> list[str]:
         """Names of all collections, sorted."""

@@ -257,6 +257,15 @@ class Collection:
         """Whether an HNSW graph exists and covers every point."""
         return self._hnsw is not None and len(self._hnsw) == len(self._ids)
 
+    @property
+    def hnsw_index(self) -> HNSWIndex | None:
+        """The live HNSW graph, or ``None`` if none has been built.
+
+        Persistence serializes this (schema v3) so a reload can attach
+        the identical graph instead of rebuilding it.
+        """
+        return self._hnsw
+
     def build_hnsw(self, force: bool = False) -> HNSWIndex:
         """Build the HNSW graph now, instead of lazily on first search.
 
@@ -430,12 +439,32 @@ class Collection:
     # ------------------------------------------------------------------
 
     def export_state(self) -> tuple[np.ndarray, list[str], list[dict[str, Any]]]:
-        """``(vectors, ids, payloads)`` snapshot for serialization."""
+        """``(vectors, ids, payloads)`` as independent copies.
+
+        The deliberately-copying export: the result is fully decoupled
+        from live storage, safe to hold across later upserts or to hand
+        to another thread/process. Snapshot *serialization* no longer
+        goes through it — persistence writes straight from the zero-copy
+        :meth:`vector_matrix` / :meth:`point_ids` / :meth:`payload_rows`
+        views, which is what lets an mmap-served collection save without
+        materializing its matrix.
+        """
         return (
             self._flat.matrix().copy(),
             list(self._ids),
             [dict(p) for p in self._payloads],
         )
+
+    def payload_rows(self) -> list[dict[str, Any]]:
+        """The stored payload dicts in node-id order, *by reference*.
+
+        The cheap read-only counterpart of :meth:`export_state`'s payload
+        copy: snapshot writes serialize these straight to JSON, so — like
+        :meth:`vector_matrix` — no per-point copies are made and an
+        mmap-served collection can be saved without materializing
+        anything. Callers must not mutate the dicts.
+        """
+        return list(self._payloads)
 
     @classmethod
     def from_state(
@@ -467,6 +496,51 @@ class Collection:
                 PointStruct(id=i, vector=v, payload=p)
                 for i, v, p in zip(ids, vectors, payloads)
             )
+        return collection
+
+    @classmethod
+    def from_matrix(
+        cls,
+        name: str,
+        vectors: np.ndarray,
+        ids: list[str],
+        payloads: list[dict[str, Any]],
+        metric: Metric = Metric.COSINE,
+        hnsw: HnswConfig | None = None,
+        dim: int | None = None,
+    ) -> "Collection":
+        """Restore a collection *around* ``vectors`` without copying them.
+
+        The O(metadata) counterpart of :meth:`from_state`: the matrix is
+        adopted as storage via :meth:`FlatIndex.from_matrix` (a read-only
+        ``np.memmap`` over a snapshot's vector file works — later upserts
+        copy on write), ids and payloads are taken over as-is instead of
+        being re-validated point by point, and no index work happens.
+        Snapshot loading (schema v3) uses this so cold starts skip both
+        the per-point upsert loop and the vector copy. The caller must
+        hand over rows aligned with ``ids``/``payloads`` and give up
+        ownership of the lists.
+        """
+        if len(ids) != len(payloads) or len(ids) != vectors.shape[0]:
+            raise CollectionError(
+                "inconsistent state: vectors/ids/payloads lengths differ"
+            )
+        if dim is None:
+            dim = vectors.shape[1] if vectors.ndim == 2 else 1
+        if vectors.shape[0] and vectors.shape[1] != dim:
+            raise CollectionError(
+                f"matrix dim {vectors.shape[1]} != declared dim {dim}"
+            )
+        collection = cls(name, dim, metric=metric, hnsw=hnsw)
+        if vectors.shape[0]:
+            collection._flat = FlatIndex.from_matrix(vectors, metric=metric)
+        collection._ids = list(ids)
+        collection._payloads = list(payloads)
+        collection._id_to_node = {
+            point_id: node for node, point_id in enumerate(ids)
+        }
+        if len(collection._id_to_node) != len(ids):
+            raise CollectionError(f"duplicate point ids in {name!r}")
         return collection
 
 

@@ -3,6 +3,14 @@
 Single queries score with one matrix–vector product; batched queries
 (:meth:`FlatIndex.search_batch`) score with one matrix–matrix product, which
 is how real engines amortize memory traffic over concurrent queries.
+
+Storage may be adopted rather than owned: :meth:`FlatIndex.from_matrix`
+wraps an existing ``(n, dim)`` float32 matrix — including a read-only
+``np.memmap`` over a snapshot's ``vectors.npy`` — without copying it.
+Searches only ever read the matrix, so a memory-mapped collection serves
+queries straight off the page cache; the first :meth:`FlatIndex.add`
+after adoption copies into a fresh writable array (copy-on-write), so
+upserts keep working and never touch the snapshot file.
 """
 
 from __future__ import annotations
@@ -29,6 +37,30 @@ class FlatIndex:
     def __len__(self) -> int:
         return self._count
 
+    @classmethod
+    def from_matrix(
+        cls, matrix: np.ndarray, metric: Metric = Metric.COSINE
+    ) -> "FlatIndex":
+        """Adopt ``matrix`` as storage without copying.
+
+        ``matrix`` must be ``(n, dim)`` float32 and C-contiguous (other
+        dtypes/layouts are converted, which copies). Read-only matrices —
+        ``np.memmap`` over a snapshot file, or any array with the
+        writeable flag cleared — are fully supported: searches never
+        write, and the first :meth:`add` migrates to a writable copy.
+        """
+        if matrix.ndim != 2 or matrix.shape[1] <= 0:
+            raise ValueError(
+                f"from_matrix expects an (n, dim) matrix, got shape "
+                f"{matrix.shape}"
+            )
+        if matrix.dtype != np.float32 or not matrix.flags.c_contiguous:
+            matrix = np.ascontiguousarray(matrix, dtype=np.float32)
+        index = cls(matrix.shape[1], metric, initial_capacity=1)
+        index._vectors = matrix
+        index._count = matrix.shape[0]
+        return index
+
     @property
     def dim(self) -> int:
         """Vector dimensionality."""
@@ -39,9 +71,13 @@ class FlatIndex:
         vector = np.asarray(vector, dtype=np.float32)
         if vector.shape != (self._dim,):
             raise ValueError(f"vector shape {vector.shape} != ({self._dim},)")
-        if self._count == self._vectors.shape[0]:
+        if (
+            self._count == self._vectors.shape[0]
+            or not self._vectors.flags.writeable
+        ):
             grown = np.zeros(
-                (max(1024, self._vectors.shape[0] * 2), self._dim),
+                (max(1024, self._count + 1, self._vectors.shape[0] * 2),
+                 self._dim),
                 dtype=np.float32,
             )
             grown[: self._count] = self._vectors[: self._count]

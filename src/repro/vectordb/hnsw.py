@@ -41,6 +41,15 @@ time, snapshot loads) use this path; ``add`` remains the incremental path
 that keeps an already-built graph fresh under later upserts. Built
 indexes pickle (the thread-local visited scratch is rebuilt on load), so
 per-shard graphs can be constructed in worker processes and shipped back.
+
+Persistence: :meth:`HNSWIndex.to_arrays` flattens the graph into a few
+compact numpy arrays (levels, per-layer link counts, one concatenated
+neighbour array) and :meth:`HNSWIndex.from_arrays` rebuilds an identical
+index around an existing vector matrix — which may be a read-only
+``np.memmap``, so a snapshot-loaded graph serves searches without ever
+materializing its vectors in RAM. Snapshot schema v3 stores these arrays
+instead of rebuilding graphs on load (see
+:mod:`repro.vectordb.persistence`).
 """
 
 from __future__ import annotations
@@ -469,6 +478,153 @@ class HNSWIndex:
                         self._entry_point = node
                 for layer in range(level + 1):
                     members[layer].append(node)
+
+    # ------------------------------------------------------------------
+    # serialization (snapshot schema v3)
+    # ------------------------------------------------------------------
+
+    #: On-disk graph array format; bump when the array layout changes.
+    GRAPH_FORMAT_VERSION = 1
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the graph into compact numpy arrays (no vectors).
+
+        The layout is three arrays plus a header:
+
+        * ``levels``    — int32 ``(n,)``: top layer of each node;
+        * ``counts``    — int32: link-list lengths, node-major then
+          layer-major (node 0 layer 0, node 0 layer 1, …, node 1 layer 0);
+        * ``neighbors`` — int32: every adjacency list concatenated in the
+          same order;
+        * ``header``    — int64 ``[format, n, dim, m, ef_construction,
+          entry_point, max_level]``.
+
+        Vectors are deliberately excluded: the graph is rebuilt by
+        :meth:`from_arrays` around the collection's own (possibly
+        memory-mapped) matrix, so they are never stored twice.
+        """
+        n = self._count
+        levels = np.fromiter(
+            (len(self._links[i]) - 1 for i in range(n)),
+            dtype=np.int32, count=n,
+        )
+        counts = np.fromiter(
+            (len(layer) for node in self._links for layer in node),
+            dtype=np.int32,
+        )
+        neighbors = np.fromiter(
+            (nb for node in self._links for layer in node for nb in layer),
+            dtype=np.int32,
+        )
+        header = np.array(
+            [
+                self.GRAPH_FORMAT_VERSION, n, self._dim, self._m,
+                self._ef_construction, self._entry_point, self._max_level,
+            ],
+            dtype=np.int64,
+        )
+        return {
+            "header": header, "levels": levels,
+            "counts": counts, "neighbors": neighbors,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        vectors: np.ndarray,
+        arrays: dict[str, np.ndarray],
+        seed: int = 7,
+    ) -> "HNSWIndex":
+        """Rebuild an index from :meth:`to_arrays` output + its vectors.
+
+        ``vectors`` is adopted as the index's storage without copying —
+        a read-only ``np.memmap`` works (searches only read it; a later
+        :meth:`add` grows into a fresh writable array). The arrays are
+        validated structurally (sizes, ranges, degree caps) so a
+        truncated or corrupted graph file raises :class:`ValueError`
+        instead of producing an index that walks out of bounds; callers
+        degrade to a rebuild. ``seed`` only feeds the RNG for *future*
+        inserts — the restored graph itself is byte-for-byte the one
+        serialized.
+        """
+        header = np.asarray(arrays["header"], dtype=np.int64)
+        if header.shape != (7,):
+            raise ValueError(f"graph header shape {header.shape} != (7,)")
+        fmt, n, dim, m, ef_construction, entry, max_level = (
+            int(v) for v in header
+        )
+        if fmt != cls.GRAPH_FORMAT_VERSION:
+            raise ValueError(
+                f"graph format {fmt} != {cls.GRAPH_FORMAT_VERSION}"
+            )
+        if vectors.ndim != 2 or vectors.shape != (n, dim):
+            raise ValueError(
+                f"vector matrix shape {vectors.shape} != ({n}, {dim})"
+            )
+        if vectors.dtype != np.float32:
+            vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        levels = np.asarray(arrays["levels"], dtype=np.int64)
+        counts = np.asarray(arrays["counts"], dtype=np.int64)
+        neighbors = np.asarray(arrays["neighbors"], dtype=np.int32)
+        if levels.shape != (n,) or (n and levels.min() < 0):
+            raise ValueError("graph levels array is malformed")
+        if counts.shape != (int((levels + 1).sum()),):
+            raise ValueError("graph counts array disagrees with levels")
+        if counts.size and counts.min() < 0:
+            raise ValueError("negative link count in graph arrays")
+        if neighbors.shape != (int(counts.sum()),):
+            raise ValueError("graph neighbors array disagrees with counts")
+        if neighbors.size and (
+            neighbors.min() < 0 or neighbors.max() >= n
+        ):
+            raise ValueError("graph neighbor id out of range")
+        if n:
+            if not 0 <= entry < n:
+                raise ValueError(f"entry point {entry} out of range")
+            if max_level != int(levels.max()):
+                raise ValueError("max level disagrees with levels array")
+            if int(levels[entry]) != max_level:
+                raise ValueError(
+                    f"entry point {entry} lives on layer {int(levels[entry])}"
+                    f", not the top layer {max_level}"
+                )
+        # Every layer-L adjacency list may only reference nodes that
+        # exist on layer L — otherwise an upper-layer traversal indexes
+        # past a node's link lists and crashes mid-search. Reconstruct
+        # each count entry's layer (node-major, 0..levels[i] per node)
+        # without a Python loop, then check the referenced levels.
+        lengths = levels + 1
+        starts = np.cumsum(lengths) - lengths
+        layer_of_list = np.arange(int(lengths.sum())) - np.repeat(
+            starts, lengths
+        )
+        if np.any(levels[neighbors] < np.repeat(layer_of_list, counts)):
+            raise ValueError(
+                "graph adjacency references a node above its top layer"
+            )
+        index = cls(dim, m=m, ef_construction=ef_construction, seed=seed,
+                    initial_capacity=1)
+        index._vectors = vectors
+        index._count = n
+        index._adj0 = np.full((max(1, n), index._m0), -1, dtype=np.int32)
+        index._adj0_len = np.zeros(max(1, n), dtype=np.int32)
+        index._entry_point = entry if n else -1
+        index._max_level = max_level if n else -1
+        bounds = np.cumsum(counts)
+        cursor = 0
+        for node in range(n):
+            node_links: list[list[int]] = []
+            for _ in range(int(levels[node]) + 1):
+                lo = bounds[cursor - 1] if cursor else 0
+                node_links.append(neighbors[lo:bounds[cursor]].tolist())
+                cursor += 1
+            index._links.append(node_links)
+            if len(node_links[0]) > index._m0:
+                raise ValueError(
+                    f"node {node} exceeds the layer-0 degree cap"
+                )
+            index._sync_adj0(node)
+        return index
 
     # ------------------------------------------------------------------
     # search

@@ -1,21 +1,35 @@
 """Payload secondary indexes (Qdrant's "payload index" feature).
 
-A :class:`PayloadIndexRegistry` maintains hash indexes over chosen payload
-fields so that equality/membership filters resolve to candidate id sets
-without scanning every payload — the optimization real vector databases
-apply before falling back to per-point filter evaluation.
+A :class:`PayloadIndexRegistry` maintains secondary indexes over chosen
+payload fields so that filters resolve to candidate id sets without
+scanning every payload — the optimization real vector databases apply
+before falling back to per-point filter evaluation.
 
-Only exact-value fields are indexed (city, is_open, business_id, ...);
-range and geo predicates still evaluate per point, but over the reduced
-candidate set when combined under ``And``.
+Two index shapes are kept per field:
+
+* a hash index (value → node ids) answering equality/membership filters
+  (:class:`~repro.vectordb.filters.FieldMatch`,
+  :class:`~repro.vectordb.filters.FieldIn`);
+* a sorted numeric column answering range filters
+  (:class:`~repro.vectordb.filters.FieldRange`) with two
+  ``np.searchsorted`` bisections over a cached ``(values, nodes)`` array
+  pair instead of a per-id Python comparison loop. The sorted arrays are
+  rebuilt lazily after writes (write-heavy phases pay nothing; the first
+  range query after a batch of upserts pays one ``argsort``).
+
+Geo predicates still evaluate per point, but over the reduced candidate
+set when combined under ``And``.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping
 from typing import Any
 
-from repro.vectordb.filters import And, FieldIn, FieldMatch, Filter
+import numpy as np
+
+from repro.vectordb.filters import And, FieldIn, FieldMatch, FieldRange, Filter
 
 
 def _hashable(value: Any) -> bool:
@@ -26,17 +40,37 @@ def _hashable(value: Any) -> bool:
     return True
 
 
+def _numeric(value: Any) -> bool:
+    """Values :class:`FieldRange` compares (bools are excluded there)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 class PayloadIndexRegistry:
-    """Hash indexes over payload fields, maintained incrementally."""
+    """Hash + sorted-numeric indexes over payload fields."""
 
     def __init__(self) -> None:
         self._fields: set[str] = set()
         self._indexes: dict[str, dict[Any, set[int]]] = {}
+        #: per field: node id -> numeric value (the range index source).
+        self._numeric: dict[str, dict[int, float]] = {}
+        #: per field: nodes whose value the sorted column cannot place —
+        #: NaN (``FieldRange.matches`` treats it as in-range: both
+        #: comparisons are False) or ints too large for float. These stay
+        #: in every range candidate set (a superset is fine; callers
+        #: re-verify with ``matches``) — ``searchsorted`` would otherwise
+        #: drop them from a bounded slice.
+        self._unsortable: dict[str, set[int]] = {}
+        #: per field: cached (sorted values, node ids) pair, or None when
+        #: writes have invalidated it.
+        self._sorted: dict[str, tuple[np.ndarray, np.ndarray] | None] = {}
 
     def create_index(self, field: str) -> None:
         """Start indexing ``field`` (idempotent; backfilled by the caller)."""
         self._fields.add(field)
         self._indexes.setdefault(field, {})
+        self._numeric.setdefault(field, {})
+        self._unsortable.setdefault(field, set())
+        self._sorted.setdefault(field, None)
 
     @property
     def indexed_fields(self) -> frozenset[str]:
@@ -47,9 +81,20 @@ class PayloadIndexRegistry:
         """Add one point's indexed fields to the registry."""
         for field in self._fields:
             value = payload.get(field)
-            if value is None or not _hashable(value):
+            if value is None:
                 continue
-            self._indexes[field].setdefault(value, set()).add(node)
+            if _hashable(value):
+                self._indexes[field].setdefault(value, set()).add(node)
+            if _numeric(value):
+                try:
+                    as_float = float(value)
+                except OverflowError:
+                    as_float = math.nan  # int too big: unsortable bucket
+                if math.isnan(as_float):
+                    self._unsortable[field].add(node)
+                else:
+                    self._numeric[field][node] = as_float
+                self._sorted[field] = None
 
     def reindex_point(
         self,
@@ -64,7 +109,60 @@ class PayloadIndexRegistry:
                 bucket = self._indexes[field].get(old_value)
                 if bucket is not None:
                     bucket.discard(node)
+            if old_value is not None and _numeric(old_value):
+                self._numeric[field].pop(node, None)
+                self._unsortable[field].discard(node)
+                self._sorted[field] = None
         self.index_point(node, new_payload)
+
+    def _sorted_column(
+        self, field: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The field's ``(sorted values, node ids)`` pair, (re)built lazily."""
+        cached = self._sorted.get(field)
+        if cached is None:
+            column = self._numeric[field]
+            nodes = np.fromiter(column.keys(), dtype=np.int64,
+                                count=len(column))
+            values = np.fromiter(column.values(), dtype=np.float64,
+                                 count=len(column))
+            order = np.argsort(values, kind="stable")
+            cached = (values[order], nodes[order])
+            self._sorted[field] = cached
+        return cached
+
+    def _range_candidates(self, flt: FieldRange) -> set[int] | None:
+        """Candidates for a range filter: two bisections over the sorted
+        column (plus any NaN-valued nodes, which ``matches`` accepts).
+
+        Bounds the bisection cannot place fall back to the scan (None):
+        NaN (``matches`` treats it as unbounded — both comparisons are
+        False) and ints too large for float. Finite bounds are compared
+        as floats, which is safe because float conversion is monotonic:
+        a value ``matches`` accepts can collapse onto the bound but
+        never cross it, so the slice stays a superset.
+        """
+        try:
+            gte = None if flt.gte is None else float(flt.gte)
+            lte = None if flt.lte is None else float(flt.lte)
+        except OverflowError:
+            return None
+        if (gte is not None and math.isnan(gte)) or (
+            lte is not None and math.isnan(lte)
+        ):
+            return None
+        values, nodes = self._sorted_column(flt.key)
+        lo = (
+            0 if gte is None
+            else int(np.searchsorted(values, gte, side="left"))
+        )
+        hi = (
+            values.size if lte is None
+            else int(np.searchsorted(values, lte, side="right"))
+        )
+        result = set(nodes[lo:hi].tolist())
+        result |= self._unsortable[flt.key]
+        return result
 
     def candidates_for(self, flt: Filter) -> set[int] | None:
         """Node-id candidate set implied by ``flt``, or None if unknown.
@@ -83,6 +181,8 @@ class PayloadIndexRegistry:
                 if _hashable(value):
                     result |= self._indexes[flt.key].get(value, set())
             return result
+        if isinstance(flt, FieldRange) and flt.key in self._fields:
+            return self._range_candidates(flt)
         if isinstance(flt, And):
             best: set[int] | None = None
             for sub in flt.filters:

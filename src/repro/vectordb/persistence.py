@@ -1,36 +1,56 @@
 """Snapshot persistence for vector-database collections.
 
-Snapshot schema v2. A single-collection snapshot is a directory with:
+Snapshot schema v3. A single-collection snapshot is a directory with:
 
-* ``vectors.npz`` — the dense float32 matrix;
+* ``vectors.npy`` — the dense float32 matrix, written uncompressed so a
+  reload can ``np.load(..., mmap_mode="r")`` it and serve searches off
+  the page cache without materializing vectors in RAM (``mmap=True``);
 * ``payloads.jsonl`` — one ``{"id", "payload"}`` row per point, aligned
   with the matrix rows;
-* ``meta.json`` — name, dim, metric, count, plus (new in v2) the
-  ``hnsw`` config and the ``indexed_payload_fields`` list, so a reload
-  restores search behaviour — not just the data.
+* ``graph.npz`` — the built HNSW graph as compact numpy arrays
+  (:meth:`~repro.vectordb.hnsw.HNSWIndex.to_arrays`), written only when
+  the graph covered every point at save time. On load it is attached
+  as-is, making cold start O(metadata) instead of O(graph rebuild); a
+  missing, truncated, or config-mismatched graph file degrades to the
+  old lazy rebuild with a :class:`RuntimeWarning`, never a failed load;
+* ``meta.json`` — name, dim, metric, count, the ``hnsw`` config, and
+  the ``indexed_payload_fields`` list, so a reload restores search
+  behaviour — not just the data.
 
 A :class:`~repro.vectordb.sharded.ShardedCollection` snapshot is a
 directory whose ``meta.json`` carries ``"shards": N`` and an ``order``
 of point ids (global insertion order), with one single-collection
 snapshot per shard under ``shard-00/`` … ``shard-NN/``.
 
-v1 snapshots (no ``schema`` key) still load: missing ``hnsw`` and
-``indexed_payload_fields`` fall back to defaults / no indexes, exactly
-the v1 behaviour. The HNSW graph itself is never stored; it is rebuilt
-lazily after load, trading load time for format simplicity.
+Writes are crash-safe: :func:`save_collection` builds the snapshot in a
+temporary sibling directory and swaps it into place by renames, so an
+interrupted save never leaves a half-written tree at the published path
+(and never destroys the previous snapshot there).
+
+Older schemas still load. v2 snapshots (``vectors.npz``, no graph) and
+v1 snapshots (no ``schema`` key, no ``hnsw``/``indexed_payload_fields``)
+reload bit-identically to before, with the HNSW graph rebuilt lazily —
+``migrate_snapshot`` (CLI ``snapshot migrate``) upgrades them in place.
+:func:`inspect_snapshot` summarizes any snapshot without loading it.
 
 Resharding: :func:`reshard_snapshot` rewrites a snapshot for a different
 shard count without touching embeddings — every point is re-routed by
 ``shard_for(id, new_shards)`` while the global insertion order, payload
 indexes, and HNSW config carry over — so deployments can scale a
 collection's shard count up or down offline instead of being frozen at
-whatever ``shards=N`` it was created with.
+whatever ``shards=N`` it was created with. Resharding re-emits schema v3
+but drops graph files (the per-shard membership changed, so the old
+graphs are meaningless); run ``snapshot migrate`` after to re-persist
+freshly built graphs.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import shutil
+import uuid
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 
@@ -39,50 +59,196 @@ import numpy as np
 from repro.errors import CollectionError
 from repro.vectordb.collection import Collection, HnswConfig
 from repro.vectordb.distance import Metric
+from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.sharded import AnyCollection, ShardedCollection, shard_for
 
 #: Current snapshot schema version.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _META_FILE = "meta.json"
-_VECTORS_FILE = "vectors.npz"
+_VECTORS_FILE_V3 = "vectors.npy"
+_VECTORS_FILE_LEGACY = "vectors.npz"
 _PAYLOADS_FILE = "payloads.jsonl"
+_GRAPH_FILE = "graph.npz"
 
 
 def _shard_dir(directory: Path, index: int) -> Path:
     return directory / f"shard-{index:02d}"
 
 
+def _fsync_path(path: Path) -> None:
+    """Best-effort fsync of a file or directory (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # e.g. directories on platforms that cannot open() them
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _fsync_tree(root: Path) -> None:
+    """Flush a staged tree's file data and directory entries to disk.
+
+    Rename-based publishing is only atomic if the renamed tree's
+    contents are durable first — journaling filesystems may otherwise
+    persist the rename (metadata) before the data blocks, so a power
+    loss right after the swap could publish truncated files.
+    """
+    for path in root.rglob("*"):
+        if path.is_file():
+            _fsync_path(path)
+    for path in root.rglob("*"):
+        if path.is_dir():
+            _fsync_path(path)
+    _fsync_path(root)
+
+
+def _swap_into_place(staged: Path, final: Path) -> None:
+    """Publish ``staged`` at ``final`` by renames (crash-safe).
+
+    The staged tree is fsynced before the swap, any existing tree at
+    ``final`` moves aside first (to a per-invocation unique sibling, so
+    overlapping swaps of the same path cannot collide) and is deleted
+    only after the new tree is in place — the published path never holds
+    a partially written mix of old and new. An in-process failure
+    restores the original. Two narrow windows remain between the two
+    renames, while the published path briefly does not exist: a hard
+    kill there leaves it empty (but the old snapshot survives whole
+    under its ``.old-*`` sibling and the new one under the temporary
+    sibling it was staged in — nothing is ever lost, and an operator or
+    the next successful save can recover either by hand), and a
+    concurrent *reader* loading the same path in that instant sees "no
+    collection snapshot" and should simply retry — directory trees
+    cannot be exchanged atomically with portable primitives, so
+    overwrite-in-place saves under live reads need one retry on the
+    reader side.
+    """
+    _fsync_tree(staged)
+    retired = final.parent / f".{final.name}.old-{uuid.uuid4().hex[:8]}"
+    had_old = final.exists()
+    if had_old:
+        try:
+            final.rename(retired)
+        except FileNotFoundError:
+            had_old = False  # a concurrent swap already moved it aside
+    superseded = [retired] if had_old else []
+    for _ in range(8):
+        try:
+            staged.rename(final)
+            break
+        except OSError:
+            if final.exists():
+                # A concurrent swap published between our rename attempts
+                # (os.rename cannot replace a non-empty directory): retire
+                # the other save's tree and retry, so the last swap wins.
+                bumped = (
+                    final.parent
+                    / f".{final.name}.old-{uuid.uuid4().hex[:8]}"
+                )
+                try:
+                    final.rename(bumped)
+                except OSError:
+                    continue  # lost yet another race; retry from the top
+                superseded.append(bumped)
+                continue
+            if had_old:
+                retired.rename(final)  # restore the original
+            raise
+    else:  # pathological contention: every attempt lost to another swap
+        if final.exists():
+            # A concurrent winner is published; the trees we retired
+            # along the way are superseded by it. Our own staged tree is
+            # removed by the caller when we raise.
+            for tree in superseded:
+                shutil.rmtree(tree, ignore_errors=True)
+        elif had_old:
+            retired.rename(final)  # restore the original
+        raise CollectionError(
+            f"could not publish snapshot at {final}: lost the rename "
+            "race repeatedly to concurrent saves"
+        )
+    _fsync_path(final.parent)
+    for tree in superseded:
+        shutil.rmtree(tree, ignore_errors=True)
+
+
 def save_collection(
-    collection: AnyCollection, directory: str | Path
+    collection: AnyCollection,
+    directory: str | Path,
+    schema: int = SCHEMA_VERSION,
+    include_graphs: bool = True,
 ) -> None:
     """Write ``collection`` to ``directory`` (created if needed).
 
     Dispatches on the backend: plain collections write one snapshot,
     sharded collections write per-shard snapshot directories plus a
     top-level manifest with the shard count and global insertion order.
+    Fully built HNSW graphs are persisted alongside the vectors (schema
+    v3), so the next :func:`load_collection` skips reconstruction.
+
+    The write is atomic: everything lands in a temporary sibling of
+    ``directory`` and is renamed into place on success, so a crash or an
+    exception mid-save never corrupts an existing snapshot at the target
+    path. ``schema=2`` writes the previous on-disk layout (compressed
+    vectors, no graph files) for compatibility tooling and benchmarks;
+    ``include_graphs=False`` omits graph files from a v3 snapshot
+    (``snapshot migrate --no-graphs``).
     """
+    if schema not in (2, SCHEMA_VERSION):
+        raise CollectionError(f"cannot write snapshot schema {schema}")
     directory = Path(directory)
-    if isinstance(collection, ShardedCollection):
-        directory.mkdir(parents=True, exist_ok=True)
-        for index, shard in enumerate(collection.shard_collections):
-            _save_single(shard, _shard_dir(directory, index))
-        meta = _base_meta(collection)
-        meta["shards"] = collection.n_shards
-        meta["order"] = list(collection.point_order)
-        (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
-    else:
-        _save_single(collection, directory)
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    # Unique per invocation, so concurrent saves of the same path never
+    # write into (or delete) each other's staging tree; last swap wins.
+    staged = (
+        directory.parent / f".{directory.name}.save-tmp-{uuid.uuid4().hex[:8]}"
+    )
+    try:
+        if isinstance(collection, ShardedCollection):
+            staged.mkdir(parents=True)
+            for index, shard in enumerate(collection.shard_collections):
+                _save_single(
+                    shard, _shard_dir(staged, index), schema, include_graphs
+                )
+            meta = _base_meta(collection, schema)
+            meta["shards"] = collection.n_shards
+            meta["order"] = list(collection.point_order)
+            (staged / _META_FILE).write_text(json.dumps(meta, indent=2))
+        else:
+            _save_single(collection, staged, schema, include_graphs)
+    except BaseException:
+        shutil.rmtree(staged, ignore_errors=True)
+        raise
+    try:
+        _swap_into_place(staged, directory)
+    except BaseException:
+        shutil.rmtree(staged, ignore_errors=True)
+        raise
 
 
 def load_collection(
-    directory: str | Path, hnsw: HnswConfig | None = None
+    directory: str | Path,
+    hnsw: HnswConfig | None = None,
+    mmap: bool = False,
 ) -> AnyCollection:
     """Read a collection written by :func:`save_collection`.
 
     ``hnsw`` overrides the snapshot's stored config; when omitted, the
     config active at save time is restored (v1 snapshots fall back to
-    defaults). Payload indexes recorded in the snapshot are rebuilt.
+    defaults). Payload indexes recorded in the snapshot are rebuilt, and
+    persisted HNSW graphs (schema v3) are attached instead of rebuilt —
+    unless the graph file is damaged or disagrees with the collection,
+    in which case the load degrades to the lazy rebuild with a warning.
+
+    ``mmap=True`` memory-maps the vector matrix read-only instead of
+    loading it into RAM (schema v3 only; older snapshots store
+    compressed vectors and load eagerly with a warning). Searches read
+    straight off the page cache; a later upsert copies on write, leaving
+    the snapshot file untouched.
     """
     directory = Path(directory)
     meta = _read_meta(directory)
@@ -91,7 +257,7 @@ def load_collection(
     # count, including 1); plain and v1 snapshots never carry it.
     if "shards" in meta:
         shards = [
-            _load_single(_shard_dir(directory, index), hnsw_config)
+            _load_single(_shard_dir(directory, index), hnsw_config, mmap=mmap)
             for index in range(meta["shards"])
         ]
         return ShardedCollection.from_shards(
@@ -101,7 +267,85 @@ def load_collection(
             metric=Metric(meta["metric"]),
             hnsw=hnsw_config,
         )
-    return _load_single(directory, hnsw_config, meta=meta)
+    return _load_single(directory, hnsw_config, meta=meta, mmap=mmap)
+
+
+def inspect_snapshot(directory: str | Path) -> dict:
+    """Summarize a snapshot without loading any vectors or graphs.
+
+    Returns schema, name, dim, metric, count, shard layout, and per-shard
+    storage details (vector file format and whether a persisted graph is
+    present) — the CLI ``snapshot inspect`` payload.
+    """
+    directory = Path(directory)
+    meta = _read_meta(directory)
+    schema = meta.get("schema", 1)
+    info: dict = {
+        "path": str(directory),
+        "schema": schema,
+        "name": meta["name"],
+        "metric": meta["metric"],
+        "count": meta["count"],
+        "dim": meta.get("dim"),
+        "hnsw": meta.get("hnsw"),
+        "indexed_payload_fields": sorted(
+            meta.get("indexed_payload_fields", ())
+        ),
+    }
+    if "shards" in meta:
+        shard_dirs = [
+            _shard_dir(directory, index) for index in range(meta["shards"])
+        ]
+        info["shards"] = meta["shards"]
+    else:
+        shard_dirs = [directory]
+        info["shards"] = None
+    details = []
+    for shard_path in shard_dirs:
+        if (shard_path / _VECTORS_FILE_V3).exists():
+            vector_format = "npy"
+        elif (shard_path / _VECTORS_FILE_LEGACY).exists():
+            vector_format = "npz"
+        else:
+            vector_format = "missing"
+        details.append(
+            {
+                "path": str(shard_path),
+                "vector_format": vector_format,
+                "graph": (shard_path / _GRAPH_FILE).exists(),
+            }
+        )
+    info["storage"] = details
+    info["mmap_capable"] = all(d["vector_format"] == "npy" for d in details)
+    info["graphs_persisted"] = all(d["graph"] for d in details)
+    return info
+
+
+def migrate_snapshot(
+    snapshot_dir: str | Path,
+    out_dir: str | Path | None = None,
+    build_graphs: bool = True,
+) -> Path:
+    """Rewrite any loadable snapshot as schema v3 (CLI ``snapshot migrate``).
+
+    Loads the snapshot (any schema), optionally builds missing HNSW
+    graphs so they are persisted too (``build_graphs=True``, the default
+    — the whole point of migrating is a fast cold start), and saves it
+    back atomically. ``build_graphs=False`` writes no graph files at all,
+    even ones the source snapshot carried — the opt-out exists to strip
+    graphs, not merely to skip building them. ``out_dir`` defaults to
+    rewriting in place. Returns the directory written.
+    """
+    snapshot_dir = Path(snapshot_dir)
+    target = snapshot_dir if out_dir is None else Path(out_dir)
+    collection = load_collection(snapshot_dir)
+    try:
+        if build_graphs and len(collection):
+            collection.build_hnsw()
+        save_collection(collection, target, include_graphs=build_graphs)
+    finally:
+        collection.close()
+    return target
 
 
 def reshard_snapshot(
@@ -113,13 +357,16 @@ def reshard_snapshot(
 
     Works on any :func:`save_collection` output — sharded snapshots of
     any shard count, plain single-collection snapshots (treated as one
-    source shard), and v1 snapshots. Source shards are streamed one at a
-    time (raw arrays only; no collections or HNSW graphs are
+    source shard), and v1/v2 snapshots. Source shards are streamed one at
+    a time (raw arrays only; no collections or HNSW graphs are
     instantiated), each point lands in ``shard_for(id, new_shards)``,
     and within every new shard points keep their global-insertion-order
     ranking, so a reload sees identical ``scroll`` order, counts,
     payload-index configuration, and ``HnswConfig``. The result is
-    always the sharded layout (``new_shards`` may be 1).
+    always the sharded layout (``new_shards`` may be 1), written as
+    schema v3 without graph files — shard membership changed, so
+    persisted graphs no longer describe any shard; the next load
+    rebuilds lazily (or run :func:`migrate_snapshot` to re-persist).
 
     ``out_dir`` defaults to rewriting ``snapshot_dir`` in place (built in
     a temporary sibling, swapped in on success). Returns the directory
@@ -217,19 +464,11 @@ def reshard_snapshot(
         shutil.rmtree(target, ignore_errors=True)
         raise
     if in_place:
-        # Swap by renames so a crash never leaves the published path as
-        # the only copy destroyed: the original moves aside, the new
-        # tree takes its place, and only then is the old copy deleted.
-        retired = snapshot_dir.parent / f".{snapshot_dir.name}.reshard-old"
-        if retired.exists():
-            shutil.rmtree(retired)
-        snapshot_dir.rename(retired)
         try:
-            target.rename(snapshot_dir)
+            _swap_into_place(target, snapshot_dir)
         except BaseException:
-            retired.rename(snapshot_dir)  # restore the original
+            shutil.rmtree(target, ignore_errors=True)
             raise
-        shutil.rmtree(retired)
         return snapshot_dir
     return target
 
@@ -246,10 +485,11 @@ def _meta_dict(
     count: int,
     hnsw: dict,
     indexed: list[str],
+    schema: int = SCHEMA_VERSION,
 ) -> dict:
     """The one place snapshot ``meta.json`` keys are spelled out."""
     return {
-        "schema": SCHEMA_VERSION,
+        "schema": schema,
         "name": name,
         "dim": dim,
         "metric": metric,
@@ -259,7 +499,7 @@ def _meta_dict(
     }
 
 
-def _base_meta(collection: AnyCollection) -> dict:
+def _base_meta(collection: AnyCollection, schema: int = SCHEMA_VERSION) -> dict:
     return _meta_dict(
         name=collection.name,
         dim=collection.dim,
@@ -267,21 +507,36 @@ def _base_meta(collection: AnyCollection) -> dict:
         count=len(collection),
         hnsw=asdict(collection.hnsw_config),
         indexed=sorted(collection.indexed_payload_fields),
+        schema=schema,
     )
 
 
-def _save_single(collection: Collection, directory: Path) -> None:
-    vectors, ids, payloads = collection.export_state()
+def _save_single(
+    collection: Collection,
+    directory: Path,
+    schema: int = SCHEMA_VERSION,
+    include_graphs: bool = True,
+) -> None:
+    graph = None
+    if (
+        schema >= 3 and include_graphs
+        and collection.hnsw_is_built and len(collection)
+    ):
+        graph = collection.hnsw_index
+    # Views, not copies: np.save/json only read, so even an mmap-served
+    # collection saves without materializing its vector matrix.
     _write_single_raw(
         directory,
         name=collection.name,
         dim=collection.dim,
         metric=collection.metric.value,
-        vectors=vectors,
-        ids=ids,
-        payloads=payloads,
+        vectors=collection.vector_matrix(),
+        ids=collection.point_ids(),
+        payloads=collection.payload_rows(),
         hnsw=asdict(collection.hnsw_config),
         indexed=sorted(collection.indexed_payload_fields),
+        schema=schema,
+        graph=graph,
     )
 
 
@@ -295,10 +550,21 @@ def _write_single_raw(
     payloads: list[dict],
     hnsw: dict,
     indexed: list[str],
+    schema: int = SCHEMA_VERSION,
+    graph: HNSWIndex | None = None,
 ) -> None:
     """Write one single-collection snapshot from raw arrays."""
     directory.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(directory / _VECTORS_FILE, vectors=vectors)
+    if schema >= 3:
+        # Raw .npy so loads can memory-map the matrix directly.
+        np.save(
+            directory / _VECTORS_FILE_V3,
+            np.ascontiguousarray(vectors, dtype=np.float32),
+        )
+    else:
+        np.savez_compressed(directory / _VECTORS_FILE_LEGACY, vectors=vectors)
+    if graph is not None:
+        np.savez(directory / _GRAPH_FILE, **graph.to_arrays())
     with open(directory / _PAYLOADS_FILE, "w", encoding="utf-8") as fh:
         for point_id, payload in zip(ids, payloads):
             fh.write(
@@ -308,19 +574,50 @@ def _write_single_raw(
             )
     meta = _meta_dict(
         name=name, dim=dim, metric=metric, count=len(ids),
-        hnsw=hnsw, indexed=indexed,
+        hnsw=hnsw, indexed=indexed, schema=schema,
     )
     (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
 
 
+def _load_vectors(
+    directory: Path, mmap: bool = False, schema: int | None = None
+) -> np.ndarray:
+    """The snapshot's vector matrix, from either on-disk format."""
+    v3_path = directory / _VECTORS_FILE_V3
+    if v3_path.exists():
+        return np.load(v3_path, mmap_mode="r" if mmap else None)
+    if schema is not None and schema >= 3:
+        # Don't fall through to the legacy file: naming vectors.npz in
+        # the error would send the operator after a file this snapshot
+        # never contained.
+        raise FileNotFoundError(
+            f"snapshot at {directory} declares schema {schema} but its "
+            f"{_VECTORS_FILE_V3} is missing"
+        )
+    if mmap:
+        warnings.warn(
+            f"snapshot at {directory} predates schema v3 (compressed "
+            "vectors); mmap=True loads it eagerly — run `snapshot "
+            "migrate` to enable memory-mapped serving",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    with np.load(directory / _VECTORS_FILE_LEGACY) as npz:
+        return npz["vectors"].astype(np.float32)
+
+
 def _read_single_raw(
     directory: Path,
+    meta: dict | None = None,
+    mmap: bool = False,
 ) -> tuple[np.ndarray, list[str], list[dict]]:
     """Read one single-collection snapshot's raw ``(vectors, ids,
-    payloads)`` without instantiating a collection (streaming reshard)."""
-    meta = _read_meta(directory)
-    with np.load(directory / _VECTORS_FILE) as npz:
-        vectors = npz["vectors"].astype(np.float32)
+    payloads)`` without instantiating a collection. Used by the load
+    path (where ``mmap`` may memory-map the matrix) and by the streaming
+    reshard (always eager)."""
+    if meta is None:
+        meta = _read_meta(directory)
+    vectors = _load_vectors(directory, mmap=mmap, schema=meta.get("schema"))
     ids: list[str] = []
     payloads: list[dict] = []
     with open(directory / _PAYLOADS_FILE, encoding="utf-8") as fh:
@@ -352,15 +649,77 @@ def _stored_hnsw(meta: dict) -> HnswConfig | None:
     return HnswConfig(**stored) if stored else None
 
 
+def _attach_stored_graph(
+    collection: Collection,
+    directory: Path,
+    config: HnswConfig,
+    stored: HnswConfig | None,
+) -> None:
+    """Attach ``graph.npz`` to a freshly loaded collection, if usable.
+
+    The graph must structurally validate against the collection's vector
+    matrix (``HNSWIndex.from_arrays`` checks sizes, ranges, and degree
+    caps) and must have been built with the config the collection is
+    loading under — an explicit ``hnsw`` override with different *build*
+    parameters (``m``, ``ef_construction``, or ``seed``; ``ef_search``
+    is a search-time knob) means the caller *wants* a different graph.
+    The seed lives only in the snapshot's stored config (``stored``),
+    not the graph header, so both are checked. Any problem degrades to
+    the pre-v3 behaviour (lazy rebuild on first approximate search)
+    with a :class:`RuntimeWarning`; a load never fails over its graph
+    file.
+    """
+    graph_path = directory / _GRAPH_FILE
+    if not graph_path.exists():
+        return
+    try:
+        if stored is not None and (
+            (config.m, config.ef_construction, config.seed)
+            != (stored.m, stored.ef_construction, stored.seed)
+        ):
+            raise ValueError(
+                f"graph built with (m={stored.m}, "
+                f"ef_construction={stored.ef_construction}, "
+                f"seed={stored.seed}), loading with (m={config.m}, "
+                f"ef_construction={config.ef_construction}, "
+                f"seed={config.seed})"
+            )
+        with np.load(graph_path) as npz:
+            arrays = {key: npz[key] for key in npz.files}
+        header = np.asarray(arrays["header"], dtype=np.int64)
+        if header.shape == (7,) and (
+            int(header[3]) != config.m
+            or int(header[4]) != config.ef_construction
+        ):
+            raise ValueError(
+                f"graph built with (m={int(header[3])}, "
+                f"ef_construction={int(header[4])}), loading with "
+                f"(m={config.m}, ef_construction={config.ef_construction})"
+            )
+        graph = HNSWIndex.from_arrays(
+            collection.vector_matrix(), arrays, seed=config.seed
+        )
+    except Exception as exc:
+        warnings.warn(
+            f"ignoring unusable snapshot graph {graph_path} ({exc}); "
+            "the HNSW graph will be rebuilt on first approximate search",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return
+    collection.attach_hnsw(graph)
+
+
 def _load_single(
     directory: Path,
     hnsw: HnswConfig | None,
     meta: dict | None = None,
+    mmap: bool = False,
 ) -> Collection:
     if meta is None:
         meta = _read_meta(directory)
-    vectors, ids, payloads = _read_single_raw(directory)
-    collection = Collection.from_state(
+    vectors, ids, payloads = _read_single_raw(directory, meta=meta, mmap=mmap)
+    collection = Collection.from_matrix(
         name=meta["name"],
         vectors=vectors,
         ids=ids,
@@ -371,4 +730,7 @@ def _load_single(
     )
     for field in meta.get("indexed_payload_fields", ()):
         collection.create_payload_index(field)
+    _attach_stored_graph(
+        collection, directory, collection.hnsw_config, _stored_hnsw(meta)
+    )
     return collection

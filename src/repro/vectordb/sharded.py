@@ -414,6 +414,12 @@ class ShardedCollection:
 
         ``order`` is the global insertion order persisted alongside the
         shards; it must cover exactly the ids present across ``shards``.
+        Shards arrive with whatever state the loader restored — payload
+        indexes rebuilt, and (schema v3) persisted HNSW graphs already
+        attached, so :attr:`hnsw_is_built` is True straight after a v3
+        load and the first query pays no reconstruction. A shard whose
+        graph file was damaged arrives graph-less and rebuilds lazily,
+        independent of its siblings.
         """
         if not shards:
             raise CollectionError("from_shards needs at least one shard")

@@ -134,7 +134,7 @@ class TestCLI:
         choices = set(actions["command"].choices)
         assert choices == {
             "build-data", "stats", "query", "table2", "queries", "reshard",
-            "demo",
+            "snapshot", "demo",
         }
 
     def test_stats_command(self, capsys):

@@ -119,7 +119,7 @@ class TestVectorDBFailureModes:
         vec = np.array([1.0, 0.0], dtype=np.float32)
         collection.upsert([PointStruct("a", vec, {})])
         save_collection(collection, tmp_path / "snap")
-        (tmp_path / "snap" / "vectors.npz").unlink()
+        (tmp_path / "snap" / "vectors.npy").unlink()
         with pytest.raises(FileNotFoundError):
             load_collection(tmp_path / "snap")
 

@@ -1,0 +1,446 @@
+"""Snapshot schema v3: compatibility matrix, graph persistence, mmap.
+
+Locks down ISSUE 4's acceptance surface:
+
+* v1 and v2 snapshots keep loading under v3 code, bit-identically;
+* persisted graphs are attached on load and answer searches identically
+  to the collection they were saved from;
+* a truncated/corrupted/mismatched ``graph.npz`` degrades to the lazy
+  rebuild with a warning — never a failed load;
+* ``mmap=True`` serves identical results off a read-only memory map,
+  and upserts after an mmap load copy on write;
+* ``save_collection`` is crash-safe: a save that dies mid-write leaves
+  the previous snapshot intact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CollectionError
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import Collection, HnswConfig, PointStruct
+from repro.vectordb.filters import FieldMatch, FieldRange
+from repro.vectordb.persistence import (
+    inspect_snapshot,
+    load_collection,
+    migrate_snapshot,
+    save_collection,
+)
+from repro.vectordb.sharded import ShardedCollection
+
+DIM = 12
+N = 400
+K = 8
+
+
+def _vectors(n: int = N, seed: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vecs = rng.standard_normal((n, DIM)).astype(np.float32)
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+def _points(vecs: np.ndarray) -> list[PointStruct]:
+    return [
+        PointStruct(
+            id=f"p{i}",
+            vector=vecs[i],
+            payload={"city": f"c{i % 3}", "stars": float(i % 10)},
+        )
+        for i in range(vecs.shape[0])
+    ]
+
+
+def _build(shards: int = 1, build_graph: bool = True):
+    vecs = _vectors()
+    if shards > 1:
+        collection = ShardedCollection("snap", DIM, shards=shards)
+    else:
+        collection = Collection("snap", DIM)
+    collection.upsert(_points(vecs))
+    collection.create_payload_index("city")
+    if build_graph:
+        collection.build_hnsw()
+    return collection, vecs
+
+
+def _downgrade_to_v1(directory) -> None:
+    """Strip the keys v2 added, making the snapshot a faithful v1."""
+    meta_path = directory / "meta.json"
+    meta = json.loads(meta_path.read_text())
+    for key in ("schema", "hnsw", "indexed_payload_fields"):
+        meta.pop(key, None)
+    meta_path.write_text(json.dumps(meta))
+
+
+def _assert_identical(loaded, original, queries) -> None:
+    assert len(loaded) == len(original)
+    assert [h.id for h in loaded.scroll()] == [
+        h.id for h in original.scroll()
+    ]
+    flt = FieldMatch("city", "c1")
+    assert loaded.count(flt) == original.count(flt)
+    want = original.search_batch(queries, K, exact=True)
+    got = loaded.search_batch(queries, K, exact=True)
+    for want_row, got_row in zip(want, got):
+        assert [(h.id, h.score) for h in want_row] == [
+            (h.id, h.score) for h in got_row
+        ]
+
+
+class TestCompatibilityMatrix:
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize("legacy", ["v1", "v2"])
+    def test_legacy_snapshots_load_bit_identically(
+        self, tmp_path, shards, legacy
+    ):
+        original, vecs = _build(shards=shards, build_graph=False)
+        snap = tmp_path / "snap"
+        save_collection(original, snap, schema=2)
+        if legacy == "v1":
+            if shards == 1:
+                _downgrade_to_v1(snap)
+            else:
+                # v1 predates sharded snapshots; keep the shard manifest
+                # but strip the per-shard v2 keys.
+                for index in range(shards):
+                    _downgrade_to_v1(snap / f"shard-{index:02d}")
+        loaded = load_collection(snap)
+        _assert_identical(loaded, original, vecs[:16])
+        assert loaded.hnsw_config == original.hnsw_config
+        loaded.close()
+        original.close()
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_v3_round_trip_attaches_graphs(self, tmp_path, shards):
+        original, vecs = _build(shards=shards)
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+        info = inspect_snapshot(snap)
+        assert info["schema"] == 3
+        assert info["graphs_persisted"]
+        loaded = load_collection(snap)
+        # The persisted graph must be attached, not rebuilt lazily …
+        assert loaded.hnsw_is_built
+        _assert_identical(loaded, original, vecs[:16])
+        # … and approximate search over it must equal the saved
+        # collection's graph exactly (same graph, same traversal).
+        want = original.search_batch(vecs[:16], K)
+        got = loaded.search_batch(vecs[:16], K)
+        for want_row, got_row in zip(want, got):
+            assert [(h.id, h.score) for h in want_row] == [
+                (h.id, h.score) for h in got_row
+            ]
+        loaded.close()
+        original.close()
+
+    def test_migrate_no_graphs_strips_existing_graph_files(self, tmp_path):
+        """--no-graphs must remove graph files, not just skip building:
+        the opt-out exists to strip a suspect or unwanted graph."""
+        original, _ = _build()
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+        assert inspect_snapshot(snap)["graphs_persisted"]
+        migrate_snapshot(snap, build_graphs=False)
+        info = inspect_snapshot(snap)
+        assert info["schema"] == 3
+        assert not info["graphs_persisted"]
+        loaded = load_collection(snap)
+        assert not loaded.hnsw_is_built  # rebuilt lazily, as requested
+        loaded.close()
+        original.close()
+
+    def test_migrate_upgrades_v2_in_place(self, tmp_path):
+        original, vecs = _build(shards=4, build_graph=False)
+        snap = tmp_path / "snap"
+        save_collection(original, snap, schema=2)
+        assert not inspect_snapshot(snap)["mmap_capable"]
+        migrate_snapshot(snap)
+        info = inspect_snapshot(snap)
+        assert info["schema"] == 3
+        assert info["mmap_capable"] and info["graphs_persisted"]
+        loaded = load_collection(snap, mmap=True)
+        assert loaded.hnsw_is_built
+        _assert_identical(loaded, original, vecs[:16])
+        loaded.close()
+        original.close()
+
+
+class TestGraphCorruptionFallback:
+    def test_truncated_graph_degrades_to_rebuild(self, tmp_path):
+        original, vecs = _build()
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+        graph_path = snap / "graph.npz"
+        graph_path.write_bytes(graph_path.read_bytes()[:40])
+        with pytest.warns(RuntimeWarning, match="unusable snapshot graph"):
+            loaded = load_collection(snap)
+        assert not loaded.hnsw_is_built  # degraded to lazy rebuild
+        # … but searches still work (graph rebuilt on demand), and the
+        # rebuild gives the same graph the original built (same seed).
+        want = original.search_batch(vecs[:8], K)
+        got = loaded.search_batch(vecs[:8], K)
+        for want_row, got_row in zip(want, got):
+            assert [h.id for h in want_row] == [h.id for h in got_row]
+        loaded.close()
+        original.close()
+
+    def test_garbage_graph_bytes_degrade(self, tmp_path):
+        original, _ = _build()
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+        (snap / "graph.npz").write_bytes(b"not a zipfile at all")
+        with pytest.warns(RuntimeWarning, match="unusable snapshot graph"):
+            loaded = load_collection(snap)
+        assert not loaded.hnsw_is_built
+        loaded.close()
+        original.close()
+
+    def test_in_range_entry_point_corruption_degrades(self, tmp_path):
+        """A corrupted entry point that is still a *valid node id* — but
+        one that does not live on the top layer — must be rejected by
+        validation, not attach and crash the first search mid-traversal."""
+        original, vecs = _build()
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+        graph_path = snap / "graph.npz"
+        with np.load(graph_path) as npz:
+            arrays = {key: npz[key] for key in npz.files}
+        low_nodes = np.flatnonzero(arrays["levels"] == 0)
+        assert low_nodes.size  # 400 points: plenty of layer-0-only nodes
+        arrays["header"][5] = int(low_nodes[0])
+        np.savez(graph_path, **arrays)
+        with pytest.warns(RuntimeWarning, match="unusable snapshot graph"):
+            loaded = load_collection(snap)
+        assert not loaded.hnsw_is_built
+        hits = loaded.search(vecs[0], K)  # rebuilds lazily, must not crash
+        assert len(hits) == K
+        loaded.close()
+        original.close()
+
+    def test_stale_graph_from_other_collection_degrades(self, tmp_path):
+        """A graph.npz copied from a differently-sized snapshot must be
+        rejected by the structural validation, not walk out of bounds."""
+        big, _ = _build()
+        small = Collection("snap", DIM)
+        small.upsert(_points(_vectors(50)))
+        small.build_hnsw()
+        big_snap, small_snap = tmp_path / "big", tmp_path / "small"
+        save_collection(big, big_snap)
+        save_collection(small, small_snap)
+        (big_snap / "graph.npz").write_bytes(
+            (small_snap / "graph.npz").read_bytes()
+        )
+        with pytest.warns(RuntimeWarning, match="unusable snapshot graph"):
+            loaded = load_collection(big_snap)
+        assert not loaded.hnsw_is_built
+        assert len(loaded) == N
+        loaded.close()
+        big.close()
+        small.close()
+
+    def test_config_override_skips_stored_graph(self, tmp_path):
+        """Loading with a different HNSW build config must not attach a
+        graph built under the old config."""
+        original, _ = _build()
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+        override = HnswConfig(m=8, ef_construction=64, seed=3)
+        with pytest.warns(RuntimeWarning, match="graph built with"):
+            loaded = load_collection(snap, hnsw=override)
+        assert not loaded.hnsw_is_built
+        assert loaded.hnsw_config == override
+        loaded.close()
+        # A seed-only difference is still a different build: attaching
+        # the stored graph would silently void seed-sensitivity runs.
+        seed_only = HnswConfig(seed=99)
+        with pytest.warns(RuntimeWarning, match="seed=99"):
+            reloaded = load_collection(snap, hnsw=seed_only)
+        assert not reloaded.hnsw_is_built
+        reloaded.close()
+        # ef_search is a search-time knob, not a build parameter: an
+        # override differing only there keeps the stored graph.
+        tuned = HnswConfig(ef_search=128)
+        retuned = load_collection(snap, hnsw=tuned)
+        assert retuned.hnsw_is_built
+        retuned.close()
+        original.close()
+
+
+class TestMmap:
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_mmap_results_identical(self, tmp_path, shards):
+        original, vecs = _build(shards=shards)
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+        eager = load_collection(snap)
+        mapped = load_collection(snap, mmap=True)
+        queries = vecs[:16]
+        for exact in (True, False):
+            want = eager.search_batch(queries, K, exact=exact)
+            got = mapped.search_batch(queries, K, exact=exact)
+            for want_row, got_row in zip(want, got):
+                assert [(h.id, h.score) for h in want_row] == [
+                    (h.id, h.score) for h in got_row
+                ]
+        eager.close()
+        mapped.close()
+        original.close()
+
+    def test_mmap_upsert_copies_on_write(self, tmp_path):
+        original, _ = _build()
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+        before = (snap / "vectors.npy").read_bytes()
+        loaded = load_collection(snap, mmap=True)
+        fresh = np.zeros(DIM, dtype=np.float32)
+        fresh[0] = 1.0
+        loaded.upsert([PointStruct("new-point", fresh, {"city": "c9"})])
+        assert loaded.retrieve("new-point").payload["city"] == "c9"
+        assert len(loaded) == N + 1
+        hits = loaded.search(fresh, k=1, exact=True)
+        assert hits[0].id == "new-point"
+        # the snapshot file itself must be untouched
+        assert (snap / "vectors.npy").read_bytes() == before
+        loaded.close()
+        original.close()
+
+    def test_mmap_on_legacy_snapshot_warns_and_loads_eagerly(self, tmp_path):
+        original, vecs = _build(build_graph=False)
+        snap = tmp_path / "snap"
+        save_collection(original, snap, schema=2)
+        with pytest.warns(RuntimeWarning, match="predates schema v3"):
+            loaded = load_collection(snap, mmap=True)
+        _assert_identical(loaded, original, vecs[:8])
+        loaded.close()
+        original.close()
+
+
+class TestAtomicSave:
+    def test_interrupted_save_preserves_existing_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        original, vecs = _build()
+        snap = tmp_path / "snap"
+        save_collection(original, snap)
+
+        import repro.vectordb.persistence as persistence
+
+        real_write = persistence._write_single_raw
+
+        def exploding_write(directory, **kwargs):
+            # fail *after* writing files, like a crash mid-save
+            real_write(directory, **kwargs)
+            raise OSError("disk died mid-save")
+
+        monkeypatch.setattr(persistence, "_write_single_raw", exploding_write)
+        bigger = Collection("snap", DIM)
+        bigger.upsert(_points(_vectors(2 * N, seed=9)))
+        with pytest.raises(OSError, match="disk died"):
+            save_collection(bigger, snap)
+        monkeypatch.undo()
+
+        # the original snapshot is still there, whole and loadable
+        loaded = load_collection(snap)
+        _assert_identical(loaded, original, vecs[:8])
+        # and no temp litter remains next to it
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if p.name != "snap"
+        ]
+        assert leftovers == []
+        loaded.close()
+        bigger.close()
+        original.close()
+
+    def test_concurrent_saves_to_same_path_never_corrupt(self, tmp_path):
+        """Racing saves of one path must all succeed (last swap wins),
+        leave a whole loadable snapshot, and no staging litter."""
+        import threading
+
+        collection = Collection("race", DIM)
+        collection.upsert(_points(_vectors(50)))
+        snap = tmp_path / "snap"
+        errors: list[Exception] = []
+
+        def saver():
+            for _ in range(10):
+                try:
+                    save_collection(collection, snap)
+                except Exception as exc:  # noqa: BLE001 - collected for assert
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=saver) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        loaded = load_collection(snap)
+        assert len(loaded) == 50
+        loaded.close()
+        collection.close()
+        assert [p.name for p in tmp_path.iterdir()] == ["snap"]
+
+    def test_save_refuses_unknown_schema(self, tmp_path):
+        original, _ = _build(build_graph=False)
+        with pytest.raises(CollectionError, match="schema"):
+            save_collection(original, tmp_path / "snap", schema=99)
+        original.close()
+
+    def test_save_overwrites_previous_snapshot_atomically(self, tmp_path):
+        first, _ = _build(build_graph=False)
+        snap = tmp_path / "snap"
+        save_collection(first, snap)
+        second = Collection("snap", DIM)
+        second.upsert(_points(_vectors(100, seed=17)))
+        save_collection(second, snap)
+        loaded = load_collection(snap)
+        assert len(loaded) == 100
+        loaded.close()
+        first.close()
+        second.close()
+
+
+class TestClientPlumbing:
+    def test_client_save_load_round_trip(self, tmp_path):
+        with VectorDBClient() as client:
+            collection = client.create_collection("snap", dim=DIM, shards=2)
+            collection.upsert(_points(_vectors(120)))
+            collection.build_hnsw()
+            client.save("snap", tmp_path / "snap")
+            client.delete_collection("snap")
+            loaded = client.load(tmp_path / "snap", mmap=True)
+            assert client.get_collection("snap") is loaded
+            assert loaded.hnsw_is_built
+            assert len(loaded) == 120
+
+    def test_client_load_replaces_and_closes_previous(self, tmp_path):
+        with VectorDBClient() as client:
+            collection = client.create_collection("snap", dim=DIM, shards=2)
+            collection.upsert(_points(_vectors(60)))
+            client.save("snap", tmp_path / "snap")
+            reloaded = client.load(tmp_path / "snap")
+            assert client.get_collection("snap") is reloaded
+            # the replaced backend's fan-out pool was shut down
+            assert collection._pool._shutdown
+
+
+class TestCli:
+    def test_snapshot_inspect_and_migrate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        original, _ = _build(shards=2, build_graph=False)
+        snap = tmp_path / "snap"
+        save_collection(original, snap, schema=2)
+        original.close()
+
+        assert main(["snapshot", "inspect", str(snap)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["schema"] == 2 and out["shards"] == 2
+
+        assert main(["snapshot", "migrate", str(snap)]) == 0
+        assert "schema 3" in capsys.readouterr().out
+        assert inspect_snapshot(snap)["graphs_persisted"]

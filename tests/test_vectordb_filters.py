@@ -1,11 +1,13 @@
-"""Tests for payload filters."""
+"""Tests for payload filters and their payload-index acceleration."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import FilterError
 from repro.geo.bbox import BoundingBox
+from repro.vectordb.collection import Collection, PointStruct
 from repro.vectordb.filters import (
     And,
     FieldIn,
@@ -16,6 +18,7 @@ from repro.vectordb.filters import (
     Not,
     Or,
 )
+from repro.vectordb.payload_index import PayloadIndexRegistry
 
 PAYLOAD = {
     "city": "Saint Louis",
@@ -122,3 +125,140 @@ class TestCombinators:
             Not(FieldRange("stars", lte=2.0)),
         )
         assert flt.matches(PAYLOAD)
+
+
+def _range_payloads() -> list[dict]:
+    """Payloads exercising every FieldRange edge the index must honour:
+    numeric ints/floats, duplicates, bools, strings, missing fields,
+    and NaN (which ``matches`` treats as in-range)."""
+    rng = np.random.default_rng(29)
+    payloads: list[dict] = [
+        {"stars": float(v)} for v in rng.integers(0, 10, size=60)
+    ]
+    payloads += [{"stars": int(v)} for v in rng.integers(0, 10, size=20)]
+    payloads += [
+        {"stars": True},          # bool: never matches a range
+        {"stars": "4.5"},         # string: never matches
+        {"other": 3.0},           # missing field: never matches
+        {"stars": float("nan")},  # NaN: matches() accepts any range
+        {"stars": 2.5},
+        {"stars": 2.5},           # duplicate value
+    ]
+    return payloads
+
+
+RANGE_FILTERS = [
+    FieldRange("stars", gte=3),
+    FieldRange("stars", lte=4),
+    FieldRange("stars", gte=2.5, lte=7),
+    FieldRange("stars", gte=2.5, lte=2.5),   # inclusive point range
+    FieldRange("stars", gte=100),            # empty
+    FieldRange("stars", gte=-50, lte=50),    # everything numeric
+]
+
+
+class TestFieldRangeIndex:
+    """The sorted-column range index must agree with the scan exactly."""
+
+    @pytest.mark.parametrize("flt", RANGE_FILTERS)
+    def test_registry_candidates_equal_scan(self, flt):
+        payloads = _range_payloads()
+        registry = PayloadIndexRegistry()
+        registry.create_index("stars")
+        for node, payload in enumerate(payloads):
+            registry.index_point(node, payload)
+        want = {
+            node for node, payload in enumerate(payloads)
+            if flt.matches(payload)
+        }
+        got = registry.candidates_for(flt)
+        assert got is not None
+        # Candidates must be a superset of the true matches, and after
+        # per-point verification (what collections do) exactly equal.
+        assert want <= got
+        assert {n for n in got if flt.matches(payloads[n])} == want
+
+    def test_nan_bound_falls_back_to_scan(self):
+        """A NaN bound defeats bisection but matches() treats it as
+        unbounded — the index must decline (None → scan), not return a
+        silently empty candidate set."""
+        registry = PayloadIndexRegistry()
+        registry.create_index("stars")
+        registry.index_point(0, {"stars": 4.0})
+        registry.index_point(1, {"stars": 2.0})
+        nan = float("nan")
+        assert registry.candidates_for(FieldRange("stars", gte=nan)) is None
+        assert registry.candidates_for(FieldRange("stars", lte=nan)) is None
+        assert registry.candidates_for(
+            FieldRange("stars", gte=nan, lte=5.0)
+        ) is None
+
+    def test_huge_int_values_and_bounds_do_not_overflow(self):
+        """Ints beyond float range must neither crash indexing nor
+        range queries (regression: OverflowError from float()/isnan)."""
+        registry = PayloadIndexRegistry()
+        registry.create_index("stars")
+        registry.index_point(0, {"stars": 10 ** 400})   # unsortable bucket
+        registry.index_point(1, {"stars": 5.0})
+        # huge value stays a candidate for every range (superset; the
+        # caller's matches() verification does the exact comparison)
+        got = registry.candidates_for(FieldRange("stars", gte=4))
+        assert got == {0, 1}
+        # huge bound falls back to the scan instead of overflowing
+        assert registry.candidates_for(
+            FieldRange("stars", gte=10 ** 400)
+        ) is None
+        assert registry.candidates_for(
+            FieldRange("stars", lte=-(10 ** 400))
+        ) is None
+
+    def test_candidates_track_payload_updates(self):
+        registry = PayloadIndexRegistry()
+        registry.create_index("stars")
+        registry.index_point(0, {"stars": 1.0})
+        registry.index_point(1, {"stars": 9.0})
+        flt = FieldRange("stars", gte=5)
+        assert registry.candidates_for(flt) == {1}
+        registry.reindex_point(0, {"stars": 1.0}, {"stars": 7.0})
+        assert registry.candidates_for(flt) == {0, 1}
+        registry.reindex_point(1, {"stars": 9.0}, {"stars": "gone"})
+        assert registry.candidates_for(flt) == {0}
+
+    def test_and_picks_narrowest_indexed_set(self):
+        registry = PayloadIndexRegistry()
+        registry.create_index("stars")
+        registry.create_index("city")
+        for node in range(10):
+            registry.index_point(
+                node, {"stars": float(node), "city": "SL" if node < 2 else "NS"}
+            )
+        flt = And(FieldRange("stars", gte=0), FieldMatch("city", "SL"))
+        assert registry.candidates_for(flt) == {0, 1}
+
+    @pytest.mark.parametrize("flt", RANGE_FILTERS)
+    def test_collection_results_match_unindexed(self, flt):
+        """count/scroll/search over an indexed collection are identical
+        to the unindexed per-point scan."""
+        payloads = _range_payloads()
+        rng = np.random.default_rng(31)
+        vectors = rng.standard_normal((len(payloads), 8)).astype(np.float32)
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        plain = Collection("plain", dim=8)
+        indexed = Collection("indexed", dim=8)
+        points = [
+            PointStruct(f"p{i}", vectors[i], payloads[i])
+            for i in range(len(payloads))
+        ]
+        plain.upsert(points)
+        indexed.upsert(points)
+        indexed.create_payload_index("stars")
+
+        assert indexed.count(flt) == plain.count(flt)
+        assert (
+            [h.id for h in indexed.scroll(flt)]
+            == [h.id for h in plain.scroll(flt)]
+        )
+        query = vectors[0]
+        want = plain.search(query, k=5, flt=flt, exact=True)
+        got = indexed.search(query, k=5, flt=flt, exact=True)
+        assert [(h.id, h.score) for h in want] == [(h.id, h.score) for h in got]

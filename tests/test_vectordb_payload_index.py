@@ -56,11 +56,14 @@ class TestRegistry:
         flt = And(FieldRange("stars", gte=3), FieldMatch("city", "SL"))
         assert registry.candidates_for(flt) == {0}
 
-    def test_range_filters_not_indexable(self):
+    def test_range_filters_use_sorted_index(self):
         registry = PayloadIndexRegistry()
         registry.create_index("stars")
         registry.index_point(0, {"stars": 4.0})
-        assert registry.candidates_for(FieldRange("stars", gte=3)) is None
+        registry.index_point(1, {"stars": 2.0})
+        assert registry.candidates_for(FieldRange("stars", gte=3)) == {0}
+        # unindexed fields still force a scan
+        assert registry.candidates_for(FieldRange("price", gte=3)) is None
 
     def test_reindex_moves_point(self):
         registry = PayloadIndexRegistry()
