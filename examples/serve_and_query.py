@@ -1,0 +1,114 @@
+"""End-to-end tour of the HTTP serving layer (PR 5).
+
+Boots a small prepared city, starts the coalescing HTTP server on an
+ephemeral port, and exercises every endpoint with plain ``urllib`` —
+health, collection listing, a raw vector ``/search`` with a geo filter,
+a natural-language ``/query``, and the snapshot admin pair
+(``/admin/save`` then ``/admin/load``). Everything runs offline in one
+process; CI runs this file as the serving smoke test.
+
+Usage::
+
+    python examples/serve_and_query.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.core.variants import semask
+from repro.eval.corpus import build_corpus
+from repro.geo.regions import city_by_code
+from repro.serving.http import ServingContext, ServingServer
+
+CITY = "SB"
+QUERY = (
+    "I am looking for a bar to watch football that also serves "
+    "delicious chicken. Do you have any recommendations?"
+)
+
+
+def call(base: str, path: str, body: dict | None = None) -> dict | list:
+    """One JSON request; GET when ``body`` is None, POST otherwise."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    print(f"== preparing a small {CITY} corpus ==")
+    t0 = time.time()
+    corpus = build_corpus(CITY, seed=11, count=300)
+    prepared = corpus.prepared
+    print(f"prepared {len(corpus.dataset)} POIs in {time.time() - t0:.1f}s")
+
+    context = ServingContext(
+        prepared.client,
+        system=semask(prepared, llm=corpus.llm),
+        default_center=city_by_code(CITY).center,
+        own_client=False,  # the corpus owns its client
+    )
+    with ServingServer(context, port=0).start() as server:
+        base = server.url
+        print(f"serving at {base}\n")
+
+        health = call(base, "/healthz")
+        print(f"GET /healthz -> {health['status']}, "
+              f"pipeline {health['pipeline']}, "
+              f"collections {health['collections']}")
+
+        collections = call(base, "/collections")
+        info = collections[0]
+        print(f"GET /collections -> {info['name']}: {info['points']} points, "
+              f"dim {info['dim']}, hnsw_built={info['hnsw_built']}")
+
+        # Raw vector search: embed client-side, filter to a 5 km box.
+        center = city_by_code(CITY).center
+        vector = prepared.embedder.embed(QUERY).tolist()
+        box = {
+            "key": "location",
+            "min_lat": center.lat - 0.03, "max_lat": center.lat + 0.03,
+            "min_lon": center.lon - 0.03, "max_lon": center.lon + 0.03,
+        }
+        search = call(base, "/search", {
+            "collection": info["name"], "vector": vector, "k": 5,
+            "filter": {"geo_bounding_box": box},
+        })
+        print(f"POST /search -> {len(search['hits'])} hits; top: "
+              + ", ".join(h["payload"]["name"] for h in search["hits"][:3]))
+
+        # Full pipeline query: the server embeds, filters, and refines.
+        # (15 km range: the 300-POI downsized city is sparse at 5 km.)
+        result = call(base, "/query", {"text": QUERY, "range_km": 15})
+        names = [e["name"] for e in result["entries"][:3]]
+        print(f"POST /query  -> {len(result['entries'])} recommended "
+              f"({result['candidates_considered']} candidates); top: "
+              + ", ".join(names))
+
+        with tempfile.TemporaryDirectory() as tmp:
+            snapshot = str(Path(tmp) / "snapshot")
+            saved = call(base, "/admin/save", {
+                "collection": info["name"], "directory": snapshot,
+            })
+            print(f"POST /admin/save -> wrote {saved['directory']}")
+            loaded = call(base, "/admin/load", {
+                "directory": snapshot, "mmap": True,
+            })
+            print(f"POST /admin/load -> {loaded['name']}: "
+                  f"{loaded['points']} points (mmap)")
+
+        stats = call(base, "/healthz").get("search_coalescer", {})
+        print(f"\ncoalescer stats: {stats}")
+    print("server shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

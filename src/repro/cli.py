@@ -9,6 +9,7 @@ Commands::
     queries      show the harvested evaluation query set for a city
     reshard      re-route a collection snapshot to a new shard count
     snapshot     inspect or migrate saved collection snapshots
+    serve        run the concurrent HTTP query server
     demo         write (or serve) the Figure-3 demo page
 """
 
@@ -251,20 +252,109 @@ def cmd_queries(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_demo(args: argparse.Namespace) -> int:
-    from repro.demo.app import DemoContext, DemoServer, build_demo_page
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the concurrent HTTP query server (see docs/serving.md).
 
-    corpus = _corpus(args, args.city)
+    Boots from a prepared-city snapshot when ``--snapshot`` points at one
+    (building and caching it on the first run), wires the collection and
+    the SemaSK pipeline behind request coalescers, and serves until
+    SIGINT/SIGTERM — shutting down gracefully (in-flight requests finish,
+    coalescers flush).
+    """
+    import signal
+
+    from repro.serving.bootstrap import load_or_prepare
+    from repro.serving.http import ServingContext, ServingServer
+
+    if args.shards <= 0:
+        print(f"--shards must be positive, got {args.shards}")
+        return 1
+    prepared = load_or_prepare(
+        args.snapshot or None,
+        city=args.city,
+        count=args.pois or None,
+        seed=args.seed,
+        shards=args.shards,
+        mmap=not args.no_mmap,
+        refresh=args.refresh,
+    )
+    collection = prepared.client.get_collection(prepared.collection_name)
+    if args.shard_workers == "process":
+        if getattr(collection, "n_shards", 1) > 1:
+            try:
+                collection.set_parallel("process")
+                print(f"process workers: {collection.n_shards} shards")
+            except OSError as exc:
+                print(f"process workers unavailable ({exc}); using threads")
+        else:
+            print("--shard-workers process needs a sharded collection "
+                  "(--shards > 1); using threads")
+
+    factory = {"semask": semask, "o1": semask_o1, "em": semask_em}
+    system = factory[args.variant](prepared, candidate_k=args.k)
+    context = ServingContext(
+        prepared.client,
+        system=system,
+        default_center=city_by_code(args.city).center,
+        coalesce=not args.no_coalesce,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        parallel_refine=args.parallel_refine,
+    )
+    server = ServingServer(context, host=args.host, port=args.port)
+
+    def _terminate(signum, frame):  # SIGTERM parity with ^C
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    host, port = server.address
+    print(f"serving {prepared.collection_name!r} "
+          f"({len(collection)} points, {system.name}) "
+          f"at http://{host}:{port} — try GET /healthz")
+    server.serve_forever()
+    print("server stopped")
+    return 0
+
+
+def _demo_context(args: argparse.Namespace):
+    """Demo state, cold-started from a snapshot when ``--snapshot`` is set.
+
+    With a snapshot directory the demo boots through the PR 4 restore
+    path (``load_collection``/``from_matrix`` — persisted graphs, no
+    per-point upserts) instead of re-running data preparation on every
+    start; the first run builds and caches the snapshot.
+    """
+    from repro.data.dataset import Dataset
+    from repro.demo.app import DemoContext
+    from repro.serving.bootstrap import load_or_prepare
+
+    if args.snapshot:
+        prepared = load_or_prepare(
+            args.snapshot, city=args.city, count=args.pois or None,
+            seed=args.seed, shards=args.shards,
+        )
+        dataset: Dataset = prepared.dataset
+        system = semask(prepared)
+    else:
+        corpus = _corpus(args, args.city)
+        prepared, dataset = corpus.prepared, corpus.dataset
+        system = semask(prepared, llm=corpus.llm)
     geocoder = ReverseGeocoder()
     neighborhoods = geocoder.neighborhoods_of(args.city)
-    context = DemoContext(
-        system=semask(corpus.prepared, llm=corpus.llm),
-        dataset=corpus.dataset,
+    return DemoContext(
+        system=system,
+        dataset=dataset,
         geocoder=geocoder,
         city_code=args.city.upper(),
         default_neighborhood=neighborhoods[0],
         default_query=args.text,
     )
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.demo.app import DemoServer, build_demo_page
+
+    context = _demo_context(args)
     if args.serve:
         DemoServer(context, port=args.port).serve_forever()
         return 0
@@ -352,6 +442,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="do not build/persist HNSW graphs during migration")
     sp.set_defaults(func=cmd_snapshot_migrate)
 
+    p = sub.add_parser("serve", help="run the concurrent HTTP query server")
+    _add_common(p)
+    p.add_argument("--city", default="SL")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = pick an ephemeral port)")
+    p.add_argument("--snapshot", default="",
+                   help="prepared-city snapshot directory: loaded when "
+                        "present, built + cached on the first run")
+    p.add_argument("--refresh", action="store_true",
+                   help="rebuild the corpus even if --snapshot exists")
+    p.add_argument("--no-mmap", action="store_true",
+                   help="load snapshot vectors into RAM instead of "
+                        "memory-mapping them")
+    p.add_argument("--variant", choices=["semask", "o1", "em"],
+                   default="semask")
+    p.add_argument("--k", type=int, default=10,
+                   help="candidates fetched per query by the filtering stage")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="disable request coalescing (each request executes "
+                        "its own engine call)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="largest coalesced batch per engine call")
+    p.add_argument("--max-wait-ms", type=float, default=5.0,
+                   help="longest a lone request waits to be coalesced")
+    p.add_argument("--parallel-refine", type=int, default=4,
+                   help="LLM-refinement thread-pool size for coalesced "
+                        "/query batches")
+    p.add_argument("--shard-workers", choices=["thread", "process"],
+                   default="thread",
+                   help="fan-out executor for sharded collections; "
+                        "'process' keeps one worker process per shard")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("demo", help="write or serve the demo page")
     _add_common(p)
     p.add_argument("--city", default="SL")
@@ -362,6 +486,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="semask_demo.html")
     p.add_argument("--serve", action="store_true")
     p.add_argument("--port", type=int, default=8808)
+    p.add_argument("--snapshot", default="",
+                   help="prepared-city snapshot directory: demo cold-starts "
+                        "from it when present (built + cached on first run)")
     p.set_defaults(func=cmd_demo)
     return parser
 

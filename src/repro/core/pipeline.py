@@ -13,7 +13,10 @@ texts, shared filter evaluation per distinct range, and (optionally)
 LLM refinement fanned out over a thread pool. Each query's
 :class:`QueryResult` is equivalent to what sequential :meth:`SemaSK.query`
 calls would return, with the batch's filtering time amortized evenly
-across the per-query timings.
+across the per-query timings. The serving layer builds on this
+equivalence: concurrent single-query HTTP clients are coalesced into
+one ``query_many`` call per dispatch window
+(:class:`repro.serving.batcher.QueryCoalescer`).
 """
 
 from __future__ import annotations

@@ -29,6 +29,16 @@ _DATASET = "dataset.jsonl.gz"
 _COLLECTION_DIR = "collection"
 
 
+def has_prepared(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a :func:`save_prepared` snapshot.
+
+    Checks only for the manifest — :func:`load_prepared` still validates
+    the full contents (and raises :class:`~repro.errors.DatasetError`)
+    when the snapshot is actually read.
+    """
+    return (Path(directory) / _MANIFEST).exists()
+
+
 def save_prepared(prepared: PreparedCity, directory: str | Path) -> None:
     """Write a prepared city (dataset + vector collection) to ``directory``."""
     directory = Path(directory)

@@ -1,0 +1,39 @@
+"""Concurrent query serving: coalescing, HTTP endpoints, process workers.
+
+The online half of the system (see ``docs/serving.md`` and
+``docs/architecture.md``): :mod:`~repro.serving.batcher` turns concurrent
+single-query callers into batched engine calls,
+:mod:`~repro.serving.http` exposes the engine over stdlib HTTP
+(``repro serve``), :mod:`~repro.serving.workers` scales GIL-bound filter
+evaluation with one worker process per shard, and
+:mod:`~repro.serving.bootstrap` cold-starts a server from a prepared-city
+snapshot.
+"""
+
+from repro.serving.batcher import (
+    CoalescerStats,
+    MicroBatcher,
+    QueryCoalescer,
+    SearchCoalescer,
+)
+from repro.serving.bootstrap import load_or_prepare
+from repro.serving.http import (
+    BadRequest,
+    ServingContext,
+    ServingServer,
+    filter_from_json,
+)
+from repro.serving.workers import ProcessShardExecutor
+
+__all__ = [
+    "BadRequest",
+    "CoalescerStats",
+    "MicroBatcher",
+    "ProcessShardExecutor",
+    "QueryCoalescer",
+    "SearchCoalescer",
+    "ServingContext",
+    "ServingServer",
+    "filter_from_json",
+    "load_or_prepare",
+]

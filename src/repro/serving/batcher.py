@@ -1,0 +1,418 @@
+"""Micro-batching request coalescing: many callers, one batched call.
+
+PR 1's batch engine made 64 queries in one ``search_batch`` call ~5×
+cheaper than 64 ``search`` calls — but only for callers that *have* 64
+queries in hand. An online server does not: it has 64 concurrent clients
+holding one query each. The coalescer bridges the two. Concurrent
+callers enqueue single requests and block on a future; a dispatcher
+thread drains the queue as soon as a group reaches ``max_batch`` *or*
+its oldest request has waited ``max_wait_s``, executes one batched call
+for the whole group, and resolves every caller's future — so independent
+clients transparently ride the batched hot path.
+
+Three classes:
+
+* :class:`MicroBatcher` — the generic size-or-deadline machinery. Items
+  are grouped by a caller-supplied key (only identically-parameterized
+  requests may share a batch) and executed by a pluggable
+  ``run_batch(key, items)``.
+* :class:`SearchCoalescer` — vector searches over a
+  :class:`~repro.vectordb.client.VectorDBClient`; groups by
+  (collection, k, filter, exact, ef) and executes
+  ``client.search_batch``.
+* :class:`QueryCoalescer` — full SemaSK pipeline queries; executes
+  :meth:`~repro.core.pipeline.SemaSK.query_many` (which itself groups by
+  spatial range and fans refinement out over threads).
+
+Error isolation: a batch whose execution raises is retried one item at a
+time, so a poison request fails only its own future — the innocent
+requests that happened to share its batch still succeed. Equivalence is
+inherited from the batch engine's contract (same hits as per-query
+calls; scores equal up to float accumulation order) and locked down in
+``tests/test_serving.py``.
+
+Tuning: ``max_wait_s`` is the latency a lone request pays for the chance
+to be coalesced; ``max_batch`` caps per-call work. Defaults (64 / 5 ms)
+suit the benchmarked corpus — see ``docs/serving.md`` for how to choose.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Hashable, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.pipeline import SemaSK
+from repro.core.query import SpatialKeywordQuery
+from repro.core.results import QueryResult
+from repro.errors import DimensionMismatch
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import SearchHit
+from repro.vectordb.filters import Filter
+
+
+@dataclass
+class CoalescerStats:
+    """Running counters of one batcher (read-mostly; updated under lock).
+
+    Plain counters only (no per-batch history), so a server can run
+    indefinitely without the stats object growing.
+    """
+
+    requests: int = 0            # futures ever enqueued
+    batches: int = 0             # batched executions dispatched
+    requests_dispatched: int = 0  # requests that left the queue in a batch
+    max_batch_seen: int = 0      # largest batch executed
+    retried_singly: int = 0      # items re-run alone after a batch failure
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per dispatched batch (0.0 before any)."""
+        if not self.batches:
+            return 0.0
+        return self.requests_dispatched / self.batches
+
+    def snapshot(self) -> dict:
+        """JSON-ready view (the ``/healthz`` endpoint embeds this)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "max_batch_seen": self.max_batch_seen,
+            "retried_singly": self.retried_singly,
+        }
+
+
+class MicroBatcher:
+    """Size-or-deadline micro-batching over a ``run_batch`` callable.
+
+    ``run_batch(key, items)`` must return one result per item, in order.
+    :meth:`submit` enqueues an item under ``key`` and returns a
+    :class:`~concurrent.futures.Future`; only items with equal keys are
+    batched together. A single dispatcher thread watches the queue and
+    fires a group when it reaches ``max_batch`` items or its oldest item
+    has waited ``max_wait_s`` seconds, whichever comes first.
+
+    Lifecycle: the dispatcher starts with the first :meth:`submit`.
+    :meth:`close` drains everything still queued (executing it, not
+    cancelling), then stops the thread; submitting after close raises
+    ``RuntimeError``.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[Hashable, list[Any]], Sequence[Any]],
+        max_batch: int = 64,
+        max_wait_s: float = 0.005,
+        name: str = "batcher",
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(
+                f"max_wait_s must be non-negative, got {max_wait_s}"
+            )
+        self._run_batch = run_batch
+        self._max_batch = max_batch
+        self._max_wait_s = max_wait_s
+        self._name = name
+        self._lock = threading.Condition()
+        # key -> (first-enqueue monotonic time, [(item, future), ...]);
+        # insertion order doubles as arrival order of the groups.
+        self._groups: dict[Hashable, tuple[float, list[tuple[Any, Future]]]]
+        self._groups = {}
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self.stats = CoalescerStats()
+
+    # ------------------------------------------------------------------
+    # caller side
+    # ------------------------------------------------------------------
+
+    def submit(self, key: Hashable, item: Any) -> Future:
+        """Enqueue ``item`` under ``key``; resolve via the returned future.
+
+        Unhashable keys get a private group (no coalescing, still
+        batched machinery). Raises ``RuntimeError`` after :meth:`close`.
+        """
+        try:
+            hash(key)
+        except TypeError:
+            key = object()  # unique: a group of its own
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"{self._name} is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"dispatch-{self._name}",
+                    daemon=True,
+                )
+                self._thread.start()
+            entry = self._groups.get(key)
+            if entry is None:
+                self._groups[key] = (time.monotonic(), [(item, future)])
+            else:
+                entry[1].append((item, future))
+            self.stats.requests += 1
+            self._lock.notify_all()
+        return future
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Drain pending requests, then stop the dispatcher (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._lock.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatcher side
+    # ------------------------------------------------------------------
+
+    def _take_ready(self, now: float, drain: bool):
+        """Pop the most urgent ready group's first ``max_batch`` items.
+
+        Ready = full (``max_batch``), past its deadline, or ``drain``
+        (shutdown flushes everything). Returns ``(key, entries)`` or
+        ``None``. Called under the lock.
+        """
+        for key, (first_ts, entries) in self._groups.items():
+            if (
+                drain
+                or len(entries) >= self._max_batch
+                or now - first_ts >= self._max_wait_s
+            ):
+                break
+        else:  # no group is ready (note: the key itself may be None)
+            return None
+        first_ts, entries = self._groups.pop(key)
+        batch, rest = entries[: self._max_batch], entries[self._max_batch:]
+        if rest:
+            # Leftovers start a fresh deadline: they are a new batch.
+            self._groups[key] = (now, rest)
+        return key, batch
+
+    def _next_deadline(self, now: float) -> float | None:
+        """Seconds until the oldest group must flush (None = no groups)."""
+        if not self._groups:
+            return None
+        oldest = min(first_ts for first_ts, _ in self._groups.values())
+        return max(0.0, oldest + self._max_wait_s - now)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while True:
+                    taken = self._take_ready(time.monotonic(), self._closed)
+                    if taken is not None:
+                        break
+                    if self._closed:
+                        return  # closed and fully drained
+                    self._lock.wait(self._next_deadline(time.monotonic()))
+                key, batch = taken
+                self.stats.batches += 1
+                self.stats.requests_dispatched += len(batch)
+                self.stats.max_batch_seen = max(
+                    self.stats.max_batch_seen, len(batch)
+                )
+            self._execute(key, batch)  # outside the lock: submitters go on
+
+    def _execute(
+        self, key: Hashable, batch: list[tuple[Any, Future]]
+    ) -> None:
+        items = [item for item, _ in batch]
+        try:
+            results = self._run_batch(key, items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"run_batch returned {len(results)} results for "
+                    f"{len(items)} items"
+                )
+        except BaseException:
+            # Error isolation: re-run one by one so only the item(s) that
+            # actually fail see an exception — a poison request must not
+            # take down the whole batch it happened to ride in.
+            for item, future in batch:
+                with self._lock:
+                    self.stats.retried_singly += 1
+                try:
+                    result = self._run_batch(key, [item])
+                except BaseException as exc:  # noqa: BLE001 - to the caller
+                    future.set_exception(exc)
+                else:
+                    future.set_result(result[0])
+            return
+        for (_, future), result in zip(batch, results):
+            future.set_result(result)
+
+
+@dataclass(frozen=True)
+class _SearchKey:
+    """Everything two searches must share to ride one batched call."""
+
+    collection: str
+    k: int
+    flt: Filter | None
+    exact: bool
+    ef: int | None
+
+
+class SearchCoalescer:
+    """Coalesces single vector searches into ``search_batch`` calls.
+
+    Concurrent callers use :meth:`search` exactly like
+    :meth:`VectorDBClient.search`; requests agreeing on (collection, k,
+    filter, exact, ef) are stacked into one matrix and answered by one
+    :meth:`~repro.vectordb.client.VectorDBClient.search_batch` call —
+    sharing the filter's candidate-set evaluation and the matrix–matrix
+    scoring kernel across clients that never heard of each other.
+
+    Request validation happens *before* enqueueing (unknown collection,
+    wrong dimensionality), so malformed requests fail fast in the
+    caller's thread and never reach a batch.
+    """
+
+    def __init__(
+        self,
+        client: VectorDBClient,
+        max_batch: int = 64,
+        max_wait_s: float = 0.005,
+    ) -> None:
+        self._client = client
+        self._batcher = MicroBatcher(
+            self._run, max_batch=max_batch, max_wait_s=max_wait_s,
+            name="search-coalescer",
+        )
+
+    @property
+    def stats(self) -> CoalescerStats:
+        """Dispatch counters (requests, batches, sizes)."""
+        return self._batcher.stats
+
+    def _run(
+        self, key: _SearchKey, vectors: list[np.ndarray]
+    ) -> list[list[SearchHit]]:
+        return self._client.search_batch(
+            key.collection, np.stack(vectors), key.k,
+            flt=key.flt, exact=key.exact, ef=key.ef,
+        )
+
+    def submit(
+        self,
+        collection: str,
+        vector: np.ndarray | Sequence[float],
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+    ) -> Future:
+        """Enqueue one search; the future resolves to its hit list.
+
+        Raises immediately (not via the future) for an unknown
+        collection, a negative ``k``, or a query of the wrong
+        dimensionality — the pre-batch validation that keeps bad
+        requests out of shared batches.
+        """
+        target = self._client.get_collection(collection)
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        query = np.asarray(vector, dtype=np.float32)
+        if query.shape != (target.dim,):
+            raise DimensionMismatch(
+                f"query shape {query.shape} != ({target.dim},)"
+            )
+        key = _SearchKey(
+            collection=collection, k=k, flt=flt, exact=exact, ef=ef
+        )
+        return self._batcher.submit(key, query)
+
+    def search(
+        self,
+        collection: str,
+        vector: np.ndarray | Sequence[float],
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+        timeout: float | None = 30.0,
+    ) -> list[SearchHit]:
+        """Blocking :meth:`submit`: returns the hits (or re-raises)."""
+        return self.submit(
+            collection, vector, k, flt=flt, exact=exact, ef=ef
+        ).result(timeout)
+
+    def close(self) -> None:
+        """Flush pending searches and stop the dispatcher."""
+        self._batcher.close()
+
+
+class QueryCoalescer:
+    """Coalesces full SemaSK queries into ``query_many`` calls.
+
+    All queries share one group — :meth:`SemaSK.query_many` already
+    groups by spatial range internally and embeds every text in one
+    ``embed_batch`` call, so pre-splitting here would only shrink the
+    batches. ``parallel_refine`` is forwarded so LLM refinement of a
+    coalesced batch fans out over threads (refinement is I/O-bound
+    against a hosted provider).
+    """
+
+    def __init__(
+        self,
+        system: SemaSK,
+        max_batch: int = 32,
+        max_wait_s: float = 0.010,
+        parallel_refine: int = 4,
+    ) -> None:
+        if parallel_refine <= 0:
+            raise ValueError(
+                f"parallel_refine must be positive, got {parallel_refine}"
+            )
+        self._system = system
+        self._parallel_refine = parallel_refine
+        self._batcher = MicroBatcher(
+            self._run, max_batch=max_batch, max_wait_s=max_wait_s,
+            name="query-coalescer",
+        )
+
+    @property
+    def stats(self) -> CoalescerStats:
+        """Dispatch counters (requests, batches, sizes)."""
+        return self._batcher.stats
+
+    def _run(
+        self, key: Hashable, queries: list[SpatialKeywordQuery]
+    ) -> list[QueryResult]:
+        return self._system.query_many(
+            queries, parallel_refine=min(self._parallel_refine, len(queries))
+        )
+
+    def submit(self, query: SpatialKeywordQuery) -> Future:
+        """Enqueue one pipeline query; resolves to its ``QueryResult``."""
+        return self._batcher.submit(None, query)
+
+    def query(
+        self, query: SpatialKeywordQuery, timeout: float | None = 60.0
+    ) -> QueryResult:
+        """Blocking :meth:`submit`."""
+        return self.submit(query).result(timeout)
+
+    def close(self) -> None:
+        """Flush pending queries and stop the dispatcher."""
+        self._batcher.close()

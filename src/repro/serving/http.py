@@ -1,0 +1,578 @@
+"""The HTTP serving layer: stdlib server, JSON bodies, coalesced execution.
+
+:class:`ServingContext` owns the runtime state — a
+:class:`~repro.vectordb.client.VectorDBClient`, an optional
+:class:`~repro.core.pipeline.SemaSK` pipeline, and the request
+coalescers — and exposes the operations the endpoints need.
+:class:`ServingServer` wraps it in a ``ThreadingHTTPServer`` (one thread
+per connection; no third-party framework), so every scenario the engine
+supports is reachable with ``curl``. Endpoints:
+
+========  ======================  ==========================================
+method    path                    purpose
+========  ======================  ==========================================
+GET       ``/healthz``            liveness + coalescer stats
+GET       ``/collections``        list collections with point counts
+POST      ``/search``             one vector kNN search (coalesced)
+POST      ``/query``              one natural-language SemaSK query
+POST      ``/admin/save``         snapshot a collection to a directory
+POST      ``/admin/load``         load a snapshot (optionally mmap)
+========  ======================  ==========================================
+
+Request/response schemas are documented in ``docs/serving.md`` (with curl
+examples); ``examples/serve_and_query.py`` exercises every endpoint
+end-to-end. Errors return ``{"error": ...}`` with 400 (bad request), 404
+(unknown path/collection), or 500 (unexpected).
+
+Concurrency model: ``ThreadingHTTPServer`` parks each connection in its
+own thread; handler threads block on coalescer futures, so concurrent
+``/search`` requests ride one ``search_batch`` call (see
+:mod:`repro.serving.batcher`). ``coalesce: false`` in a request body
+opts that request out — used by the serving benchmark's baseline arm.
+
+Shutdown is graceful: :meth:`ServingServer.shutdown` stops accepting,
+finishes in-flight handlers, flushes the coalescers, and closes the
+context exactly once, whether triggered by SIGINT/SIGTERM (the
+``repro serve`` CLI installs handlers), the context manager, or a test.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.pipeline import SemaSK
+from repro.core.query import SpatialKeywordQuery
+from repro.core.results import QueryResult
+from repro.errors import (
+    CollectionNotFound,
+    DimensionMismatch,
+    ReproError,
+)
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+from repro.serving.batcher import QueryCoalescer, SearchCoalescer
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import SearchHit
+from repro.vectordb.filters import (
+    And,
+    FieldIn,
+    FieldMatch,
+    FieldRange,
+    Filter,
+    GeoBoundingBoxFilter,
+    GeoRadiusFilter,
+    Not,
+    Or,
+)
+
+
+class BadRequest(ValueError):
+    """A client error that should surface as HTTP 400."""
+
+
+def filter_from_json(spec: Any) -> Filter | None:
+    """Build a payload filter from its JSON wire form (None passes through).
+
+    The wire form mirrors the filter classes, one key per node::
+
+        {"match":  {"key": "city", "value": "Saint Louis"}}
+        {"in":     {"key": "city", "values": ["SL", "SB"]}}
+        {"range":  {"key": "stars", "gte": 3.0, "lte": 5.0}}
+        {"geo_bounding_box": {"key": "location", "min_lat": ..,
+                              "min_lon": .., "max_lat": .., "max_lon": ..}}
+        {"geo_radius": {"key": "location", "lat": .., "lon": ..,
+                        "radius_km": ..}}
+        {"must": [..]}  {"should": [..]}  {"must_not": ..}
+
+    Raises :class:`BadRequest` for malformed specs (unknown node, wrong
+    arity, bad field types) so the endpoint can answer 400.
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, dict) or len(spec) != 1:
+        raise BadRequest(
+            "filter must be a one-key object, e.g. {'match': {...}}"
+        )
+    (node, body), = spec.items()
+    try:
+        if node == "match":
+            return FieldMatch(body["key"], body["value"])
+        if node == "in":
+            return FieldIn(body["key"], body["values"])
+        if node == "range":
+            return FieldRange(
+                body["key"], gte=body.get("gte"), lte=body.get("lte")
+            )
+        if node == "geo_bounding_box":
+            return GeoBoundingBoxFilter(
+                body["key"],
+                BoundingBox(
+                    min_lat=float(body["min_lat"]),
+                    min_lon=float(body["min_lon"]),
+                    max_lat=float(body["max_lat"]),
+                    max_lon=float(body["max_lon"]),
+                ),
+            )
+        if node == "geo_radius":
+            return GeoRadiusFilter(
+                body["key"], float(body["lat"]), float(body["lon"]),
+                float(body["radius_km"]),
+            )
+        if node == "must":
+            return And(*(filter_from_json(child) for child in body))
+        if node == "should":
+            return Or(*(filter_from_json(child) for child in body))
+        if node == "must_not":
+            return Not(filter_from_json(body))
+    except BadRequest:
+        raise
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise BadRequest(f"bad {node!r} filter: {exc}") from exc
+    raise BadRequest(f"unknown filter node {node!r}")
+
+
+def _hit_to_json(hit: SearchHit, with_payload: bool = True) -> dict:
+    body = {"id": hit.id, "score": float(hit.score)}
+    if with_payload:
+        body["payload"] = hit.payload
+    return body
+
+
+def _result_to_json(result: QueryResult) -> dict:
+    return {
+        "query": result.query_text,
+        "entries": [asdict(entry) for entry in result.entries],
+        "filtered_out": [asdict(entry) for entry in result.filtered_out],
+        "candidates_considered": result.candidates_considered,
+        "timings": {
+            "filter_s": result.timings.filter_s,
+            "refine_compute_s": result.timings.refine_compute_s,
+            "refine_modeled_s": result.timings.refine_modeled_s,
+        },
+    }
+
+
+class ServingContext:
+    """Everything a serving process holds: client, pipeline, coalescers.
+
+    ``system`` is optional — a pure vector-store deployment serves
+    ``/search`` without a SemaSK pipeline, and ``/query`` then answers
+    400. ``coalesce=False`` builds no coalescers at all (every request
+    executes directly); per-request ``coalesce: false`` opts out
+    selectively when they exist. Close (or use as a context manager) to
+    flush the coalescers; the client's collections are closed too when
+    ``own_client=True``, which is what the CLI wants — tests that share
+    a corpus across cases pass ``own_client=False``.
+    """
+
+    def __init__(
+        self,
+        client: VectorDBClient,
+        system: SemaSK | None = None,
+        default_center: GeoPoint | None = None,
+        coalesce: bool = True,
+        max_batch: int = 64,
+        max_wait_s: float = 0.005,
+        parallel_refine: int = 4,
+        own_client: bool = True,
+    ) -> None:
+        self._client = client
+        self._system = system
+        self._default_center = default_center
+        self._own_client = own_client
+        self._started = time.monotonic()
+        self._closed = False
+        self._search_coalescer = (
+            SearchCoalescer(client, max_batch=max_batch, max_wait_s=max_wait_s)
+            if coalesce else None
+        )
+        self._query_coalescer = (
+            QueryCoalescer(
+                system, max_batch=max_batch, max_wait_s=max_wait_s,
+                parallel_refine=parallel_refine,
+            )
+            if coalesce and system is not None else None
+        )
+
+    @property
+    def client(self) -> VectorDBClient:
+        """The underlying vector-database client."""
+        return self._client
+
+    # ------------------------------------------------------------------
+    # operations behind the endpoints
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        collection: str,
+        vector: Any,
+        k: int,
+        flt: Filter | None = None,
+        exact: bool = False,
+        ef: int | None = None,
+        coalesce: bool = True,
+    ) -> list[SearchHit]:
+        """One kNN search, coalesced with concurrent callers by default."""
+        if self._search_coalescer is not None and coalesce:
+            return self._search_coalescer.search(
+                collection, vector, k, flt=flt, exact=exact, ef=ef
+            )
+        return self._client.search(
+            collection, vector, k, flt=flt, exact=exact, ef=ef
+        )
+
+    def query(
+        self,
+        text: str,
+        lat: float | None = None,
+        lon: float | None = None,
+        range_km: float = 5.0,
+        coalesce: bool = True,
+    ) -> QueryResult:
+        """One natural-language SemaSK query around (lat, lon).
+
+        Falls back to the context's ``default_center`` only when *both*
+        coordinates are absent; a half-specified location (one of
+        lat/lon) is rejected rather than silently answered around the
+        default center. Raises :class:`BadRequest` for that, for absent
+        coordinates with no default center, and when no pipeline is
+        configured.
+        """
+        if self._system is None:
+            raise BadRequest("this server exposes no query pipeline")
+        if (lat is None) != (lon is None):
+            raise BadRequest(
+                "provide both lat and lon, or neither (got only one)"
+            )
+        if lat is None and lon is None:
+            if self._default_center is None:
+                raise BadRequest("request needs lat/lon (no default center)")
+            center = self._default_center
+        else:
+            try:
+                center = GeoPoint(float(lat), float(lon))
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(str(exc)) from exc
+        try:
+            query = SpatialKeywordQuery.around(
+                center, text, range_km, range_km
+            )
+        except ReproError as exc:  # e.g. empty query text
+            raise BadRequest(str(exc)) from exc
+        if self._query_coalescer is not None and coalesce:
+            return self._query_coalescer.query(query)
+        return self._system.query(query)
+
+    def collections(self) -> list[dict]:
+        """Info dicts for every collection, sorted by name."""
+        return [
+            self._client.collection_info(name)
+            for name in self._client.list_collections()
+        ]
+
+    def save_snapshot(self, collection: str, directory: str) -> dict:
+        """Snapshot ``collection`` to ``directory`` (atomic); returns info."""
+        self._client.save(collection, directory)
+        return {"collection": collection, "directory": str(Path(directory))}
+
+    def load_snapshot(self, directory: str, mmap: bool = False) -> dict:
+        """Load a snapshot into the client; returns the collection info."""
+        collection = self._client.load(directory, mmap=mmap)
+        return self._client.collection_info(collection.name)
+
+    def health(self) -> dict:
+        """The ``/healthz`` body: liveness, uptime, coalescer stats."""
+        body: dict = {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "collections": self._client.list_collections(),
+            "pipeline": self._system.name if self._system else None,
+            "coalescing": self._search_coalescer is not None,
+        }
+        if self._search_coalescer is not None:
+            body["search_coalescer"] = self._search_coalescer.stats.snapshot()
+        if self._query_coalescer is not None:
+            body["query_coalescer"] = self._query_coalescer.stats.snapshot()
+        return body
+
+    def close(self) -> None:
+        """Flush coalescers; close the client if owned (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._search_coalescer is not None:
+            self._search_coalescer.close()
+        if self._query_coalescer is not None:
+            self._query_coalescer.close()
+        if self._own_client:
+            self._client.close()
+
+    def __enter__(self) -> "ServingContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _TrackingHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` that counts in-flight request handlers.
+
+    Handler threads are daemonic (an *idle* keep-alive connection must
+    not block shutdown), so ``server_close`` cannot be relied on to
+    join them; instead every dispatched request is counted and
+    :meth:`wait_idle` lets a graceful shutdown drain the requests that
+    are actually executing before the coalescers and client close.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    def request_began(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._inflight_cv.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is executing (True) or timeout (False)."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the :class:`ServingContext` (set per server)."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: clients reuse connections
+    context: ServingContext  # injected by ServingServer
+    server: _TrackingHTTPServer
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, *args: object) -> None:
+        """Silence per-request stderr logging."""
+
+    def _send_json(self, status: int, body: dict | list) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequest("request body required")
+        try:
+            body = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise BadRequest("request body must be a JSON object")
+        return body
+
+    def _dispatch(self, handler) -> None:
+        self.server.request_began()
+        try:
+            try:
+                status, body = handler()
+            except BadRequest as exc:
+                status, body = 400, {"error": str(exc)}
+            except (DimensionMismatch, ValueError, KeyError, TypeError) as exc:
+                status, body = 400, {"error": str(exc)}
+            except CollectionNotFound as exc:
+                status, body = 404, {"error": str(exc)}
+            except ReproError as exc:
+                status, body = 400, {"error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._send_json(status, body)
+        finally:
+            self.server.request_finished()
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+        if self.path == "/healthz":
+            self._dispatch(lambda: (200, self.context.health()))
+        elif self.path == "/collections":
+            self._dispatch(lambda: (200, self.context.collections()))
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API name)
+        routes = {
+            "/search": self._post_search,
+            "/query": self._post_query,
+            "/admin/save": self._post_save,
+            "/admin/load": self._post_load,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        self._dispatch(handler)
+
+    def _post_search(self) -> tuple[int, dict]:
+        body = self._read_body()
+        for required in ("collection", "vector", "k"):
+            if required not in body:
+                raise BadRequest(f"missing field {required!r}")
+        try:
+            vector = np.asarray(body["vector"], dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad vector: {exc}") from exc
+        hits = self.context.search(
+            str(body["collection"]),
+            vector,
+            int(body["k"]),
+            flt=filter_from_json(body.get("filter")),
+            exact=bool(body.get("exact", False)),
+            ef=int(body["ef"]) if body.get("ef") is not None else None,
+            coalesce=bool(body.get("coalesce", True)),
+        )
+        # with_payload=false trims the response to ids + scores — POI
+        # payloads carry full tip texts, which dominate the wire size.
+        with_payload = bool(body.get("with_payload", True))
+        return 200, {
+            "hits": [_hit_to_json(hit, with_payload) for hit in hits]
+        }
+
+    def _post_query(self) -> tuple[int, dict]:
+        body = self._read_body()
+        if "text" not in body:
+            raise BadRequest("missing field 'text'")
+        result = self.context.query(
+            str(body["text"]),
+            lat=body.get("lat"),
+            lon=body.get("lon"),
+            range_km=float(body.get("range_km", 5.0)),
+            coalesce=bool(body.get("coalesce", True)),
+        )
+        return 200, _result_to_json(result)
+
+    def _post_save(self) -> tuple[int, dict]:
+        body = self._read_body()
+        for required in ("collection", "directory"):
+            if required not in body:
+                raise BadRequest(f"missing field {required!r}")
+        return 200, self.context.save_snapshot(
+            str(body["collection"]), str(body["directory"])
+        )
+
+    def _post_load(self) -> tuple[int, dict]:
+        body = self._read_body()
+        if "directory" not in body:
+            raise BadRequest("missing field 'directory'")
+        return 200, self.context.load_snapshot(
+            str(body["directory"]), mmap=bool(body.get("mmap", False))
+        )
+
+
+class ServingServer:
+    """A :class:`ServingContext` behind a ``ThreadingHTTPServer``.
+
+    ``port=0`` binds an ephemeral port (tests and benchmarks);
+    :attr:`address` reports the bound ``(host, port)``. Run blocking via
+    :meth:`serve_forever` (the CLI) or in a daemon thread via
+    :meth:`start` (tests, examples). :meth:`shutdown` is graceful and
+    idempotent: stop accepting, drain handlers, flush coalescers, close
+    the context. The server is also a context manager, guaranteeing
+    shutdown on the way out of a ``with`` block.
+    """
+
+    def __init__(
+        self,
+        context: ServingContext,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        handler = type("BoundHandler", (_Handler,), {"context": context})
+        self._context = context
+        self._httpd = _TrackingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+        self._shutdown_once = threading.Lock()
+        self._shut_down = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServingServer":
+        """Serve in a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="serving-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (or ^C)."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain handlers, flush coalescers (idempotent)."""
+        with self._shutdown_once:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        # From the serving thread itself, httpd.shutdown() would deadlock
+        # (it waits for serve_forever to exit); only call it from others.
+        if threading.current_thread() is not self._thread:
+            self._httpd.shutdown()
+        # Handler threads are daemonic (idle keep-alive connections must
+        # not pin the process), so server_close() does not join them —
+        # drain the requests that are actually executing before tearing
+        # down what they depend on (coalescers, collections).
+        self._httpd.wait_idle(timeout=10.0)
+        self._httpd.server_close()
+        if self._thread is not None and (
+            threading.current_thread() is not self._thread
+        ):
+            self._thread.join(timeout=5.0)
+        self._context.close()
+
+    def __enter__(self) -> "ServingServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

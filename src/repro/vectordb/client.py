@@ -28,8 +28,9 @@ class VectorDBClient:
 
     Owns its collections' lifecycle: dropping a collection (or exiting
     the client's ``with`` block) closes it, releasing sharded
-    collections' fan-out worker threads instead of leaking them until
-    garbage collection.
+    collections' fan-out workers — threads, or per-shard worker
+    *processes* under ``parallel="process"`` — instead of leaking them
+    until garbage collection.
     """
 
     def __init__(self) -> None:
@@ -208,6 +209,30 @@ class VectorDBClient:
     def list_collections(self) -> list[str]:
         """Names of all collections, sorted."""
         return sorted(self._collections)
+
+    def collection_info(self, name: str) -> dict:
+        """JSON-ready summary of one collection.
+
+        Returns name, point count, dim, metric, shard count (1 for a
+        plain collection), the active shard executor kind (``None`` when
+        unsharded), whether the HNSW graph(s) are built, and the indexed
+        payload fields — what the serving layer's ``/collections``
+        endpoint and the CLI report. Raises
+        :class:`~repro.errors.CollectionNotFound` for unknown names.
+        """
+        collection = self.get_collection(name)
+        return {
+            "name": collection.name,
+            "points": len(collection),
+            "dim": collection.dim,
+            "metric": collection.metric.value,
+            "shards": getattr(collection, "n_shards", 1),
+            "parallel": getattr(collection, "parallel", None),
+            "hnsw_built": collection.hnsw_is_built,
+            "indexed_payload_fields": sorted(
+                collection.indexed_payload_fields
+            ),
+        }
 
     def has_collection(self, name: str) -> bool:
         """Whether a collection with ``name`` exists."""

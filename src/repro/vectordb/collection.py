@@ -293,14 +293,17 @@ class Collection:
         return index
 
     def attach_hnsw(self, index: HNSWIndex) -> None:
-        """Install an externally built graph (parallel per-shard builds).
+        """Install an externally built graph.
 
         The graph must have been built from this collection's vectors in
         node-id (insertion) order — e.g. by ``HNSWIndex.from_vectors``
-        over :meth:`export_state` vectors in a worker process. It may
-        trail behind points upserted after the build was started; the
-        missing tail is appended on the next :meth:`build_hnsw` or
-        approximate search.
+        over a :meth:`vector_matrix` copy in a worker process (parallel
+        per-shard builds), or restored from a snapshot by
+        ``HNSWIndex.from_arrays``. It may trail behind points upserted
+        after the build was started; the missing tail is appended on the
+        next :meth:`build_hnsw` or approximate search. Raises
+        :class:`~repro.errors.CollectionError` when the graph's dim
+        differs or it has *more* nodes than the collection has points.
         """
         if index.dim != self.dim:
             raise CollectionError(

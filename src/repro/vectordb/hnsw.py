@@ -408,6 +408,10 @@ class HNSWIndex:
         better (pinned by the recall tests). Past
         :attr:`PRESCORE_THRESHOLD` rows the quadratic pre-scoring stops
         paying and construction falls back to incremental inserts.
+
+        Returns the built index (node ids = row indices). Raises
+        :class:`ValueError` when ``vectors`` is not two-dimensional or
+        an explicit ``dim`` disagrees with the matrix's second axis.
         """
         vectors = np.ascontiguousarray(vectors, dtype=np.float32)
         if vectors.ndim != 2:

@@ -334,7 +334,9 @@ def migrate_snapshot(
     back atomically. ``build_graphs=False`` writes no graph files at all,
     even ones the source snapshot carried — the opt-out exists to strip
     graphs, not merely to skip building them. ``out_dir`` defaults to
-    rewriting in place. Returns the directory written.
+    rewriting in place. Returns the directory written. Raises
+    :class:`~repro.errors.CollectionError` when ``snapshot_dir`` holds
+    no loadable snapshot; the target is untouched on failure.
     """
     snapshot_dir = Path(snapshot_dir)
     target = snapshot_dir if out_dir is None else Path(out_dir)
@@ -370,7 +372,10 @@ def reshard_snapshot(
 
     ``out_dir`` defaults to rewriting ``snapshot_dir`` in place (built in
     a temporary sibling, swapped in on success). Returns the directory
-    written.
+    written. Raises :class:`~repro.errors.CollectionError` for a
+    non-positive ``new_shards``, an ``out_dir`` that already exists, a
+    missing snapshot, or a snapshot whose stored order disagrees with
+    its shards' contents.
     """
     snapshot_dir = Path(snapshot_dir)
     if new_shards <= 0:

@@ -8,9 +8,16 @@ by a stable hash of its id (:func:`shard_for`). It implements the full
 the filtering stage, the client facade, and persistence all work unchanged
 over either backend.
 
-Searches fan out across shards on a thread pool (the exact-scoring kernel
-is a BLAS matrix product, which releases the GIL) and the per-shard top-k
-lists are merged into the exact global top-k. Offline index builds fan
+Searches fan out across shards through a pluggable *executor*. The
+default (``parallel="thread"``) runs per-shard calls on a thread pool —
+the exact-scoring kernel is a BLAS matrix product, which releases the
+GIL — and the per-shard top-k lists are merged into the exact global
+top-k. ``parallel="process"`` (or :meth:`ShardedCollection.set_parallel`)
+swaps in :class:`repro.serving.workers.ProcessShardExecutor`, which keeps
+one long-lived worker process per shard so the *Python-bound* parts of a
+filtered search (payload filter evaluation) scale with shard count too;
+writes are applied locally and mirrored to the workers so both copies
+stay identical. Offline index builds fan
 out too, but on a *process* pool: :meth:`ShardedCollection.build_hnsw`
 builds each shard's HNSW graph in a worker process (graph construction
 is Python-heavy, so threads would serialize on the GIL) and attaches the
@@ -94,6 +101,59 @@ def _build_shard_graph(
     )
 
 
+class ThreadShardExecutor:
+    """Default fan-out executor: per-shard calls on an in-process thread pool.
+
+    The executor seam: :class:`ShardedCollection` routes every fan-out
+    read through :meth:`run` and every write through :meth:`mirror_write`,
+    so alternative executors (e.g. the process-per-shard
+    :class:`repro.serving.workers.ProcessShardExecutor`) can swap in
+    without the collection knowing how calls reach its shards. Threads
+    suit BLAS-bound scoring (the kernel releases the GIL); they do not
+    help pure-Python filter evaluation, which is what the process
+    executor exists for.
+    """
+
+    kind = "thread"
+
+    def __init__(self, shards: Sequence[Collection], name: str) -> None:
+        self._shards = list(shards)
+        # Created eagerly so concurrent first searches cannot race on it;
+        # worker threads only spawn when the first fan-out runs.
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self._shards),
+            thread_name_prefix=f"shard-{name}",
+        )
+
+    def run(
+        self, indices: Sequence[int], method: str, *args: Any, **kwargs: Any
+    ) -> list[Any]:
+        """Call ``method(*args, **kwargs)`` on each indexed shard.
+
+        Returns results in ``indices`` order; a single-shard call skips
+        the pool entirely (serial is cheaper than a dispatch round-trip).
+        Exceptions from any shard propagate to the caller.
+        """
+        if len(indices) == 1:
+            shard = self._shards[indices[0]]
+            return [getattr(shard, method)(*args, **kwargs)]
+        return list(
+            self._pool.map(
+                lambda i: getattr(self._shards[i], method)(*args, **kwargs),
+                indices,
+            )
+        )
+
+    def mirror_write(
+        self, index: int, method: str, *args: Any, **kwargs: Any
+    ) -> None:
+        """No-op: in-process threads read the parent's shards directly."""
+
+    def close(self, wait: bool = False) -> None:
+        """Shut the thread pool down (idempotent)."""
+        self._pool.shutdown(wait=wait)
+
+
 def shard_for(point_id: str, n_shards: int) -> int:
     """Stable shard assignment for ``point_id``.
 
@@ -116,6 +176,7 @@ class ShardedCollection:
         metric: Metric = Metric.COSINE,
         hnsw: HnswConfig | None = None,
         shards: int = 2,
+        parallel: str = "thread",
     ) -> None:
         if shards <= 0:
             raise CollectionError(
@@ -132,6 +193,7 @@ class ShardedCollection:
                 )
                 for i in range(shards)
             ],
+            parallel=parallel,
         )
 
     def _init_fields(
@@ -140,6 +202,7 @@ class ShardedCollection:
         metric: Metric,
         hnsw: HnswConfig,
         shards: list[Collection],
+        parallel: str = "thread",
     ) -> None:
         if not name:
             raise CollectionError("collection name must be non-empty")
@@ -149,10 +212,19 @@ class ShardedCollection:
         self._shards = shards
         self._id_to_shard: dict[str, int] = {}
         self._order: list[str] = []  # global insertion order, for scroll
-        # Created eagerly so concurrent first searches cannot race on it;
-        # worker threads only spawn when the first fan-out runs.
-        self._pool = ThreadPoolExecutor(
-            max_workers=len(shards), thread_name_prefix=f"shard-{name}"
+        self._executor = self._make_executor(parallel)
+
+    def _make_executor(self, kind: str):
+        if kind == "thread":
+            return ThreadShardExecutor(self._shards, self.name)
+        if kind == "process":
+            # Imported lazily: the serving layer depends on vectordb, not
+            # the other way around, and the process executor is opt-in.
+            from repro.serving.workers import ProcessShardExecutor
+
+            return ProcessShardExecutor(self._shards, self.name)
+        raise CollectionError(
+            f"unknown shard executor {kind!r}; use 'thread' or 'process'"
         )
 
     # ------------------------------------------------------------------
@@ -183,6 +255,35 @@ class ShardedCollection:
         return len(self._shards)
 
     @property
+    def parallel(self) -> str:
+        """The active fan-out executor kind: ``"thread"`` or ``"process"``."""
+        return self._executor.kind
+
+    def set_parallel(self, kind: str) -> None:
+        """Swap the fan-out executor (``"thread"`` or ``"process"``).
+
+        ``"process"`` installs
+        :class:`repro.serving.workers.ProcessShardExecutor`: one
+        long-lived worker process per shard, each holding a replica of
+        its shard, so the GIL-bound Python parts of a filtered search
+        (payload filter evaluation) run truly in parallel. Writes after
+        the swap are applied to the parent's shards *and* mirrored to the
+        workers, so reads stay equivalent. Switching back to
+        ``"thread"`` discards the workers; the parent's shards were kept
+        authoritative throughout, so no state is lost.
+
+        Raises :class:`~repro.errors.CollectionError` for unknown kinds,
+        and ``OSError`` if worker processes cannot be started (e.g. a
+        sandbox that forbids subprocesses) — the previous executor is
+        still in place in that case. No-op if ``kind`` already active.
+        """
+        if kind == self._executor.kind:
+            return
+        replacement = self._make_executor(kind)
+        self._executor.close()
+        self._executor = replacement
+
+    @property
     def shard_collections(self) -> tuple[Collection, ...]:
         """The underlying shards, in shard-index order (read-mostly)."""
         return tuple(self._shards)
@@ -208,6 +309,14 @@ class ShardedCollection:
         are allowed for known ids, vector replacement raises. Returns the
         number of points inserted. Points are bucketed so each shard sees
         one batch, keeping bulk ingest at one upsert call per shard.
+
+        Under ``parallel="process"`` each successfully applied bucket is
+        mirrored to that shard's worker replica. A bucket that *raises*
+        mid-way stays partially applied on the parent (as with
+        :meth:`Collection.upsert`) but is not mirrored — after such a
+        failure the replicas of the raising shard may trail the parent;
+        ``set_parallel("thread")`` followed by ``set_parallel("process")``
+        rebuilds them from the authoritative parent state.
         """
         n = len(self._shards)
         buckets: dict[int, list[PointStruct]] = {}
@@ -223,6 +332,10 @@ class ShardedCollection:
         try:
             for index, bucket in buckets.items():
                 inserted += self._shards[index].upsert(bucket)
+                # Keep process-executor replicas identical: the same
+                # bucket lands in the worker only after the parent copy
+                # accepted it, so a raising bucket is never half-mirrored.
+                self._executor.mirror_write(index, "upsert", bucket)
         except BaseException:
             # Like Collection.upsert, a batch that raises mid-way stays
             # partially applied; reconcile the order/routing tables
@@ -243,8 +356,9 @@ class ShardedCollection:
 
     def create_payload_index(self, field: str) -> None:
         """Build a hash index over ``field`` on every shard."""
-        for shard in self._shards:
+        for index, shard in enumerate(self._shards):
             shard.create_payload_index(field)
+            self._executor.mirror_write(index, "create_payload_index", field)
 
     @property
     def hnsw_is_built(self) -> bool:
@@ -292,43 +406,79 @@ class ShardedCollection:
             if graphs is not None:
                 for shard, graph in zip(pending, graphs):
                     shard.attach_hnsw(graph)
+                self._mirror_graphs(pending)
                 return
         for shard in pending:
             shard.build_hnsw(force=force)
+        self._mirror_graphs(pending)
+
+    def _mirror_graphs(self, built: Sequence[Collection]) -> None:
+        """Ship freshly built graphs to process-executor replicas.
+
+        Attaching the parent's pickled graph is cheaper than having each
+        worker rebuild its own, and guarantees both copies answer
+        approximate searches identically.
+        """
+        shard_index = {id(shard): i for i, shard in enumerate(self._shards)}
+        for shard in built:
+            self._executor.mirror_write(
+                shard_index[id(shard)], "attach_hnsw", shard.hnsw_index
+            )
 
     def close(self, wait: bool = False) -> None:
-        """Release the fan-out thread pool (idempotent).
+        """Release the fan-out executor (idempotent).
 
-        The data stays readable, but multi-shard searches are no longer
-        possible after closing; long-lived processes that drop a sharded
-        collection must close it (``VectorDBClient.delete_collection``
-        and the client's context-manager exit do) rather than wait for GC
-        to reap the worker threads. ``wait=True`` blocks until the
-        workers have exited.
+        The data stays readable through the parent's shards, but
+        multi-shard searches are no longer possible after closing;
+        long-lived processes that drop a sharded collection must close it
+        (``VectorDBClient.delete_collection`` and the client's
+        context-manager exit do) rather than wait for GC to reap worker
+        threads — or, under ``parallel="process"``, worker *processes*.
+        ``wait=True`` blocks until the workers have exited.
         """
-        self._pool.shutdown(wait=wait)
+        self._executor.close(wait=wait)
 
     def set_payload(self, point_id: str, payload: dict[str, Any]) -> None:
-        """Merge ``payload`` into an existing point's payload."""
-        self._owning_shard(point_id).set_payload(point_id, payload)
+        """Merge ``payload`` into an existing point's payload.
+
+        Raises :class:`~repro.errors.PointNotFound` for unknown ids;
+        under ``parallel="process"`` the update is mirrored to the
+        owning shard's worker replica before returning.
+        """
+        index = self._id_to_shard.get(point_id)
+        if index is None:
+            raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
+        self._shards[index].set_payload(point_id, payload)
+        self._executor.mirror_write(index, "set_payload", point_id, payload)
 
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
 
     def retrieve(self, point_id: str) -> SearchHit:
-        """Fetch one point's payload (score 1.0 placeholder)."""
+        """Fetch one point's payload (score 1.0 placeholder).
+
+        Raises :class:`~repro.errors.PointNotFound` for unknown ids.
+        """
         return self._owning_shard(point_id).retrieve(point_id)
 
     def point_vector(self, point_id: str) -> np.ndarray:
-        """The stored vector of ``point_id`` (copy)."""
+        """The stored vector of ``point_id`` (copy).
+
+        Raises :class:`~repro.errors.PointNotFound` for unknown ids.
+        """
         return self._owning_shard(point_id).point_vector(point_id)
 
     def count(self, flt: Filter | None = None) -> int:
-        """Points matching ``flt``; each shard narrows via its indexes."""
+        """Points matching ``flt``; each shard narrows via its indexes.
+
+        Filtered counts fan out through the executor like searches do —
+        filter evaluation is the whole cost of a count, so it benefits
+        from process workers the same way.
+        """
         if flt is None:
             return len(self._order)
-        return sum(shard.count(flt) for shard in self._shards)
+        return sum(self._fan_out("count", flt))
 
     def scroll(self, flt: Filter | None = None) -> list[SearchHit]:
         """All points (optionally filtered), in global insertion order."""
@@ -362,7 +512,7 @@ class ShardedCollection:
         if k == 0:
             return []
         per_shard = self._fan_out(
-            lambda shard: shard.search(query, k, flt=flt, exact=exact, ef=ef)
+            "search", query, k, flt=flt, exact=exact, ef=ef
         )
         return _merge_top_k(per_shard, k)
 
@@ -388,9 +538,7 @@ class ShardedCollection:
         if k == 0:
             return [[] for _ in range(n_queries)]
         per_shard = self._fan_out(
-            lambda shard: shard.search_batch(
-                queries, k, flt=flt, exact=exact, ef=ef
-            )
+            "search_batch", queries, k, flt=flt, exact=exact, ef=ef
         )
         return [
             _merge_top_k([shard_lists[q] for shard_lists in per_shard], k)
@@ -456,19 +604,18 @@ class ShardedCollection:
             raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
         return self._shards[index]
 
-    def _fan_out(self, task) -> list[Any]:
-        """Run ``task`` over every non-empty shard, threaded when > 1.
+    def _fan_out(self, method: str, *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``method`` over every non-empty shard via the executor.
 
-        BLAS scoring releases the GIL, so shard searches overlap on
-        multi-core machines; on one core the pool degrades to (cheap)
-        serial execution.
+        Under the thread executor, BLAS scoring releases the GIL, so
+        shard searches overlap on multi-core machines; under the process
+        executor, the pure-Python parts (filter evaluation over payloads)
+        overlap too because each shard runs in its own interpreter.
         """
-        live = [shard for shard in self._shards if len(shard)]
+        live = [i for i, shard in enumerate(self._shards) if len(shard)]
         if not live:
             return []
-        if len(live) == 1:
-            return [task(live[0])]
-        return list(self._pool.map(task, live))
+        return self._executor.run(live, method, *args, **kwargs)
 
 
 def _merge_top_k(

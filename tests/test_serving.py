@@ -1,0 +1,593 @@
+"""The serving layer: coalescing, HTTP endpoints, process shard workers.
+
+Pins the serving PR's contracts:
+
+* **Coalescer equivalence** — N concurrent single searches through the
+  coalescer return the same hits as direct ``search`` calls (the batch
+  engine's equivalence guarantee survives the queueing layer).
+* **Dispatch triggers** — a full group fires immediately; a lone request
+  fires at its deadline, never hangs.
+* **Error isolation** — a poison request fails alone; batchmates
+  succeed. Malformed requests are rejected before entering a batch.
+* **HTTP round-trip** — a live ``ServingServer`` on an ephemeral port
+  answers every endpoint, with correct 400/404 behaviour and a graceful,
+  idempotent shutdown.
+* **Process workers** — ``set_parallel("process")`` serves identical
+  results, mirrors writes into the worker replicas, and ``close()``
+  leaves no child processes behind.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.query import SpatialKeywordQuery
+from repro.core.variants import semask, semask_em
+from repro.errors import CollectionError, DimensionMismatch
+from repro.geo.regions import city_by_code
+from repro.serving.batcher import (
+    MicroBatcher,
+    QueryCoalescer,
+    SearchCoalescer,
+)
+from repro.serving.bootstrap import load_or_prepare
+from repro.serving.http import (
+    BadRequest,
+    ServingContext,
+    ServingServer,
+    filter_from_json,
+)
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import PointStruct
+from repro.vectordb.filters import And, FieldMatch, GeoBoundingBoxFilter
+from repro.vectordb.sharded import ShardedCollection
+
+DIM = 16
+
+
+def _vectors(n: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vecs = rng.standard_normal((n, DIM)).astype(np.float32)
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+def _points(vecs: np.ndarray):
+    return [
+        PointStruct(
+            id=f"p{i}",
+            vector=vecs[i],
+            payload={"group": i % 5, "rank": float(i)},
+        )
+        for i in range(vecs.shape[0])
+    ]
+
+
+def _assert_same_hits(got, want):
+    assert [h.id for h in got] == [h.id for h in want]
+    np.testing.assert_allclose(
+        [h.score for h in got], [h.score for h in want], rtol=0, atol=1e-5
+    )
+    for g, w in zip(got, want):
+        assert g.payload == w.payload
+
+
+@pytest.fixture()
+def client():
+    with VectorDBClient() as c:
+        c.create_collection("pts", dim=DIM, shards=2).upsert(
+            _points(_vectors(240))
+        )
+        yield c
+
+
+class TestMicroBatcher:
+    def test_full_group_dispatches_before_deadline(self):
+        with MicroBatcher(
+            lambda key, items: [i * 2 for i in items],
+            max_batch=8, max_wait_s=30.0,  # deadline can't be the trigger
+        ) as batcher:
+            futures = [batcher.submit("k", i) for i in range(8)]
+            results = [f.result(timeout=5) for f in futures]
+        assert results == [i * 2 for i in range(8)]
+        assert batcher.stats.batches == 1
+        assert batcher.stats.max_batch_seen == 8
+
+    def test_deadline_flushes_partial_group(self):
+        with MicroBatcher(
+            lambda key, items: [i * 2 for i in items],
+            max_batch=64, max_wait_s=0.01,
+        ) as batcher:
+            t0 = time.monotonic()
+            futures = [batcher.submit("k", i) for i in range(3)]
+            results = [f.result(timeout=5) for f in futures]
+            elapsed = time.monotonic() - t0
+        assert results == [0, 2, 4]
+        assert batcher.stats.batches == 1  # one flush, not one per item
+        assert elapsed < 5.0  # flushed by deadline, not by timeout
+
+    def test_distinct_keys_never_share_a_batch(self):
+        seen: list[tuple] = []
+
+        def run(key, items):
+            seen.append((key, tuple(items)))
+            return items
+
+        with MicroBatcher(run, max_batch=16, max_wait_s=0.01) as batcher:
+            fa = [batcher.submit("a", i) for i in range(3)]
+            fb = [batcher.submit("b", i) for i in range(2)]
+            for f in fa + fb:
+                f.result(timeout=5)
+        assert sorted(seen) == [("a", (0, 1, 2)), ("b", (0, 1))]
+
+    def test_unhashable_key_gets_private_group(self):
+        with MicroBatcher(
+            lambda key, items: items, max_batch=4, max_wait_s=0.005
+        ) as batcher:
+            future = batcher.submit({"un": "hashable"}, 1)
+            assert future.result(timeout=5) == 1
+
+    def test_error_isolation_poison_fails_alone(self):
+        def run(key, items):
+            if any(i == "poison" for i in items):
+                raise RuntimeError("bad batch")
+            return [f"ok:{i}" for i in items]
+
+        with MicroBatcher(run, max_batch=8, max_wait_s=30.0) as batcher:
+            futures = [
+                batcher.submit("k", "poison" if i == 3 else i)
+                for i in range(8)
+            ]
+            outcomes = []
+            for f in futures:
+                try:
+                    outcomes.append(f.result(timeout=5))
+                except RuntimeError as exc:
+                    outcomes.append(f"error:{exc}")
+        assert outcomes[3] == "error:bad batch"
+        assert [o for i, o in enumerate(outcomes) if i != 3] == [
+            f"ok:{i}" for i in range(8) if i != 3
+        ]
+        assert batcher.stats.retried_singly == 8
+
+    def test_close_drains_pending_and_rejects_new(self):
+        batcher = MicroBatcher(
+            lambda key, items: items, max_batch=64, max_wait_s=30.0
+        )
+        future = batcher.submit("k", 1)  # would wait 30 s for its deadline
+        batcher.close()
+        assert future.result(timeout=1) == 1  # drained, not cancelled
+        with pytest.raises(RuntimeError):
+            batcher.submit("k", 2)
+        batcher.close()  # idempotent
+
+    def test_run_batch_length_mismatch_is_isolated_not_swallowed(self):
+        with MicroBatcher(
+            lambda key, items: items[:-1] if len(items) > 1 else items,
+            max_batch=4, max_wait_s=30.0,
+        ) as batcher:
+            futures = [batcher.submit("k", i) for i in range(4)]
+            # The short batch triggers the per-item retry path, where
+            # each single-item call returns the right length: all good.
+            assert [f.result(timeout=5) for f in futures] == [0, 1, 2, 3]
+
+
+class TestSearchCoalescer:
+    def test_concurrent_singles_equal_direct_search(self, client):
+        vecs = _vectors(32, seed=1)
+        coalescer = SearchCoalescer(client, max_batch=16, max_wait_s=0.005)
+        results: list = [None] * 32
+
+        def worker(i: int) -> None:
+            results[i] = coalescer.search("pts", vecs[i], 7)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(32)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        coalescer.close()
+
+        for i in range(32):
+            _assert_same_hits(results[i], client.search("pts", vecs[i], 7))
+        assert coalescer.stats.requests == 32
+        assert coalescer.stats.batches < 32  # actually coalesced
+
+    def test_filtered_and_exact_requests_group_separately(self, client):
+        flt = FieldMatch("group", 2)
+        vec = _vectors(1, seed=2)[0]
+        coalescer = SearchCoalescer(client, max_batch=8, max_wait_s=0.003)
+        futures = [
+            coalescer.submit("pts", vec, 5),
+            coalescer.submit("pts", vec, 5, flt=flt),
+            coalescer.submit("pts", vec, 5, exact=True),
+        ]
+        hits = [f.result(timeout=5) for f in futures]
+        coalescer.close()
+        _assert_same_hits(hits[0], client.search("pts", vec, 5))
+        _assert_same_hits(hits[1], client.search("pts", vec, 5, flt=flt))
+        _assert_same_hits(hits[2], client.search("pts", vec, 5, exact=True))
+        assert coalescer.stats.batches == 3
+
+    def test_bad_requests_fail_fast_before_the_batch(self, client):
+        coalescer = SearchCoalescer(client)
+        with pytest.raises(DimensionMismatch):
+            coalescer.submit("pts", np.zeros(DIM + 1, dtype=np.float32), 5)
+        with pytest.raises(ValueError):
+            coalescer.submit("pts", np.zeros(DIM, dtype=np.float32), -1)
+        from repro.errors import CollectionNotFound
+
+        with pytest.raises(CollectionNotFound):
+            coalescer.submit("nope", np.zeros(DIM, dtype=np.float32), 5)
+        assert coalescer.stats.requests == 0  # nothing reached the queue
+        coalescer.close()
+
+
+class TestQueryCoalescer:
+    def test_concurrent_queries_equal_direct_pipeline(self, tiny_corpus):
+        system = semask_em(tiny_corpus.prepared)
+        center = city_by_code("SB").center
+        queries = [
+            SpatialKeywordQuery.around(center, text, 8, 8)
+            for text in (
+                "a cozy cafe with espresso",
+                "wings and a big screen for the game",
+                "somewhere quiet to read",
+                "a cozy cafe with espresso",  # repeat: dedup in embed_batch
+            )
+        ]
+        coalescer = QueryCoalescer(system, max_batch=8, max_wait_s=0.01)
+        results: list = [None] * len(queries)
+
+        def worker(i: int) -> None:
+            results[i] = coalescer.query(queries[i])
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(queries))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        coalescer.close()
+
+        for query, result in zip(queries, results):
+            direct = system.query(query)
+            assert result.ids() == direct.ids()
+            assert result.candidates_considered == direct.candidates_considered
+        assert coalescer.stats.requests == 4
+
+
+class TestFilterFromJson:
+    def test_round_trips_each_node(self):
+        flt = filter_from_json({
+            "must": [
+                {"match": {"key": "group", "value": 2}},
+                {"range": {"key": "rank", "gte": 10.0}},
+            ]
+        })
+        assert isinstance(flt, And)
+        assert flt.matches({"group": 2, "rank": 30.0})
+        assert not flt.matches({"group": 1, "rank": 30.0})
+        box = filter_from_json({
+            "geo_bounding_box": {
+                "key": "loc", "min_lat": 0, "min_lon": 0,
+                "max_lat": 1, "max_lon": 1,
+            }
+        })
+        assert isinstance(box, GeoBoundingBoxFilter)
+        assert box.matches({"loc": {"lat": 0.5, "lon": 0.5}})
+        assert filter_from_json(None) is None
+
+    @pytest.mark.parametrize("spec", [
+        "not a dict",
+        {},
+        {"match": {"key": "a"}, "range": {"key": "b"}},  # two nodes
+        {"frobnicate": {}},
+        {"range": {"key": "rank"}},  # no bounds (FilterError)
+        {"geo_bounding_box": {"key": "loc", "min_lat": 5, "min_lon": 0,
+                              "max_lat": 1, "max_lon": 1}},  # inverted lat
+    ])
+    def test_malformed_specs_raise_bad_request(self, spec):
+        with pytest.raises(BadRequest):
+            filter_from_json(spec)
+
+
+def _http(base: str, path: str, body: dict | None = None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _http_error(base: str, path: str, body: dict | None = None) -> int:
+    try:
+        _http(base, path, body)
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code
+    raise AssertionError("expected an HTTP error")
+
+
+class TestHttpServer:
+    @pytest.fixture()
+    def server(self, tiny_corpus):
+        prepared = tiny_corpus.prepared
+        context = ServingContext(
+            prepared.client,
+            system=semask(prepared, llm=tiny_corpus.llm),
+            default_center=city_by_code("SB").center,
+            max_wait_s=0.002,
+            own_client=False,  # the shared corpus fixture owns it
+        )
+        with ServingServer(context, port=0).start() as srv:
+            yield srv, prepared
+
+    def test_healthz_and_collections(self, server):
+        srv, prepared = server
+        status, health = _http(srv.url, "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert prepared.collection_name in health["collections"]
+        assert health["coalescing"] is True
+        status, collections = _http(srv.url, "/collections")
+        info = next(
+            c for c in collections if c["name"] == prepared.collection_name
+        )
+        assert info["points"] == len(prepared.dataset)
+        assert info["dim"] == prepared.embedder.dim
+
+    def test_search_round_trip_matches_direct(self, server):
+        srv, prepared = server
+        vector = prepared.embedder.embed("tacos and margaritas")
+        status, body = _http(srv.url, "/search", {
+            "collection": prepared.collection_name,
+            "vector": vector.tolist(),
+            "k": 5,
+        })
+        assert status == 200
+        direct = prepared.client.search(
+            prepared.collection_name, vector, 5
+        )
+        assert [h["id"] for h in body["hits"]] == [h.id for h in direct]
+        np.testing.assert_allclose(
+            [h["score"] for h in body["hits"]],
+            [h.score for h in direct],
+            rtol=0, atol=1e-5,
+        )
+
+    def test_concurrent_http_searches_match_direct(self, server):
+        srv, prepared = server
+        texts = [f"query number {i} about food" for i in range(12)]
+        vectors = [prepared.embedder.embed(t) for t in texts]
+        bodies: list = [None] * len(texts)
+
+        def worker(i: int) -> None:
+            bodies[i] = _http(srv.url, "/search", {
+                "collection": prepared.collection_name,
+                "vector": vectors[i].tolist(),
+                "k": 4,
+            })[1]
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(texts))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(len(texts)):
+            direct = prepared.client.search(
+                prepared.collection_name, vectors[i], 4
+            )
+            assert [h["id"] for h in bodies[i]["hits"]] == [
+                h.id for h in direct
+            ]
+
+    def test_query_endpoint_runs_the_pipeline(self, server):
+        srv, _ = server
+        status, body = _http(srv.url, "/query", {
+            "text": "wings and a big screen for the game",
+            "range_km": 15,
+        })
+        assert status == 200
+        assert body["candidates_considered"] >= len(body["entries"])
+        assert {"query", "entries", "filtered_out", "timings"} <= set(body)
+
+    def test_error_statuses(self, server):
+        srv, prepared = server
+        # one bad request does not require a restart: good request after
+        assert _http_error(srv.url, "/nope") == 404
+        assert _http_error(srv.url, "/search", {"collection": "ghost",
+                                                "vector": [0.0], "k": 1}) == 404
+        assert _http_error(srv.url, "/search", {"collection":
+                                                prepared.collection_name}) == 400
+        assert _http_error(srv.url, "/search", {
+            "collection": prepared.collection_name,
+            "vector": [1.0, 2.0],  # wrong dim
+            "k": 3,
+        }) == 400
+        assert _http_error(srv.url, "/query", {}) == 400
+        # half-specified locations are rejected, not silently answered
+        # around the default center
+        assert _http_error(srv.url, "/query",
+                           {"text": "tacos", "lat": 38.6}) == 400
+        status, _ = _http(srv.url, "/healthz")
+        assert status == 200
+
+    def test_snapshot_save_load_round_trip(self, server, tmp_path):
+        srv, prepared = server
+        status, saved = _http(srv.url, "/admin/save", {
+            "collection": prepared.collection_name,
+            "directory": str(tmp_path / "snap"),
+        })
+        assert status == 200
+        status, loaded = _http(srv.url, "/admin/load", {
+            "directory": str(tmp_path / "snap"), "mmap": True,
+        })
+        assert status == 200
+        assert loaded["name"] == prepared.collection_name
+        assert loaded["points"] == len(prepared.dataset)
+
+    def test_shutdown_is_graceful_and_idempotent(self, tiny_corpus):
+        prepared = tiny_corpus.prepared
+        context = ServingContext(prepared.client, own_client=False)
+        server = ServingServer(context, port=0).start()
+        status, _ = _http(server.url, "/healthz")
+        assert status == 200
+        server.shutdown()
+        server.shutdown()  # second call is a no-op
+        with pytest.raises((ConnectionError, urllib.error.URLError, OSError)):
+            _http(server.url, "/healthz")
+
+
+class TestProcessShardWorkers:
+    @pytest.fixture()
+    def sharded(self):
+        collection = ShardedCollection("workers", DIM, shards=3)
+        collection.upsert(_points(_vectors(180, seed=3)))
+        collection.create_payload_index("group")
+        try:
+            collection.set_parallel("process")
+        except (OSError, EnvironmentError) as exc:  # pragma: no cover
+            collection.close()
+            pytest.skip(f"cannot start worker processes: {exc}")
+        yield collection
+        collection.close()
+
+    def test_search_equivalence_with_thread_mode(self, sharded):
+        reference = ShardedCollection("ref", DIM, shards=3)
+        reference.upsert(_points(_vectors(180, seed=3)))
+        reference.create_payload_index("group")
+        vecs = _vectors(6, seed=4)
+        for i in range(6):
+            _assert_same_hits(
+                sharded.search(vecs[i], 5, exact=True),
+                reference.search(vecs[i], 5, exact=True),
+            )
+        flt = FieldMatch("group", 1)
+        _assert_same_hits(
+            sharded.search(vecs[0], 5, flt=flt),
+            reference.search(vecs[0], 5, flt=flt),
+        )
+        batches = sharded.search_batch(vecs, 4, flt=flt)
+        ref_batches = reference.search_batch(vecs, 4, flt=flt)
+        for got, want in zip(batches, ref_batches):
+            _assert_same_hits(got, want)
+        assert sharded.count(flt) == reference.count(flt)
+        reference.close()
+
+    def test_writes_are_mirrored_into_workers(self, sharded):
+        new_vec = _vectors(1, seed=9)[0]
+        sharded.upsert(
+            [PointStruct(id="fresh", vector=new_vec, payload={"group": 77})]
+        )
+        flt = FieldMatch("group", 77)
+        # count() fans out to the worker replicas: they must see the write
+        assert sharded.count(flt) == 1
+        hits = sharded.search(new_vec, 1, flt=flt)
+        assert [h.id for h in hits] == ["fresh"]
+        sharded.set_payload("fresh", {"group": 78})
+        assert sharded.count(FieldMatch("group", 78)) == 1
+        assert sharded.count(flt) == 0
+
+    def test_graphs_built_after_swap_are_mirrored(self, sharded):
+        sharded.build_hnsw()
+        assert sharded.hnsw_is_built
+        vec = _vectors(1, seed=5)[0]
+        approx = sharded.search(vec, 5)  # worker-side graph traversal
+        exact = sharded.search(vec, 5, exact=True)
+        # identical graphs parent/worker: approximate recall sanity only
+        assert len(approx) == 5
+        assert set(h.id for h in approx) & set(h.id for h in exact)
+
+    def test_close_leaves_no_child_processes(self):
+        collection = ShardedCollection("leak", DIM, shards=2)
+        collection.upsert(_points(_vectors(60, seed=6)))
+        try:
+            collection.set_parallel("process")
+        except (OSError, EnvironmentError) as exc:  # pragma: no cover
+            collection.close()
+            pytest.skip(f"cannot start worker processes: {exc}")
+        executor = collection._executor
+        processes = [process for process, _ in executor._workers]
+        assert processes and all(p.is_alive() for p in processes)
+        collection.close()
+        deadline = time.monotonic() + 10
+        while any(p.is_alive() for p in processes):
+            assert time.monotonic() < deadline, "worker processes leaked"
+            time.sleep(0.05)
+        assert not executor._workers
+
+    def test_switching_back_to_threads_restores_parent_serving(self):
+        collection = ShardedCollection("swap", DIM, shards=2)
+        collection.upsert(_points(_vectors(60, seed=8)))
+        vec = _vectors(1, seed=8)[0]
+        before = collection.search(vec, 3, exact=True)
+        try:
+            collection.set_parallel("process")
+        except (OSError, EnvironmentError) as exc:  # pragma: no cover
+            collection.close()
+            pytest.skip(f"cannot start worker processes: {exc}")
+        collection.set_parallel("thread")
+        assert collection.parallel == "thread"
+        _assert_same_hits(collection.search(vec, 3, exact=True), before)
+        collection.close()
+
+    def test_unknown_executor_kind_raises(self):
+        collection = ShardedCollection("bad", DIM, shards=2)
+        with pytest.raises(CollectionError):
+            collection.set_parallel("fibers")
+        collection.close()
+
+
+class TestBootstrap:
+    def test_load_or_prepare_builds_then_restores(self, tmp_path):
+        snapshot = tmp_path / "city"
+        built = load_or_prepare(snapshot, city="SB", count=120, seed=11)
+        assert len(built.dataset) == 120
+        assert snapshot.exists()
+        built.client.close()
+
+        t0 = time.monotonic()
+        restored = load_or_prepare(snapshot, city="SB", count=120, seed=11)
+        load_s = time.monotonic() - t0
+        assert len(restored.dataset) == 120
+        collection = restored.client.get_collection(
+            restored.collection_name
+        )
+        assert len(collection) == 120
+        assert load_s < 30  # restore path, not a rebuild
+        restored.client.close()
+
+    def test_load_or_prepare_without_snapshot_dir_builds(self):
+        prepared = load_or_prepare(None, city="SB", count=60, seed=11)
+        assert len(prepared.dataset) == 60
+        prepared.client.close()
+
+
+class TestCollectionInfo:
+    def test_info_for_plain_and_sharded(self, client):
+        info = client.collection_info("pts")
+        assert info["points"] == 240
+        assert info["shards"] == 2
+        assert info["parallel"] == "thread"
+        client.create_collection("plain", dim=4)
+        info = client.collection_info("plain")
+        assert info["shards"] == 1 and info["parallel"] is None
+        from repro.errors import CollectionNotFound
+
+        with pytest.raises(CollectionNotFound):
+            client.collection_info("ghost")

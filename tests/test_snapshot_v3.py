@@ -425,7 +425,7 @@ class TestClientPlumbing:
             reloaded = client.load(tmp_path / "snap")
             assert client.get_collection("snap") is reloaded
             # the replaced backend's fan-out pool was shut down
-            assert collection._pool._shutdown
+            assert collection._executor._pool._shutdown
 
 
 class TestCli:

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Docs checker: validate markdown links/anchors, smoke-test the quickstart.
+
+Two modes, both stdlib-only (CI runs each):
+
+* default — scan ``README.md`` and ``docs/*.md`` for markdown links.
+  Relative file links must point at files that exist; ``#anchor``
+  fragments (in-page or cross-page) must match a heading's GitHub-style
+  slug. External (``http``/``https``/``mailto``) links are not fetched
+  — no network in CI — but must at least parse.
+* ``--quickstart`` — extract the README's first fenced ``python`` block
+  and execute it (with ``src`` on ``PYTHONPATH``), so the quickstart
+  can never rot silently.
+
+Exit code 0 = all good; 1 = problems (each printed on its own line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_LINK = re.compile(r"(?<!!)\[(?P<text>[^\]]+)\]\((?P<target>[^)\s]+)\)")
+_IMAGE = re.compile(r"!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(?P<title>.+?)\s*$", re.MULTILINE)
+_FENCE = re.compile(r"^```")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def github_slug(title: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to hyphens. Backticks/formatting markers are stripped first."""
+    title = re.sub(r"[`*_]", "", title)
+    title = title.lower().strip()
+    title = re.sub(r"[^\w\- ]", "", title)
+    return title.replace(" ", "-")
+
+
+def strip_code_blocks(text: str) -> str:
+    """Blank out fenced code blocks so example links are not checked."""
+    lines, in_fence = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return "\n".join(lines)
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        text = strip_code_blocks(path.read_text(encoding="utf-8"))
+        slugs: set[str] = set()
+        counts: dict[str, int] = {}
+        for match in _HEADING.finditer(text):
+            slug = github_slug(match.group("title"))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+    for doc in doc_files():
+        text = strip_code_blocks(doc.read_text(encoding="utf-8"))
+        rel = doc.relative_to(REPO)
+        for match in list(_LINK.finditer(text)) + list(_IMAGE.finditer(text)):
+            target = match.group("target")
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external: not fetched in CI
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                resolved = doc  # pure in-page anchor
+            if fragment:
+                if resolved.suffix != ".md":
+                    problems.append(
+                        f"{rel}: anchor on non-markdown target -> {target}"
+                    )
+                    continue
+                if fragment not in anchors_of(resolved, anchor_cache):
+                    problems.append(f"{rel}: unknown anchor -> {target}")
+    return problems
+
+
+def extract_quickstart() -> str:
+    """The README's first fenced ``python`` block."""
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    match = re.search(r"```python\n(.*?)```", readme, re.DOTALL)
+    if match is None:
+        raise SystemExit("README.md has no ```python fenced block")
+    return match.group(1)
+
+
+def run_quickstart() -> int:
+    code = extract_quickstart()
+    print("--- README quickstart block ---")
+    print(code)
+    print("--- running ---")
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".py", delete=False
+    ) as handle:
+        handle.write(code)
+        script = handle.name
+    try:
+        return subprocess.run(
+            [sys.executable, script], env=env, timeout=600
+        ).returncode
+    finally:
+        os.unlink(script)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quickstart", action="store_true",
+        help="execute the README's first python code block",
+    )
+    args = parser.parse_args()
+    if args.quickstart:
+        code = run_quickstart()
+        print("quickstart OK" if code == 0 else "quickstart FAILED")
+        return code
+    problems = check_links()
+    for problem in problems:
+        print(problem)
+    checked = ", ".join(str(f.relative_to(REPO)) for f in doc_files())
+    if problems:
+        print(f"\n{len(problems)} problem(s) in: {checked}")
+        return 1
+    print(f"docs OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
