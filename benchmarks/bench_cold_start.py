@@ -116,7 +116,7 @@ def _load_to_first_query(directory: Path, mmap: bool = False) -> tuple[float, ob
     return elapsed, collection
 
 
-def test_cold_start_speedup_and_equivalence(corpus_dirs):
+def test_cold_start_speedup_and_equivalence(corpus_dirs, bench_artifact):
     """v3 load-to-first-query ≥ 2× v2 (target 5×); results bit-identical."""
     v2_dir, v3_dir = corpus_dirs
 
@@ -147,6 +147,19 @@ def test_cold_start_speedup_and_equivalence(corpus_dirs):
 
     v2_loaded.close()
     v3_loaded.close()
+    bench_artifact(
+        "cold_start",
+        {
+            "points": N_POINTS,
+            "dim": DIM,
+            "shards": SHARDS,
+            "v2_load_to_first_query_s": round(v2_s, 4),
+            "v3_load_to_first_query_s": round(v3_s, 4),
+            "speedup": round(speedup, 2),
+            "floor": SPEEDUP_FLOOR,
+            "target": SPEEDUP_TARGET,
+        },
+    )
     assert speedup >= SPEEDUP_FLOOR, (
         f"cold-start speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x floor"
     )

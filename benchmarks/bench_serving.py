@@ -86,7 +86,7 @@ def _assert_identical(coalesced, uncoalesced) -> None:
             )
 
 
-def test_serving_layer_coalescing_speedup(sl_corpus, sl_queries):
+def test_serving_layer_coalescing_speedup(sl_corpus, sl_queries, bench_artifact):
     """16 concurrent clients: coalesced ≥ 2× uncoalesced, same results."""
     prepared = sl_corpus.prepared
     vectors = _query_vectors(prepared, sl_queries)
@@ -122,6 +122,17 @@ def test_serving_layer_coalescing_speedup(sl_corpus, sl_queries):
         f"uncoalesced {total / uncoalesced_s:.0f} q/s, "
         f"coalesced {total / coalesced_s:.0f} q/s, "
         f"speedup {speedup:.2f}x"
+    )
+    bench_artifact(
+        "serving",
+        {
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "uncoalesced_qps": round(total / uncoalesced_s),
+            "coalesced_qps": round(total / coalesced_s),
+            "speedup": round(speedup, 2),
+            "floor": SPEEDUP_FLOOR,
+        },
     )
     assert speedup >= SPEEDUP_FLOOR, (
         f"coalescing speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x floor"

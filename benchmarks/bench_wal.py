@@ -1,0 +1,106 @@
+"""WAL write throughput — ``fsync="batch"`` vs ``fsync="always"``.
+
+``always`` pays one disk flush per write call; ``batch`` appends to the
+OS and lets a flusher thread fsync every ~5 ms, trading a bounded
+acknowledgement window (operations.md#durability) for near-undurable
+throughput. This benchmark pins that trade: single-point upserts
+against a WAL-attached collection in each mode.
+
+Acceptance (ISSUE 6): batch ≥ 1.5× always (floor; target ≥ 4× — ~10×
+observed on ext4), and durability must not change a single answer:
+both logs replay to bit-identical collections. The measured numbers
+are emitted as a ``BENCH_wal.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.vectordb.collection import Collection, PointStruct
+from repro.vectordb.persistence import load_collection, save_collection
+
+DIM = 16
+BASE_N = 100
+WRITES = 1_000
+SPEEDUP_FLOOR = 1.5
+SPEEDUP_TARGET = 4.0
+
+
+def _points(n: int, seed: int, prefix: str = "w") -> list[PointStruct]:
+    rng = np.random.default_rng(seed)
+    return [
+        PointStruct(
+            id=f"{prefix}{i}",
+            vector=rng.standard_normal(DIM).astype(np.float32),
+            payload={"i": i},
+        )
+        for i in range(n)
+    ]
+
+
+def _timed_writes(snapshot, mode: str) -> float:
+    """Writes/second for single-point upserts under the given fsync mode."""
+    collection = load_collection(snapshot, wal=mode)
+    writes = _points(WRITES, seed=99)
+    start = time.perf_counter()
+    for point in writes:
+        collection.upsert([point])
+    elapsed = time.perf_counter() - start
+    collection.close()  # batch mode: flushes the tail before returning
+    return WRITES / elapsed
+
+
+def _state(collection) -> list[tuple]:
+    return [
+        (pid, collection.point_vector(pid).tobytes())
+        for pid in sorted(collection.point_ids())
+    ]
+
+
+def test_batch_fsync_throughput_floor(tmp_path, bench_artifact):
+    """batch ≥ 1.5× always; both modes recover to identical collections."""
+    base = Collection("walbench", DIM)
+    base.upsert(_points(BASE_N, seed=1, prefix="b"))
+    always_snap = tmp_path / "always"
+    batch_snap = tmp_path / "batch"
+    save_collection(base, always_snap)
+    save_collection(base, batch_snap)
+    base.close()
+
+    always_wps = _timed_writes(always_snap, "always")
+    batch_wps = _timed_writes(batch_snap, "batch")
+    speedup = batch_wps / always_wps
+    print(
+        f"\n{WRITES} single-point upserts, {DIM}d, WAL attached:"
+        f"\n  fsync=always  {always_wps:9.0f} writes/s"
+        f"\n  fsync=batch   {batch_wps:9.0f} writes/s"
+        f"\n  speedup: {speedup:.1f}x"
+        f" (floor {SPEEDUP_FLOOR}x, target {SPEEDUP_TARGET}x)"
+    )
+
+    # Durability modes change *when* records hit the platter, never what
+    # they say: both logs must replay to bit-identical collections.
+    from_always = load_collection(always_snap)
+    from_batch = load_collection(batch_snap)
+    assert len(from_always) == BASE_N + WRITES
+    assert _state(from_always) == _state(from_batch)
+    from_always.close()
+    from_batch.close()
+
+    bench_artifact(
+        "wal",
+        {
+            "writes": WRITES,
+            "dim": DIM,
+            "always_writes_per_s": round(always_wps),
+            "batch_writes_per_s": round(batch_wps),
+            "speedup": round(speedup, 2),
+            "floor": SPEEDUP_FLOOR,
+            "target": SPEEDUP_TARGET,
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch fsync speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x floor"
+    )

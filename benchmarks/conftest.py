@@ -12,7 +12,9 @@ benchmarks (filtering, HNSW search) use normal multi-round timing.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -25,6 +27,28 @@ FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
 POI_COUNT = None if FULL_SCALE else 1200
 #: Queries per city (paper: 30).
 QUERY_COUNT = 30 if FULL_SCALE else 10
+
+
+@pytest.fixture
+def bench_artifact():
+    """Write a ``BENCH_<name>.json`` artifact with a benchmark's numbers.
+
+    Floor-asserting benchmarks call this with their measured values so
+    CI runs leave a machine-readable trail (uploaded as workflow
+    artifacts) — a regression is diagnosable from the numbers of the
+    failing run without reproducing it locally. Artifacts land in
+    ``BENCH_ARTIFACT_DIR`` (default: the working directory).
+    """
+    out_dir = Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
+
+    def write(name: str, payload: dict) -> Path:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nbench artifact: {path}")
+        return path
+
+    return write
 
 
 @pytest.fixture(scope="session")

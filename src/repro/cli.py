@@ -269,6 +269,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.shards <= 0:
         print(f"--shards must be positive, got {args.shards}")
         return 1
+    if args.wal and not args.snapshot:
+        print("--wal requires --snapshot (the write-ahead log lives "
+              "beside the collection snapshot)")
+        return 1
     prepared = load_or_prepare(
         args.snapshot or None,
         city=args.city,
@@ -277,8 +281,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         mmap=not args.no_mmap,
         refresh=args.refresh,
+        wal=args.wal or None,
     )
     collection = prepared.client.get_collection(prepared.collection_name)
+    if args.wal:
+        stats = collection.wal_stats()
+        depth = stats["records"] if stats else 0
+        print(f"durable writes: wal fsync={args.wal}, "
+              f"{depth} logged record(s) pending the next save")
     if args.shard_workers == "process":
         if getattr(collection, "n_shards", 1) > 1:
             try:
@@ -456,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-mmap", action="store_true",
                    help="load snapshot vectors into RAM instead of "
                         "memory-mapping them")
+    p.add_argument("--wal", choices=["always", "batch", "off"], default="",
+                   help="durable writes: log accepted writes to a "
+                        "per-shard write-ahead log beside the snapshot "
+                        "(replayed on restart); the value picks the "
+                        "fsync policy. Requires --snapshot")
     p.add_argument("--variant", choices=["semask", "o1", "em"],
                    default="semask")
     p.add_argument("--k", type=int, default=10,

@@ -29,6 +29,16 @@ _DATASET = "dataset.jsonl.gz"
 _COLLECTION_DIR = "collection"
 
 
+def collection_snapshot_dir(directory: str | Path) -> Path:
+    """The vector-collection snapshot inside a prepared-city snapshot.
+
+    Public because WAL helpers need this path: the collection's
+    write-ahead logs live in a *sibling* of this directory (see
+    :func:`repro.vectordb.wal.wal_directory`).
+    """
+    return Path(directory) / _COLLECTION_DIR
+
+
 def has_prepared(directory: str | Path) -> bool:
     """Whether ``directory`` holds a :func:`save_prepared` snapshot.
 
@@ -61,6 +71,7 @@ def load_prepared(
     embedder: EmbeddingModel | None = None,
     client: VectorDBClient | None = None,
     mmap: bool = False,
+    wal: str | None = None,
 ) -> PreparedCity:
     """Load a prepared city written by :func:`save_prepared`.
 
@@ -75,6 +86,12 @@ def load_prepared(
     whose collection was prepared with an eager index build reload with
     their HNSW graphs attached, so the first query pays no
     reconstruction either way.
+
+    ``wal`` (an fsync mode: ``"always"``, ``"batch"``, or ``"off"``)
+    makes the collection durable: any write-ahead-log tail beside the
+    collection snapshot is replayed on load (that part happens even with
+    ``wal=None``) and live logs are attached so writes served afterwards
+    survive a crash.
     """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST
@@ -102,7 +119,7 @@ def load_prepared(
             f"snapshot dataset has {len(dataset)} POIs, manifest says "
             f"{manifest['poi_count']}"
         )
-    collection = load_collection(directory / _COLLECTION_DIR, mmap=mmap)
+    collection = load_collection(directory / _COLLECTION_DIR, mmap=mmap, wal=wal)
     if client is None:
         client = VectorDBClient()
     client.attach_collection(collection)

@@ -22,7 +22,12 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core.prepare import PreparedCity
-from repro.core.storage import has_prepared, load_prepared, save_prepared
+from repro.core.storage import (
+    collection_snapshot_dir,
+    has_prepared,
+    load_prepared,
+    save_prepared,
+)
 
 
 def load_or_prepare(
@@ -33,6 +38,7 @@ def load_or_prepare(
     shards: int = 1,
     mmap: bool = True,
     refresh: bool = False,
+    wal: str | None = None,
 ) -> PreparedCity:
     """A prepared city, from its snapshot when possible.
 
@@ -43,18 +49,42 @@ def load_or_prepare(
     whatever it was built with; pass ``refresh=True`` after changing
     them. Raises :class:`~repro.errors.DatasetError` if an existing
     snapshot is unreadable or was prepared with a different embedder.
+
+    ``wal`` (an fsync mode) makes the served collection durable: on the
+    load path it replays + attaches write-ahead logs next to the cached
+    collection snapshot; on the build path logs are attached right after
+    the snapshot is first saved, so writes accepted by a brand-new
+    deployment are covered too. It requires a ``snapshot_dir`` — with no
+    snapshot there is nothing a WAL replay could be anchored to — and
+    raises :class:`~repro.errors.CollectionError` without one.
     """
     # Imported here, not at module top: eval.corpus pulls in the data
     # generator + ontology stack, which the load path never needs.
     from repro.eval.corpus import build_corpus
 
+    if wal is not None and snapshot_dir is None:
+        from repro.errors import CollectionError
+
+        raise CollectionError(
+            "wal mode requires a snapshot directory (the log lives "
+            "beside the collection snapshot)"
+        )
     if snapshot_dir is not None:
         snapshot_dir = Path(snapshot_dir)
         if not refresh and has_prepared(snapshot_dir):
-            return load_prepared(snapshot_dir, mmap=mmap)
+            return load_prepared(snapshot_dir, mmap=mmap, wal=wal)
     corpus = build_corpus(
         city, seed=seed, count=count, shards=shards, eager_index=True
     )
     if snapshot_dir is not None:
         save_prepared(corpus.prepared, snapshot_dir)
+        if wal is not None:
+            from repro.vectordb.persistence import attach_wal
+
+            prepared = corpus.prepared
+            attach_wal(
+                prepared.client.get_collection(prepared.collection_name),
+                collection_snapshot_dir(snapshot_dir),
+                fsync=wal,
+            )
     return corpus.prepared

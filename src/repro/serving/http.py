@@ -11,13 +11,24 @@ supports is reachable with ``curl``. Endpoints:
 ========  ======================  ==========================================
 method    path                    purpose
 ========  ======================  ==========================================
-GET       ``/healthz``            liveness + coalescer stats
+GET       ``/healthz``            liveness + coalescer + WAL stats
 GET       ``/collections``        list collections with point counts
 POST      ``/search``             one vector kNN search (coalesced)
 POST      ``/query``              one natural-language SemaSK query
+POST      ``/upsert``             insert points into a collection
+POST      ``/set_payload``        merge payload fields into one point
 POST      ``/admin/save``         snapshot a collection to a directory
-POST      ``/admin/load``         load a snapshot (optionally mmap)
+POST      ``/admin/load``         load a snapshot (mmap and/or WAL)
 ========  ======================  ==========================================
+
+Durability: writes accepted over ``/upsert`` / ``/set_payload`` are
+logged to a per-shard write-ahead log when the served collection has one
+attached (``repro serve --wal MODE``, or ``/admin/load`` with a ``wal``
+mode). ``/healthz`` then reports the per-collection WAL depth so
+operators can see how many acknowledged writes the next ``/admin/save``
+would fold into the snapshot; a successful save truncates the log. With
+no WAL attached the write endpoints still work — writes are simply
+RAM-only until the next save, exactly as before this layer existed.
 
 Request/response schemas are documented in ``docs/serving.md`` (with curl
 examples); ``examples/serve_and_query.py`` exercises every endpoint
@@ -60,7 +71,7 @@ from repro.geo.bbox import BoundingBox
 from repro.geo.point import GeoPoint
 from repro.serving.batcher import QueryCoalescer, SearchCoalescer
 from repro.vectordb.client import VectorDBClient
-from repro.vectordb.collection import SearchHit
+from repro.vectordb.collection import PointStruct, SearchHit
 from repro.vectordb.filters import (
     And,
     FieldIn,
@@ -279,18 +290,81 @@ class ServingContext:
             for name in self._client.list_collections()
         ]
 
-    def save_snapshot(self, collection: str, directory: str) -> dict:
-        """Snapshot ``collection`` to ``directory`` (atomic); returns info."""
-        self._client.save(collection, directory)
-        return {"collection": collection, "directory": str(Path(directory))}
+    def upsert(self, collection: str, points: list[dict]) -> dict:
+        """Insert points (``{"id", "vector", "payload"?}`` dicts).
 
-    def load_snapshot(self, directory: str, mmap: bool = False) -> dict:
-        """Load a snapshot into the client; returns the collection info."""
-        collection = self._client.load(directory, mmap=mmap)
+        Applied — and, when the collection has a WAL attached, logged —
+        before the response is sent, so an acknowledged write survives a
+        crash under ``fsync="always"`` (and a crash after the next flush
+        window under ``"batch"``).
+        """
+        structs = []
+        for row in points:
+            if not isinstance(row, dict) or "id" not in row or "vector" not in row:
+                raise BadRequest(
+                    "each point needs at least 'id' and 'vector' fields"
+                )
+            payload = row.get("payload") or {}
+            if not isinstance(payload, dict):
+                raise BadRequest("point 'payload' must be an object")
+            try:
+                vector = np.asarray(row["vector"], dtype=np.float32)
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(f"bad vector: {exc}") from exc
+            structs.append(
+                PointStruct(id=str(row["id"]), vector=vector, payload=payload)
+            )
+        inserted = self._client.upsert(collection, structs)
+        target = self._client.get_collection(collection)
+        return {
+            "collection": collection,
+            "received": len(structs),
+            "inserted": inserted,
+            "points": len(target),
+            "wal": target.wal_stats(),
+        }
+
+    def set_payload(
+        self, collection: str, point_id: str, payload: dict
+    ) -> dict:
+        """Merge payload fields into one point (logged like upserts)."""
+        self._client.set_payload(collection, point_id, payload)
+        target = self._client.get_collection(collection)
+        return {
+            "collection": collection,
+            "id": point_id,
+            "payload": target.retrieve(point_id).payload,
+            "wal": target.wal_stats(),
+        }
+
+    def save_snapshot(self, collection: str, directory: str) -> dict:
+        """Snapshot ``collection`` to ``directory`` (atomic); returns info.
+
+        Safe under concurrent writes: the save captures the state under
+        the collection's write lock(s), and any attached WAL is truncated
+        through the captured offset afterwards — the response's ``wal``
+        depth reflects that.
+        """
+        self._client.save(collection, directory)
+        return {
+            "collection": collection,
+            "directory": str(Path(directory)),
+            "wal": self._client.get_collection(collection).wal_stats(),
+        }
+
+    def load_snapshot(
+        self, directory: str, mmap: bool = False, wal: str | None = None
+    ) -> dict:
+        """Load a snapshot into the client; returns the collection info.
+
+        Replays any WAL tail beside the snapshot; ``wal`` (an fsync
+        mode) attaches live logs so writes served afterwards are durable.
+        """
+        collection = self._client.load(directory, mmap=mmap, wal=wal)
         return self._client.collection_info(collection.name)
 
     def health(self) -> dict:
-        """The ``/healthz`` body: liveness, uptime, coalescer stats."""
+        """The ``/healthz`` body: liveness, uptime, coalescer + WAL stats."""
         body: dict = {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self._started, 3),
@@ -302,6 +376,13 @@ class ServingContext:
             body["search_coalescer"] = self._search_coalescer.stats.snapshot()
         if self._query_coalescer is not None:
             body["query_coalescer"] = self._query_coalescer.stats.snapshot()
+        # Per-collection WAL depth (records awaiting the next snapshot
+        # truncation); None when that collection's durability is off.
+        wal = {
+            name: self._client.get_collection(name).wal_stats()
+            for name in self._client.list_collections()
+        }
+        body["wal"] = wal if any(v is not None for v in wal.values()) else None
         return body
 
     def close(self) -> None:
@@ -427,6 +508,8 @@ class _Handler(BaseHTTPRequestHandler):
         routes = {
             "/search": self._post_search,
             "/query": self._post_query,
+            "/upsert": self._post_upsert,
+            "/set_payload": self._post_set_payload,
             "/admin/save": self._post_save,
             "/admin/load": self._post_load,
         }
@@ -474,6 +557,27 @@ class _Handler(BaseHTTPRequestHandler):
         )
         return 200, _result_to_json(result)
 
+    def _post_upsert(self) -> tuple[int, dict]:
+        body = self._read_body()
+        for required in ("collection", "points"):
+            if required not in body:
+                raise BadRequest(f"missing field {required!r}")
+        points = body["points"]
+        if not isinstance(points, list):
+            raise BadRequest("'points' must be a list of point objects")
+        return 200, self.context.upsert(str(body["collection"]), points)
+
+    def _post_set_payload(self) -> tuple[int, dict]:
+        body = self._read_body()
+        for required in ("collection", "id", "payload"):
+            if required not in body:
+                raise BadRequest(f"missing field {required!r}")
+        if not isinstance(body["payload"], dict):
+            raise BadRequest("'payload' must be an object")
+        return 200, self.context.set_payload(
+            str(body["collection"]), str(body["id"]), body["payload"]
+        )
+
     def _post_save(self) -> tuple[int, dict]:
         body = self._read_body()
         for required in ("collection", "directory"):
@@ -487,8 +591,11 @@ class _Handler(BaseHTTPRequestHandler):
         body = self._read_body()
         if "directory" not in body:
             raise BadRequest("missing field 'directory'")
+        wal = body.get("wal")
         return 200, self.context.load_snapshot(
-            str(body["directory"]), mmap=bool(body.get("mmap", False))
+            str(body["directory"]),
+            mmap=bool(body.get("mmap", False)),
+            wal=str(wal) if wal is not None else None,
         )
 
 

@@ -21,6 +21,15 @@ parallel worker processes — and :func:`reshard_snapshot` rewrites a saved
 snapshot for a different shard count (``VectorDBClient.reshard_collection``
 is the in-memory equivalent), so shard counts are an operational knob
 rather than frozen at creation time.
+
+Durability: a per-shard write-ahead log (:mod:`repro.vectordb.wal`)
+records accepted writes in a checksummed append-only file next to the
+snapshot (``<snapshot>.wal/``). ``load_collection`` replays any log tail
+on top of the snapshot and ``wal="always"|"batch"|"off"`` attaches live
+logs (:func:`attach_wal` does so for freshly built collections), so a
+crash between snapshot saves no longer loses acknowledged writes; a
+successful ``save_collection`` truncates the log through the offsets the
+snapshot covers.
 """
 
 from repro.vectordb.client import VectorDBClient
@@ -45,6 +54,7 @@ from repro.vectordb.filters import (
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.persistence import (
+    attach_wal,
     inspect_snapshot,
     load_collection,
     migrate_snapshot,
@@ -52,6 +62,7 @@ from repro.vectordb.persistence import (
     save_collection,
 )
 from repro.vectordb.sharded import AnyCollection, ShardedCollection, shard_for
+from repro.vectordb.wal import WriteAheadLog, replay_into, wal_directory
 
 __all__ = [
     "AnyCollection",
@@ -73,12 +84,16 @@ __all__ = [
     "SearchHit",
     "ShardedCollection",
     "VectorDBClient",
+    "WriteAheadLog",
+    "attach_wal",
     "inspect_snapshot",
     "load_collection",
     "migrate_snapshot",
     "normalize_rows",
+    "replay_into",
     "reshard_snapshot",
     "save_collection",
     "shard_for",
     "similarity",
+    "wal_directory",
 ]

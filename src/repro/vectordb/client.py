@@ -188,6 +188,7 @@ class VectorDBClient:
         directory: str | Path,
         hnsw: HnswConfig | None = None,
         mmap: bool = False,
+        wal: str | None = None,
     ) -> AnyCollection:
         """Load a snapshot and register it under its stored name.
 
@@ -195,12 +196,15 @@ class VectorDBClient:
         of the snapshot's vector file instead of materializing vectors
         in RAM (upserts after load copy on write). Persisted HNSW graphs
         are attached; a damaged graph file degrades to a lazy rebuild
-        with a warning. Replaces any same-named collection (closing it).
-        See :func:`repro.vectordb.persistence.load_collection`.
+        with a warning. Any write-ahead-log tail next to the snapshot is
+        replayed; ``wal="always"|"batch"|"off"`` additionally attaches
+        live logs so writes after the load are durable. Replaces any
+        same-named collection (closing it). See
+        :func:`repro.vectordb.persistence.load_collection`.
         """
         from repro.vectordb.persistence import load_collection
 
-        collection = load_collection(directory, hnsw=hnsw, mmap=mmap)
+        collection = load_collection(directory, hnsw=hnsw, mmap=mmap, wal=wal)
         previous = self._collections.get(collection.name)
         if previous is not None:
             previous.close()
@@ -215,8 +219,9 @@ class VectorDBClient:
 
         Returns name, point count, dim, metric, shard count (1 for a
         plain collection), the active shard executor kind (``None`` when
-        unsharded), whether the HNSW graph(s) are built, and the indexed
-        payload fields — what the serving layer's ``/collections``
+        unsharded), whether the HNSW graph(s) are built, the indexed
+        payload fields, and write-ahead-log counters (``None`` when
+        durability is off) — what the serving layer's ``/collections``
         endpoint and the CLI report. Raises
         :class:`~repro.errors.CollectionNotFound` for unknown names.
         """
@@ -232,6 +237,7 @@ class VectorDBClient:
             "indexed_payload_fields": sorted(
                 collection.indexed_payload_fields
             ),
+            "wal": collection.wal_stats(),
         }
 
     def has_collection(self, name: str) -> bool:
@@ -243,6 +249,12 @@ class VectorDBClient:
     def upsert(self, name: str, points: Iterable[PointStruct]) -> int:
         """Upsert points into the named collection."""
         return self.get_collection(name).upsert(points)
+
+    def set_payload(
+        self, name: str, point_id: str, payload: dict
+    ) -> None:
+        """Merge ``payload`` into one point of the named collection."""
+        self.get_collection(name).set_payload(point_id, payload)
 
     def search(
         self,

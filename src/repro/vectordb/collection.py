@@ -23,15 +23,33 @@ graphs in parallel worker processes). A graph is never required: exact
 and selective-filter searches bypass it, and any approximate search on a
 graph-less collection still builds one on demand. Points upserted after
 a build are appended to the live graph, so it cannot go stale.
+
+Durability and concurrency: every write path (``upsert``,
+``set_payload``, ``create_payload_index``) runs under a collection-level
+write lock, and — when a :class:`~repro.vectordb.wal.WriteAheadLog` is
+attached via :meth:`Collection.attach_wal` — logs the accepted write to
+the WAL *after* applying it in memory but *before* returning to the
+caller (apply-then-log, both under the lock). That ordering is what lets
+:meth:`Collection.snapshot_view` capture a matrix/ids/payloads view plus
+a WAL offset that are mutually consistent, and what guarantees the
+copy-on-write of an mmap-adopted matrix has fully completed before the
+write's WAL record exists. Reads are intentionally left lock-free: rows
+``[0, n)`` of the vector matrix never mutate after insertion (vector
+replacement is unsupported), so searches racing an upsert see either the
+pre- or post-write population, never a torn row.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vectordb.wal import WriteAheadLog
 
 from repro.errors import CollectionError, DimensionMismatch, PointNotFound
 from repro.vectordb.distance import Metric
@@ -69,6 +87,37 @@ class HnswConfig:
     seed: int = 7
 
 
+@dataclass(frozen=True)
+class SnapshotView:
+    """A consistent capture of one collection for snapshot serialization.
+
+    Produced by :meth:`Collection.snapshot_view` under the collection's
+    write lock, consumed by :func:`repro.vectordb.persistence.save_collection`
+    *outside* it. ``vectors`` is a zero-copy view whose rows are
+    immutable by contract (inserted vectors are never rewritten;
+    appends land beyond ``len(ids)`` and reallocation replaces the
+    backing array, leaving this view intact), ``ids``/``payloads`` are
+    copies, and ``graph_arrays`` is the HNSW graph already serialized to
+    arrays (the live graph keeps growing after capture). ``wal`` /
+    ``wal_offset`` record the attached write-ahead log and its byte
+    offset at capture time, so a successful save can truncate exactly
+    the records the snapshot made durable — and not the writes that
+    raced it.
+    """
+
+    name: str
+    dim: int
+    metric: Metric
+    hnsw: HnswConfig
+    indexed_fields: tuple[str, ...]
+    vectors: np.ndarray
+    ids: list[str]
+    payloads: list[dict[str, Any]]
+    graph_arrays: dict[str, np.ndarray] | None
+    wal: "WriteAheadLog | None"
+    wal_offset: int | None
+
+
 class Collection:
     """A named set of points over a fixed-dimension vector space."""
 
@@ -93,6 +142,26 @@ class Collection:
         self._payloads: list[dict[str, Any]] = []
         self._id_to_node: dict[str, int] = {}
         self._payload_indexes = PayloadIndexRegistry()
+        self._wal: "WriteAheadLog | None" = None
+        self._write_lock = threading.RLock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle without the lock or the WAL handle.
+
+        Collections travel to worker processes (``parallel="process"``
+        shard replicas, build pools). Locks do not pickle, and — more
+        importantly — a replica must **never** carry a live WAL: the
+        parent already logged each write before mirroring it, so a
+        logging replica would double-log every mirrored write.
+        """
+        state = self.__dict__.copy()
+        state["_wal"] = None
+        state["_write_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._write_lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -134,7 +203,50 @@ class Collection:
         return self._flat.matrix()
 
     def close(self) -> None:
-        """Release resources (no-op here; surface parity with sharded)."""
+        """Release resources: flushes and closes an attached WAL."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The collection-level write lock (re-entrant).
+
+        Held by every write for its whole apply+log span and by
+        :meth:`snapshot_view` while capturing; reads do not take it
+        (see the module docstring for why that is safe).
+        """
+        return self._write_lock
+
+    @property
+    def wal(self) -> "WriteAheadLog | None":
+        """The attached write-ahead log, or ``None``."""
+        return self._wal
+
+    def attach_wal(self, wal: "WriteAheadLog") -> None:
+        """Start logging accepted writes to ``wal``.
+
+        The log is an *output* here — attach does not replay it (use
+        :func:`repro.vectordb.wal.replay_into` first; the load path in
+        :mod:`repro.vectordb.persistence` does both in order). Replaces
+        any previously attached log without closing it.
+        """
+        with self._write_lock:
+            self._wal = wal
+
+    def detach_wal(self) -> "WriteAheadLog | None":
+        """Stop logging; returns the detached log (not closed)."""
+        with self._write_lock:
+            wal, self._wal = self._wal, None
+            return wal
+
+    def wal_stats(self) -> dict | None:
+        """The attached WAL's counters, or ``None`` when logging is off."""
+        return self._wal.stats() if self._wal is not None else None
 
     # ------------------------------------------------------------------
     # writes
@@ -146,42 +258,72 @@ class Collection:
         Returns the number of points inserted. Re-upserting an existing id
         with a *different* vector raises: HNSW graphs do not support vector
         replacement, and the SemaSK pipeline never needs it.
+
+        With a WAL attached, every *accepted* point is logged before the
+        call returns — including the accepted prefix of a batch that
+        raises partway through, so recovery replays exactly the writes
+        that were actually applied. The in-memory apply (including the
+        copy-on-write that a first upsert after an mmap load performs)
+        strictly precedes each point's log record.
         """
-        inserted = 0
-        for point in points:
-            vector = np.asarray(point.vector, dtype=np.float32)
-            if vector.shape != (self.dim,):
-                raise DimensionMismatch(
-                    f"collection {self.name!r} expects dim {self.dim}, "
-                    f"point {point.id!r} has shape {vector.shape}"
-                )
-            existing = self._id_to_node.get(point.id)
-            if existing is not None:
-                if not np.allclose(self._flat.vector(existing), vector):
-                    raise CollectionError(
-                        f"point {point.id!r} already exists with a different "
-                        "vector; vector replacement is not supported"
-                    )
-                old_payload = self._payloads[existing]
-                self._payloads[existing] = dict(point.payload)
-                self._payload_indexes.reindex_point(
-                    existing, old_payload, point.payload
-                )
-                continue
-            node = self._flat.add(vector)
-            if self._hnsw is not None:
-                # An attached graph may trail the collection (built in a
-                # worker while points kept arriving); append any missing
-                # tail first so graph node ids stay equal to flat node ids.
-                for missing in range(len(self._hnsw), node):
-                    self._hnsw.add(self._flat.vector(missing))
-                self._hnsw.add(vector)
-            self._ids.append(point.id)
-            self._payloads.append(dict(point.payload))
-            self._id_to_node[point.id] = node
-            self._payload_indexes.index_point(node, point.payload)
-            inserted += 1
-        return inserted
+        with self._write_lock:
+            inserted = 0
+            accepted: list[PointStruct] = []
+            try:
+                for point in points:
+                    vector = np.asarray(point.vector, dtype=np.float32)
+                    if vector.shape != (self.dim,):
+                        raise DimensionMismatch(
+                            f"collection {self.name!r} expects dim "
+                            f"{self.dim}, point {point.id!r} has shape "
+                            f"{vector.shape}"
+                        )
+                    existing = self._id_to_node.get(point.id)
+                    if existing is not None:
+                        if not np.allclose(self._flat.vector(existing), vector):
+                            raise CollectionError(
+                                f"point {point.id!r} already exists with a "
+                                "different vector; vector replacement is "
+                                "not supported"
+                            )
+                        old_payload = self._payloads[existing]
+                        self._payloads[existing] = dict(point.payload)
+                        self._payload_indexes.reindex_point(
+                            existing, old_payload, point.payload
+                        )
+                        if self._wal is not None:
+                            accepted.append(PointStruct(
+                                id=point.id,
+                                vector=self._flat.vector(existing),
+                                payload=dict(point.payload),
+                            ))
+                        continue
+                    node = self._flat.add(vector)
+                    if self._hnsw is not None:
+                        # An attached graph may trail the collection (built
+                        # in a worker while points kept arriving); append
+                        # any missing tail first so graph node ids stay
+                        # equal to flat node ids.
+                        for missing in range(len(self._hnsw), node):
+                            self._hnsw.add(self._flat.vector(missing))
+                        self._hnsw.add(vector)
+                    self._ids.append(point.id)
+                    self._payloads.append(dict(point.payload))
+                    self._id_to_node[point.id] = node
+                    self._payload_indexes.index_point(node, point.payload)
+                    inserted += 1
+                    if self._wal is not None:
+                        accepted.append(PointStruct(
+                            id=point.id, vector=vector,
+                            payload=dict(point.payload),
+                        ))
+            finally:
+                # Log even when the batch raised mid-way: the accepted
+                # prefix stays applied (documented contract), so it must
+                # also survive a crash.
+                if self._wal is not None and accepted:
+                    self._wal.append_points(accepted)
+            return inserted
 
     def create_payload_index(self, field: str) -> None:
         """Build a hash index over ``field`` (backfills existing points).
@@ -189,9 +331,12 @@ class Collection:
         Mirrors Qdrant's payload indexes: selective equality/membership
         filters over indexed fields skip the full payload scan.
         """
-        self._payload_indexes.create_index(field)
-        for node, payload in enumerate(self._payloads):
-            self._payload_indexes.index_point(node, payload)
+        with self._write_lock:
+            self._payload_indexes.create_index(field)
+            for node, payload in enumerate(self._payloads):
+                self._payload_indexes.index_point(node, payload)
+            if self._wal is not None:
+                self._wal.append_create_index(field)
 
     @property
     def indexed_payload_fields(self) -> frozenset[str]:
@@ -200,14 +345,17 @@ class Collection:
 
     def set_payload(self, point_id: str, payload: dict[str, Any]) -> None:
         """Merge ``payload`` into an existing point's payload."""
-        node = self._id_to_node.get(point_id)
-        if node is None:
-            raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
-        old_payload = dict(self._payloads[node])
-        self._payloads[node].update(payload)
-        self._payload_indexes.reindex_point(
-            node, old_payload, self._payloads[node]
-        )
+        with self._write_lock:
+            node = self._id_to_node.get(point_id)
+            if node is None:
+                raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
+            old_payload = dict(self._payloads[node])
+            self._payloads[node].update(payload)
+            self._payload_indexes.reindex_point(
+                node, old_payload, self._payloads[node]
+            )
+            if self._wal is not None:
+                self._wal.append_set_payload(point_id, payload)
 
     # ------------------------------------------------------------------
     # reads
@@ -452,11 +600,42 @@ class Collection:
         views, which is what lets an mmap-served collection save without
         materializing its matrix.
         """
-        return (
-            self._flat.matrix().copy(),
-            list(self._ids),
-            [dict(p) for p in self._payloads],
-        )
+        with self._write_lock:
+            return (
+                self._flat.matrix().copy(),
+                list(self._ids),
+                [dict(p) for p in self._payloads],
+            )
+
+    def snapshot_view(self) -> SnapshotView:
+        """Capture a consistent :class:`SnapshotView` under the write lock.
+
+        Cheap relative to serialization: the vector matrix is a zero-copy
+        view (rows below ``len(ids)`` are immutable by contract), only
+        ids/payloads are copied, and the HNSW graph — when built — is
+        serialized to arrays here because the live graph keeps growing
+        after the lock is released.
+        """
+        with self._write_lock:
+            n = len(self._ids)
+            graph_arrays = (
+                self._hnsw.to_arrays()
+                if self.hnsw_is_built and n
+                else None
+            )
+            return SnapshotView(
+                name=self.name,
+                dim=self.dim,
+                metric=self.metric,
+                hnsw=self.hnsw_config,
+                indexed_fields=tuple(sorted(self.indexed_payload_fields)),
+                vectors=self._flat.matrix(),
+                ids=list(self._ids),
+                payloads=[dict(p) for p in self._payloads],
+                graph_arrays=graph_arrays,
+                wal=self._wal,
+                wal_offset=self._wal.offset if self._wal is not None else None,
+            )
 
     def payload_rows(self) -> list[dict[str, Any]]:
         """The stored payload dicts in node-id order, *by reference*.

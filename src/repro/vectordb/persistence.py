@@ -33,6 +33,26 @@ reload bit-identically to before, with the HNSW graph rebuilt lazily —
 ``migrate_snapshot`` (CLI ``snapshot migrate``) upgrades them in place.
 :func:`inspect_snapshot` summarizes any snapshot without loading it.
 
+Durability: a snapshot directory may have a *sibling* write-ahead log
+directory (``<name>.wal/``, one ``shard-NN.wal`` per shard — a sibling
+rather than a child so the atomic directory swap above never moves or
+clobbers the log). :func:`load_collection` replays any WAL tail found
+there on top of the snapshot — restoring writes that were logged after
+the last save — and, when asked (``wal="always"|"batch"|"off"``),
+attaches fresh logs so subsequent writes are durable too.
+:func:`save_collection` captures each shard's WAL offset inside the same
+locked snapshot view it serializes, and truncates the logs through those
+offsets only after the atomic publish succeeds: records covered by the
+new snapshot are dropped, writes that raced the save survive in the log.
+See :mod:`repro.vectordb.wal` for the record format.
+
+Stranded temporaries: a hard kill mid-save can leave ``.<name>.save-tmp-*``
+(and ``.old-*`` / ``.reshard-tmp*``) sibling directories behind. Loads and
+inspections never look at them, :func:`inspect_snapshot` lists them so
+operators can see the litter, and the next :func:`save_collection` of the
+same path sweeps any older than one hour (age-gated so a concurrent
+in-flight save's staging tree is never deleted from under it).
+
 Resharding: :func:`reshard_snapshot` rewrites a snapshot for a different
 shard count without touching embeddings — every point is re-routed by
 ``shard_for(id, new_shards)`` while the global insertion order, payload
@@ -49,6 +69,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 import uuid
 import warnings
 from dataclasses import asdict
@@ -57,10 +78,18 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import CollectionError
-from repro.vectordb.collection import Collection, HnswConfig
+from repro.vectordb.collection import Collection, HnswConfig, SnapshotView
 from repro.vectordb.distance import Metric
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.sharded import AnyCollection, ShardedCollection, shard_for
+from repro.vectordb.wal import (
+    FSYNC_MODES,
+    WriteAheadLog,
+    replay_into,
+    scan as wal_scan,
+    shard_wal_path,
+    wal_directory,
+)
 
 #: Current snapshot schema version.
 SCHEMA_VERSION = 3
@@ -72,8 +101,52 @@ _PAYLOADS_FILE = "payloads.jsonl"
 _GRAPH_FILE = "graph.npz"
 
 
+#: Temp siblings older than this are presumed stranded by a dead save
+#: and swept by the next save of the same path. Generous on purpose: an
+#: in-flight save's staging tree must never be deleted from under it.
+STALE_TEMP_AGE_S = 3600.0
+
+
 def _shard_dir(directory: Path, index: int) -> Path:
     return directory / f"shard-{index:02d}"
+
+
+def _temp_siblings(directory: Path) -> list[Path]:
+    """Sibling directories left behind by interrupted atomic rewrites."""
+    parent, name = directory.parent, directory.name
+    prefixes = (
+        f".{name}.save-tmp-",
+        f".{name}.old-",
+        f".{name}.reshard-tmp",
+    )
+    if not parent.is_dir():
+        return []
+    return sorted(
+        path for path in parent.iterdir()
+        if path.is_dir() and path.name.startswith(prefixes)
+    )
+
+
+def _sweep_stale_temps(
+    directory: Path, max_age_s: float = STALE_TEMP_AGE_S
+) -> list[Path]:
+    """Delete stranded temp siblings older than ``max_age_s`` seconds.
+
+    Returns the paths removed. Only age-expired temps go — a concurrent
+    save's live staging tree (fresh mtime) survives, as does anything
+    that vanishes or errors mid-check (another sweeper may be racing us).
+    """
+    cutoff = time.time() - max_age_s
+    swept: list[Path] = []
+    for temp in _temp_siblings(directory):
+        try:
+            if temp.stat().st_mtime > cutoff:
+                continue
+        except OSError:
+            continue
+        shutil.rmtree(temp, ignore_errors=True)
+        swept.append(temp)
+    return swept
 
 
 def _fsync_path(path: Path) -> None:
@@ -197,29 +270,53 @@ def save_collection(
     vectors, no graph files) for compatibility tooling and benchmarks;
     ``include_graphs=False`` omits graph files from a v3 snapshot
     (``snapshot migrate --no-graphs``).
+
+    The save is also consistent under concurrent writes: the state to
+    serialize is captured as per-shard :class:`SnapshotView`\\ s under the
+    collection's write lock(s) — a sharded save holds the global write
+    lock while capturing, so the persisted ``order`` and every shard
+    agree — and serialization happens outside the locks, so writers stall
+    only for the capture, not for the disk I/O. After a successful
+    publish, any attached write-ahead logs are truncated through the
+    byte offsets the views captured: records the snapshot now covers are
+    dropped, writes that raced the save stay logged. Logs are only
+    truncated when saving to the directory they are the sibling of —
+    saving a copy elsewhere leaves durability of the original intact.
+    Before staging, temp siblings stranded by previously interrupted
+    saves are swept (see :func:`_sweep_stale_temps`).
     """
     if schema not in (2, SCHEMA_VERSION):
         raise CollectionError(f"cannot write snapshot schema {schema}")
     directory = Path(directory)
     directory.parent.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_temps(directory)
+    if isinstance(collection, ShardedCollection):
+        with collection.write_lock:
+            views = [
+                shard.snapshot_view()
+                for shard in collection.shard_collections
+            ]
+            meta = _base_meta(collection, schema)
+            meta["shards"] = collection.n_shards
+            meta["order"] = list(collection.point_order)
+    else:
+        views = [collection.snapshot_view()]
+        meta = None
     # Unique per invocation, so concurrent saves of the same path never
     # write into (or delete) each other's staging tree; last swap wins.
     staged = (
         directory.parent / f".{directory.name}.save-tmp-{uuid.uuid4().hex[:8]}"
     )
     try:
-        if isinstance(collection, ShardedCollection):
+        if meta is not None:
             staged.mkdir(parents=True)
-            for index, shard in enumerate(collection.shard_collections):
-                _save_single(
-                    shard, _shard_dir(staged, index), schema, include_graphs
+            for index, view in enumerate(views):
+                _save_view(
+                    view, _shard_dir(staged, index), schema, include_graphs
                 )
-            meta = _base_meta(collection, schema)
-            meta["shards"] = collection.n_shards
-            meta["order"] = list(collection.point_order)
             (staged / _META_FILE).write_text(json.dumps(meta, indent=2))
         else:
-            _save_single(collection, staged, schema, include_graphs)
+            _save_view(views[0], staged, schema, include_graphs)
     except BaseException:
         shutil.rmtree(staged, ignore_errors=True)
         raise
@@ -228,12 +325,21 @@ def save_collection(
     except BaseException:
         shutil.rmtree(staged, ignore_errors=True)
         raise
+    own_wal_dir = wal_directory(directory).resolve()
+    for view in views:
+        if (
+            view.wal is not None
+            and view.wal_offset is not None
+            and view.wal.path.parent.resolve() == own_wal_dir
+        ):
+            view.wal.truncate_through(view.wal_offset)
 
 
 def load_collection(
     directory: str | Path,
     hnsw: HnswConfig | None = None,
     mmap: bool = False,
+    wal: str | None = None,
 ) -> AnyCollection:
     """Read a collection written by :func:`save_collection`.
 
@@ -249,8 +355,29 @@ def load_collection(
     compressed vectors and load eagerly with a warning). Searches read
     straight off the page cache; a later upsert copies on write, leaving
     the snapshot file untouched.
+
+    Crash recovery: if the snapshot has a sibling WAL directory, its
+    intact record prefix is replayed on top of the loaded state —
+    unconditionally, because logged records are acknowledged writes the
+    snapshot does not cover (a torn tail is skipped here and physically
+    truncated on the next attach). Sharded snapshots replay through the
+    assembled :class:`~repro.vectordb.sharded.ShardedCollection` so the
+    records re-route to their shards and re-enter the global insertion
+    order; the relative order of tail writes *across* shards is not
+    preserved (each shard's log orders only its own writes), which
+    affects ``scroll`` order of tail points and nothing else.
+
+    ``wal`` enables durable writes going forward: pass an fsync mode
+    (``"always"``, ``"batch"``, or ``"off"`` — see
+    :class:`~repro.vectordb.wal.WriteAheadLog`) to attach per-shard logs
+    after replay. ``wal=None`` (default) leaves logging off and the log
+    files untouched; every pre-WAL call site behaves exactly as before.
     """
     directory = Path(directory)
+    if wal is not None and wal not in FSYNC_MODES:
+        raise CollectionError(
+            f"unknown WAL fsync mode {wal!r}; use one of {FSYNC_MODES}"
+        )
     meta = _read_meta(directory)
     hnsw_config = hnsw or _stored_hnsw(meta)
     # The "shards" key marks the sharded layout (written for ANY shard
@@ -260,22 +387,71 @@ def load_collection(
             _load_single(_shard_dir(directory, index), hnsw_config, mmap=mmap)
             for index in range(meta["shards"])
         ]
-        return ShardedCollection.from_shards(
+        collection: AnyCollection = ShardedCollection.from_shards(
             name=meta["name"],
             shards=shards,
             order=meta["order"],
             metric=Metric(meta["metric"]),
             hnsw=hnsw_config,
         )
-    return _load_single(directory, hnsw_config, meta=meta, mmap=mmap)
+        n_logs = meta["shards"]
+    else:
+        collection = _load_single(directory, hnsw_config, meta=meta, mmap=mmap)
+        n_logs = 1
+    wal_dir = wal_directory(directory)
+    for index in range(n_logs):
+        log_path = shard_wal_path(wal_dir, index)
+        if log_path.exists():
+            replay_into(collection, log_path)
+    if wal is not None:
+        attach_wal(collection, directory, fsync=wal)
+    return collection
+
+
+def attach_wal(
+    collection: AnyCollection,
+    directory: str | Path,
+    fsync: str = "batch",
+    flush_interval_s: float = 0.005,
+) -> Path:
+    """Attach per-shard write-ahead logs for the snapshot at ``directory``.
+
+    Creates the sibling WAL directory if needed, opens (and tail-repairs)
+    one :class:`~repro.vectordb.wal.WriteAheadLog` per shard, and
+    attaches them so subsequent writes are logged. Replay is *not*
+    performed here — callers that might be recovering should go through
+    :func:`load_collection`, which replays before attaching; this helper
+    is for freshly built collections that are about to be (or just were)
+    saved to ``directory``. Returns the WAL directory path.
+    """
+    directory = Path(directory)
+    wal_dir = wal_directory(directory)
+    shards = (
+        collection.shard_collections
+        if isinstance(collection, ShardedCollection)
+        else (collection,)
+    )
+    for index, shard in enumerate(shards):
+        shard.attach_wal(
+            WriteAheadLog(
+                shard_wal_path(wal_dir, index),
+                fsync=fsync,
+                flush_interval_s=flush_interval_s,
+            )
+        )
+    return wal_dir
 
 
 def inspect_snapshot(directory: str | Path) -> dict:
     """Summarize a snapshot without loading any vectors or graphs.
 
-    Returns schema, name, dim, metric, count, shard layout, and per-shard
+    Returns schema, name, dim, metric, count, shard layout, per-shard
     storage details (vector file format and whether a persisted graph is
-    present) — the CLI ``snapshot inspect`` payload.
+    present), sibling WAL state (record counts and any torn-tail bytes a
+    recovery would discard), and temp siblings stranded by interrupted
+    saves — the CLI ``snapshot inspect`` payload. Stranded temps and WAL
+    files are reported, never read into the summary's counts: the
+    snapshot's own metadata stays authoritative.
     """
     directory = Path(directory)
     meta = _read_meta(directory)
@@ -318,7 +494,37 @@ def inspect_snapshot(directory: str | Path) -> dict:
     info["storage"] = details
     info["mmap_capable"] = all(d["vector_format"] == "npy" for d in details)
     info["graphs_persisted"] = all(d["graph"] for d in details)
+    info["wal"] = _inspect_wal(directory)
+    info["stale_temps"] = [path.name for path in _temp_siblings(directory)]
     return info
+
+
+def _inspect_wal(directory: Path) -> dict | None:
+    """Summarize the snapshot's sibling WAL directory, or ``None``."""
+    wal_dir = wal_directory(directory)
+    if not wal_dir.is_dir():
+        return None
+    files = []
+    for path in sorted(wal_dir.glob("shard-*.wal")):
+        try:
+            size = path.stat().st_size
+            valid_end, records = wal_scan(path)
+        except Exception as exc:
+            files.append({"path": str(path), "error": str(exc)})
+            continue
+        files.append(
+            {
+                "path": str(path),
+                "records": records,
+                "bytes": size,
+                "torn_bytes": size - valid_end,
+            }
+        )
+    return {
+        "path": str(wal_dir),
+        "records": sum(f.get("records", 0) for f in files),
+        "files": files,
+    }
 
 
 def migrate_snapshot(
@@ -516,32 +722,34 @@ def _base_meta(collection: AnyCollection, schema: int = SCHEMA_VERSION) -> dict:
     )
 
 
-def _save_single(
-    collection: Collection,
+def _save_view(
+    view: SnapshotView,
     directory: Path,
     schema: int = SCHEMA_VERSION,
     include_graphs: bool = True,
 ) -> None:
-    graph = None
-    if (
-        schema >= 3 and include_graphs
-        and collection.hnsw_is_built and len(collection)
-    ):
-        graph = collection.hnsw_index
-    # Views, not copies: np.save/json only read, so even an mmap-served
-    # collection saves without materializing its vector matrix.
+    """Serialize one consistently captured :class:`SnapshotView`.
+
+    The view was captured under the collection's write lock; writing it
+    here happens outside any lock. ``view.vectors`` is still a zero-copy
+    slice of live storage (rows the view covers are immutable), so even
+    an mmap-served collection saves without materializing its matrix.
+    """
+    graph_arrays = (
+        view.graph_arrays if (schema >= 3 and include_graphs) else None
+    )
     _write_single_raw(
         directory,
-        name=collection.name,
-        dim=collection.dim,
-        metric=collection.metric.value,
-        vectors=collection.vector_matrix(),
-        ids=collection.point_ids(),
-        payloads=collection.payload_rows(),
-        hnsw=asdict(collection.hnsw_config),
-        indexed=sorted(collection.indexed_payload_fields),
+        name=view.name,
+        dim=view.dim,
+        metric=view.metric.value,
+        vectors=view.vectors,
+        ids=view.ids,
+        payloads=view.payloads,
+        hnsw=asdict(view.hnsw),
+        indexed=list(view.indexed_fields),
         schema=schema,
-        graph=graph,
+        graph_arrays=graph_arrays,
     )
 
 
@@ -556,9 +764,16 @@ def _write_single_raw(
     hnsw: dict,
     indexed: list[str],
     schema: int = SCHEMA_VERSION,
-    graph: HNSWIndex | None = None,
+    graph_arrays: dict | None = None,
 ) -> None:
-    """Write one single-collection snapshot from raw arrays."""
+    """Write one single-collection snapshot from raw arrays.
+
+    ``graph_arrays`` is the HNSW graph already serialized via
+    :meth:`~repro.vectordb.hnsw.HNSWIndex.to_arrays` — arrays rather
+    than a live index, because save captures the graph under the write
+    lock (a live index could keep growing) and workers only need the
+    arrays anyway.
+    """
     directory.mkdir(parents=True, exist_ok=True)
     if schema >= 3:
         # Raw .npy so loads can memory-map the matrix directly.
@@ -568,8 +783,8 @@ def _write_single_raw(
         )
     else:
         np.savez_compressed(directory / _VECTORS_FILE_LEGACY, vectors=vectors)
-    if graph is not None:
-        np.savez(directory / _GRAPH_FILE, **graph.to_arrays())
+    if graph_arrays is not None:
+        np.savez(directory / _GRAPH_FILE, **graph_arrays)
     with open(directory / _PAYLOADS_FILE, "w", encoding="utf-8") as fh:
         for point_id, payload in zip(ids, payloads):
             fh.write(

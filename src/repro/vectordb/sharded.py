@@ -212,6 +212,11 @@ class ShardedCollection:
         self._shards = shards
         self._id_to_shard: dict[str, int] = {}
         self._order: list[str] = []  # global insertion order, for scroll
+        # Global write lock: writes route through shard-level locks too,
+        # but saving a sharded collection must capture the order table
+        # and *every* shard atomically — per-shard locks alone would let
+        # an upsert land in shard 1 after shard 0 was captured.
+        self._write_lock = threading.RLock()
         self._executor = self._make_executor(parallel)
 
     def _make_executor(self, kind: str):
@@ -329,36 +334,43 @@ class ShardedCollection:
                 arrivals.append((point.id, index))
                 pending.add(point.id)
         inserted = 0
-        try:
-            for index, bucket in buckets.items():
-                inserted += self._shards[index].upsert(bucket)
-                # Keep process-executor replicas identical: the same
-                # bucket lands in the worker only after the parent copy
-                # accepted it, so a raising bucket is never half-mirrored.
-                self._executor.mirror_write(index, "upsert", bucket)
-        except BaseException:
-            # Like Collection.upsert, a batch that raises mid-way stays
-            # partially applied; reconcile the order/routing tables
-            # against the shards' actual state before propagating.
-            applied = {
-                index: set(self._shards[index].point_ids())
-                for index in {index for _, index in arrivals}
-            }
-            for point_id, index in arrivals:
-                if point_id in applied[index]:
-                    self._id_to_shard[point_id] = index
-                    self._order.append(point_id)
-            raise
-        for point_id, index in arrivals:  # success: every arrival landed
-            self._id_to_shard[point_id] = index
-            self._order.append(point_id)
+        with self._write_lock:
+            try:
+                for index, bucket in buckets.items():
+                    inserted += self._shards[index].upsert(bucket)
+                    # Keep process-executor replicas identical: the same
+                    # bucket lands in the worker only after the parent copy
+                    # accepted it, so a raising bucket is never
+                    # half-mirrored. Replicas never carry a WAL
+                    # (Collection.__getstate__ strips it), so mirrored
+                    # writes are not logged twice.
+                    self._executor.mirror_write(index, "upsert", bucket)
+            except BaseException:
+                # Like Collection.upsert, a batch that raises mid-way stays
+                # partially applied; reconcile the order/routing tables
+                # against the shards' actual state before propagating.
+                applied = {
+                    index: set(self._shards[index].point_ids())
+                    for index in {index for _, index in arrivals}
+                }
+                for point_id, index in arrivals:
+                    if point_id in applied[index]:
+                        self._id_to_shard[point_id] = index
+                        self._order.append(point_id)
+                raise
+            for point_id, index in arrivals:  # success: every arrival landed
+                self._id_to_shard[point_id] = index
+                self._order.append(point_id)
         return inserted
 
     def create_payload_index(self, field: str) -> None:
         """Build a hash index over ``field`` on every shard."""
-        for index, shard in enumerate(self._shards):
-            shard.create_payload_index(field)
-            self._executor.mirror_write(index, "create_payload_index", field)
+        with self._write_lock:
+            for index, shard in enumerate(self._shards):
+                shard.create_payload_index(field)
+                self._executor.mirror_write(
+                    index, "create_payload_index", field
+                )
 
     @property
     def hnsw_is_built(self) -> bool:
@@ -426,7 +438,7 @@ class ShardedCollection:
             )
 
     def close(self, wait: bool = False) -> None:
-        """Release the fan-out executor (idempotent).
+        """Release the fan-out executor and shard WALs (idempotent).
 
         The data stays readable through the parent's shards, but
         multi-shard searches are no longer possible after closing;
@@ -434,9 +446,34 @@ class ShardedCollection:
         (``VectorDBClient.delete_collection`` and the client's
         context-manager exit do) rather than wait for GC to reap worker
         threads — or, under ``parallel="process"``, worker *processes*.
-        ``wait=True`` blocks until the workers have exited.
+        ``wait=True`` blocks until the workers have exited. Any
+        write-ahead logs attached to the shards are flushed and closed.
         """
         self._executor.close(wait=wait)
+        for shard in self._shards:
+            shard.close()
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The collection-global write lock (see ``_init_fields``)."""
+        return self._write_lock
+
+    def wal_stats(self) -> dict | None:
+        """Aggregate WAL counters across shards, or ``None`` if WAL-off.
+
+        Returns totals plus the per-shard stats, matching the shape the
+        serving layer exposes in ``/healthz``.
+        """
+        per_shard = [shard.wal_stats() for shard in self._shards]
+        if all(stats is None for stats in per_shard):
+            return None
+        live = [stats for stats in per_shard if stats is not None]
+        return {
+            "fsync": live[0]["fsync"],
+            "records": sum(stats["records"] for stats in live),
+            "bytes": sum(stats["bytes"] for stats in live),
+            "shards": per_shard,
+        }
 
     def set_payload(self, point_id: str, payload: dict[str, Any]) -> None:
         """Merge ``payload`` into an existing point's payload.
@@ -445,11 +482,14 @@ class ShardedCollection:
         under ``parallel="process"`` the update is mirrored to the
         owning shard's worker replica before returning.
         """
-        index = self._id_to_shard.get(point_id)
-        if index is None:
-            raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
-        self._shards[index].set_payload(point_id, payload)
-        self._executor.mirror_write(index, "set_payload", point_id, payload)
+        with self._write_lock:
+            index = self._id_to_shard.get(point_id)
+            if index is None:
+                raise PointNotFound(f"point {point_id!r} not in {self.name!r}")
+            self._shards[index].set_payload(point_id, payload)
+            self._executor.mirror_write(
+                index, "set_payload", point_id, payload
+            )
 
     # ------------------------------------------------------------------
     # reads
