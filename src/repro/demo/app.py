@@ -172,7 +172,7 @@ class DemoServer:
                         context, neighborhood, query_text, interactive=True
                     )
                     status = 200
-                except Exception as exc:  # pragma: no cover - defensive
+                except Exception as exc:  # reprolint: last-resort -- rendered as the 500 error page
                     page = f"<h1>Error</h1><pre>{html.escape(str(exc))}</pre>"
                     status = 500
                 body = page.encode("utf-8")

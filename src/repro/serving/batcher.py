@@ -88,6 +88,7 @@ class CoalescerStats:
         }
 
 
+# reprolint: disable=RL06 -- process-local: lives inside a ServingContext, never pickled
 class MicroBatcher:
     """Size-or-deadline micro-batching over a ``run_batch`` callable.
 

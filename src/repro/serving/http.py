@@ -404,6 +404,7 @@ class ServingContext:
         self.close()
 
 
+# reprolint: disable=RL06 -- a live socket server is never pickled
 class _TrackingHTTPServer(ThreadingHTTPServer):
     """``ThreadingHTTPServer`` that counts in-flight request handlers.
 
@@ -488,7 +489,7 @@ class _Handler(BaseHTTPRequestHandler):
                 status, body = 404, {"error": str(exc)}
             except ReproError as exc:
                 status, body = 400, {"error": str(exc)}
-            except Exception as exc:  # noqa: BLE001 - last-resort 500
+            except Exception as exc:  # reprolint: last-resort -- every handler error becomes a JSON 500
                 status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
             self._send_json(status, body)
         finally:
@@ -599,6 +600,7 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
+# reprolint: disable=RL06 -- owns the server thread; process-local by construction
 class ServingServer:
     """A :class:`ServingContext` behind a ``ThreadingHTTPServer``.
 

@@ -119,6 +119,13 @@ class ProcessShardExecutor:
         )
         self._closed = False
 
+    def __getstate__(self) -> None:
+        raise TypeError(
+            "ProcessShardExecutor holds live worker processes, pipes, and "
+            "locks and cannot be pickled; replicas are built from pickled "
+            "shard Collections, never from the executor itself"
+        )
+
     def _call(self, index: int, method: str, args: tuple, kwargs: dict) -> Any:
         """One synchronous round-trip to worker ``index`` (thread-safe).
 
@@ -133,8 +140,12 @@ class ProcessShardExecutor:
             if self._closed:
                 raise RuntimeError("process shard executor is closed")
             try:
-                conn.send((method, args, kwargs))
-                status, payload = conn.recv()
+                # The per-worker lock exists precisely to serialize this
+                # send/recv pair; holding it across the pipe round-trip is
+                # the design, and other workers' locks are untouched so
+                # shards still overlap.
+                conn.send((method, args, kwargs))  # reprolint: disable=RL03 -- lock serializes this pipe
+                status, payload = conn.recv()  # reprolint: disable=RL03 -- paired recv under same lock
             except (EOFError, OSError):
                 # Worker death or a concurrent close() tearing the pipe
                 # down mid-call — either way the shard is gone.

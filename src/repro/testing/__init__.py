@@ -1,0 +1,9 @@
+"""Test-only instrumentation (runtime lock-order auditing)."""
+
+from repro.testing.lockwatch import (
+    HoldViolation,
+    LockWatchError,
+    LockWatcher,
+)
+
+__all__ = ["HoldViolation", "LockWatchError", "LockWatcher"]

@@ -204,9 +204,12 @@ class Collection:
 
     def close(self) -> None:
         """Release resources: flushes and closes an attached WAL."""
-        if self._wal is not None:
-            self._wal.close()
-            self._wal = None
+        with self._write_lock:
+            wal, self._wal = self._wal, None
+        # close() fsyncs; do it after releasing the lock so a concurrent
+        # writer is never stalled behind the final flush.
+        if wal is not None:
+            wal.close()
 
     # ------------------------------------------------------------------
     # durability
@@ -424,21 +427,25 @@ class Collection:
         graphs — see :meth:`attach_hnsw`). ``force`` discards any
         existing graph and rebuilds from scratch.
         """
-        if force:
-            self._hnsw = None
-        index = self._hnsw
-        if index is None:
-            cfg = self._hnsw_config
-            index = HNSWIndex.from_vectors(
-                self._flat.matrix(), m=cfg.m,
-                ef_construction=cfg.ef_construction, seed=cfg.seed,
-                dim=self.dim,
-            )
-            self._hnsw = index
-        elif len(index) < len(self._ids):
-            for node in range(len(index), len(self._ids)):
-                index.add(self._flat.vector(node))
-        return index
+        # Hold the write lock for the whole build: a concurrent upsert
+        # reallocating ``_flat`` mid-build would leave the graph pointing
+        # at stale rows, and two racing builders would double-build.
+        with self._write_lock:
+            if force:
+                self._hnsw = None
+            index = self._hnsw
+            if index is None:
+                cfg = self._hnsw_config
+                index = HNSWIndex.from_vectors(
+                    self._flat.matrix(), m=cfg.m,
+                    ef_construction=cfg.ef_construction, seed=cfg.seed,
+                    dim=self.dim,
+                )
+                self._hnsw = index
+            elif len(index) < len(self._ids):
+                for node in range(len(index), len(self._ids)):
+                    index.add(self._flat.vector(node))
+            return index
 
     def attach_hnsw(self, index: HNSWIndex) -> None:
         """Install an externally built graph.
@@ -453,16 +460,18 @@ class Collection:
         :class:`~repro.errors.CollectionError` when the graph's dim
         differs or it has *more* nodes than the collection has points.
         """
-        if index.dim != self.dim:
-            raise CollectionError(
-                f"attached graph dim {index.dim} != collection dim {self.dim}"
-            )
-        if len(index) > len(self._ids):
-            raise CollectionError(
-                f"attached graph has {len(index)} nodes, collection has "
-                f"only {len(self._ids)} points"
-            )
-        self._hnsw = index
+        with self._write_lock:
+            if index.dim != self.dim:
+                raise CollectionError(
+                    f"attached graph dim {index.dim} != collection dim "
+                    f"{self.dim}"
+                )
+            if len(index) > len(self._ids):
+                raise CollectionError(
+                    f"attached graph has {len(index)} nodes, collection has "
+                    f"only {len(self._ids)} points"
+                )
+            self._hnsw = index
 
     def _ensure_hnsw(self) -> HNSWIndex:
         return self.build_hnsw()

@@ -509,7 +509,10 @@ def _inspect_wal(directory: Path) -> dict | None:
         try:
             size = path.stat().st_size
             valid_end, records = wal_scan(path)
-        except Exception as exc:
+        except (OSError, CollectionError) as exc:
+            # stat/read failures and non-WAL files (bad magic) — the two
+            # ways a scan can fail; torn tails are valid-prefix results,
+            # not errors. Recorded per file so inspect stays best-effort.
             files.append({"path": str(path), "error": str(exc)})
             continue
         files.append(
@@ -919,7 +922,7 @@ def _attach_stored_graph(
         graph = HNSWIndex.from_arrays(
             collection.vector_matrix(), arrays, seed=config.seed
         )
-    except Exception as exc:
+    except Exception as exc:  # reprolint: last-resort -- any unusable graph degrades to a rebuild, surfaced via warning
         warnings.warn(
             f"ignoring unusable snapshot graph {graph_path} ({exc}); "
             "the HNSW graph will be rebuilt on first approximate search",

@@ -46,7 +46,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
+import warnings
 import zlib
 from collections.abc import Iterable, Sequence
 from itertools import chain
@@ -219,6 +221,24 @@ class ShardedCollection:
         self._write_lock = threading.RLock()
         self._executor = self._make_executor(parallel)
 
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle without the lock or the fan-out executor.
+
+        A pickled sharded collection (snapshot fixtures, potential worker
+        replicas) must not carry a live lock or a pool of threads/worker
+        processes; the unpickled copy gets a fresh lock and the default
+        in-process thread executor.
+        """
+        state = self.__dict__.copy()
+        state["_write_lock"] = None
+        state["_executor"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._write_lock = threading.RLock()
+        self._executor = self._make_executor("thread")
+
     def _make_executor(self, kind: str):
         if kind == "thread":
             return ThreadShardExecutor(self._shards, self.name)
@@ -282,11 +302,15 @@ class ShardedCollection:
         sandbox that forbids subprocesses) — the previous executor is
         still in place in that case. No-op if ``kind`` already active.
         """
-        if kind == self._executor.kind:
-            return
-        replacement = self._make_executor(kind)
-        self._executor.close()
-        self._executor = replacement
+        with self._write_lock:
+            if kind == self._executor.kind:
+                return
+            replacement = self._make_executor(kind)
+            old, self._executor = self._executor, replacement
+        # The old executor's close() joins worker threads/processes;
+        # do that outside the lock so in-flight writes are not stalled
+        # behind the teardown.
+        old.close()
 
     @property
     def shard_collections(self) -> tuple[Collection, ...]:
@@ -413,8 +437,20 @@ class ShardedCollection:
                     mp_context=_build_pool_context(),
                 ) as pool:
                     graphs = list(pool.map(_build_shard_graph, jobs))
-            except Exception:
-                graphs = None  # fall back to in-process builds below
+            except (OSError, RuntimeError, pickle.PicklingError) as exc:
+                # Pool could not start or died mid-build (sandboxes that
+                # forbid subprocesses raise OSError; a killed worker
+                # surfaces as BrokenProcessPool, a RuntimeError). The
+                # in-process fallback below produces identical graphs,
+                # just slower — say so instead of degrading silently.
+                warnings.warn(
+                    "parallel HNSW build failed "
+                    f"({type(exc).__name__}: {exc}); falling back to "
+                    "in-process builds",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                graphs = None
             if graphs is not None:
                 for shard, graph in zip(pending, graphs):
                     shard.attach_hnsw(graph)

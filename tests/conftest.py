@@ -1,6 +1,21 @@
-"""Shared fixtures: the ontology and a small prepared evaluation corpus."""
+"""Shared fixtures: ontology, prepared corpora, and concurrency guards.
+
+Two guard layers ride along with every test run:
+
+* ``_thread_and_process_leak_guard`` (session-scoped, autouse) snapshots
+  the live non-daemon threads and child processes at session start and
+  asserts nothing leaked by session end — the regression guard for the
+  worker-thread and shard-worker-process leak class fixed in PRs 3/5.
+* the ``lockwatch`` marker opts a test into the runtime lock-order
+  auditor (:mod:`repro.testing.lockwatch`): every lock created during
+  the test is watched, and the test fails on acquisition-order cycles
+  (deadlock hazards) or lock holds above the threshold.
+"""
 
 from __future__ import annotations
+
+import multiprocessing
+import threading
 
 import pytest
 
@@ -8,6 +23,15 @@ from repro.eval.corpus import EvalCorpus, build_corpus
 from repro.semantics.concepts import ConceptGraph
 from repro.semantics.lexicon import Lexicon
 from repro.semantics.ontology.build import default_ontology
+from repro.testing.lockwatch import LockWatcher
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "lockwatch: install the runtime lock-order auditor for this test "
+        "(fails on lock-order cycles or over-threshold lock holds)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -38,3 +62,69 @@ def small_corpus() -> EvalCorpus:
 def tiny_corpus() -> EvalCorpus:
     """A tiny Santa Barbara corpus (200 POIs) for faster integration tests."""
     return build_corpus("SB", seed=11, count=200)
+
+
+# ----------------------------------------------------------------------
+# concurrency guards
+# ----------------------------------------------------------------------
+
+
+def _live_nondaemon_threads() -> set[threading.Thread]:
+    return {
+        t for t in threading.enumerate()
+        if t.is_alive() and not t.daemon
+    }
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _thread_and_process_leak_guard():
+    """Fail the session if tests leak non-daemon threads or child processes.
+
+    Executors (`ThreadShardExecutor` pools are non-daemon threads,
+    `ProcessShardExecutor` workers are child processes) must be closed by
+    the tests that open them; a leak here means some test forgot, and
+    every later test pays for it (fork-safety of build pools, slow
+    interpreter shutdown, orphaned workers).
+    """
+    threads_before = _live_nondaemon_threads()
+    yield
+    leaked_threads = _live_nondaemon_threads() - threads_before
+    leaked_children = [
+        proc for proc in multiprocessing.active_children()
+        if proc.is_alive()
+    ]
+    problems = []
+    if leaked_threads:
+        problems.append(
+            "non-daemon threads leaked past the test session: "
+            + ", ".join(sorted(t.name for t in leaked_threads))
+        )
+    if leaked_children:
+        problems.append(
+            "child processes leaked past the test session: "
+            + ", ".join(sorted(p.name for p in leaked_children))
+        )
+    if problems:
+        pytest.fail("; ".join(problems))
+
+
+@pytest.fixture(autouse=True)
+def _lockwatch(request: pytest.FixtureRequest):
+    """Marker-gated runtime lock-order auditor (see module docstring).
+
+    Activated by ``@pytest.mark.lockwatch`` (or a module-level
+    ``pytestmark``). Locks created *before* the test (session fixtures,
+    module singletons) predate the patch and are not watched.
+    """
+    if request.node.get_closest_marker("lockwatch") is None:
+        yield None
+        return
+    watcher = LockWatcher()
+    watcher.install()
+    try:
+        yield watcher
+    finally:
+        watcher.uninstall()
+    report = watcher.report()
+    if report:
+        pytest.fail(f"lockwatch recorded hazards:\n{report}")

@@ -81,7 +81,8 @@ class TestFlatSearchBatch:
             flat.add(v)
         queries = unit_vectors(8, dim, seed + 200)
         subset = np.arange(0, 200, 3, dtype=np.int64)
-        pred = lambda n: n % 2 == 0
+        def pred(n):
+            return n % 2 == 0
         batch = flat.search_batch(queries, k, predicate=pred, subset=subset)
         for row, q in zip(batch, queries):
             single = flat.search(q, k, predicate=pred, subset=subset)
@@ -127,7 +128,8 @@ class TestHnswSearchBatch:
         for v in vecs:
             index.add(v)
         queries = unit_vectors(6, dim, seed + 400)
-        pred = lambda n: n % 3 != 0
+        def pred(n):
+            return n % 3 != 0
         batch = index.search_batch(queries, k, ef=48, predicate=pred)
         singles = [index.search(q, k, ef=48, predicate=pred) for q in queries]
         assert batch == singles

@@ -51,6 +51,9 @@ from repro.vectordb.wal import (
     wal_directory,
 )
 
+# Run every test here under the runtime lock-order auditor.
+pytestmark = pytest.mark.lockwatch
+
 DIM = 6
 BASE_N = 10
 

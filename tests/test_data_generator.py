@@ -27,8 +27,8 @@ class TestGenerator:
         assert len(sl_records) == 400
 
     def test_default_count_is_papers(self):
-        gen = YelpStyleGenerator(seed=7)
         # Don't generate the full city here; check the wiring only.
+        YelpStyleGenerator(seed=7)
         assert SAINT_LOUIS.poi_count == 2462
 
     def test_deterministic_across_instances(self):

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.eval.groundtruth import GroundTruthBuilder, true_concepts
+from repro.eval.groundtruth import true_concepts
 from repro.eval.metrics import (
     average_precision,
     f1_at_k,

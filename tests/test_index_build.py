@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.errors import CollectionError
-from repro.vectordb.collection import Collection, HnswConfig, PointStruct
+from repro.vectordb.collection import Collection, PointStruct
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.sharded import ShardedCollection

@@ -13,7 +13,7 @@ from repro.core.query import SpatialKeywordQuery
 from repro.core.variants import semask, semask_em, semask_o1
 from repro.demo.app import DemoContext, build_demo_page
 from repro.demo.render import build_markers, render_map_svg
-from repro.eval.experiments import build_test_queries, evaluate_city
+from repro.eval.experiments import evaluate_city
 from repro.eval.metrics import f1_at_k
 from repro.eval.queries import EvalQueryBuilder
 from repro.eval.timing import measure_query_times

@@ -49,6 +49,9 @@ from repro.vectordb.collection import PointStruct
 from repro.vectordb.filters import And, FieldMatch, GeoBoundingBoxFilter
 from repro.vectordb.sharded import ShardedCollection
 
+# Run every test here under the runtime lock-order auditor.
+pytestmark = pytest.mark.lockwatch
+
 DIM = 16
 
 

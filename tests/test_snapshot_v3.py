@@ -23,7 +23,7 @@ import pytest
 from repro.errors import CollectionError
 from repro.vectordb.client import VectorDBClient
 from repro.vectordb.collection import Collection, HnswConfig, PointStruct
-from repro.vectordb.filters import FieldMatch, FieldRange
+from repro.vectordb.filters import FieldMatch
 from repro.vectordb.persistence import (
     inspect_snapshot,
     load_collection,

@@ -132,7 +132,8 @@ class TestSearch:
 
     def test_predicate_filters_results(self, built_indexes):
         vecs, hnsw, _ = built_indexes
-        even = lambda n: n % 2 == 0
+        def even(n):
+            return n % 2 == 0
         results = hnsw.search(vecs[0], 10, ef=64, predicate=even)
         assert results
         assert all(node % 2 == 0 for node, _ in results)

@@ -21,7 +21,6 @@ Locks down ISSUE 6's durability surface:
 from __future__ import annotations
 
 import pickle
-import zlib
 
 import numpy as np
 import pytest
@@ -51,6 +50,9 @@ from repro.vectordb.wal import (
     shard_wal_path,
     wal_directory,
 )
+
+# Run every test here under the runtime lock-order auditor.
+pytestmark = pytest.mark.lockwatch
 
 DIM = 6
 
@@ -283,7 +285,8 @@ class TestEngineIntegration:
             # Sharded replay keeps per-shard order but not the relative
             # order of tail writes *across* shards (documented): compare
             # contents id-by-id instead of global insertion order.
-            key = lambda row: row[0]
+            def key(row):
+                return row[0]
             assert sorted(_state(recovered), key=key) == sorted(
                 _state(collection), key=key
             )

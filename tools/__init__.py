@@ -1,0 +1,1 @@
+"""Repository tooling (docs checker, reprolint static analyzer)."""

@@ -1,0 +1,5 @@
+"""``python -m tools.reprolint [paths...]`` entry point."""
+
+from tools.reprolint.core import main
+
+raise SystemExit(main())
