@@ -18,6 +18,7 @@ import time
 from repro.core.filtering import FilteringStage
 from repro.core.query import SpatialKeywordQuery
 from repro.core.variants import semask_em
+from repro.testing.memwatch import MemWatcher
 
 BATCH_SIZE = 64
 SPEEDUP_FLOOR = 2.0
@@ -47,7 +48,7 @@ def _best_of(runs: int, fn) -> float:
     return best
 
 
-def test_filtering_stage_batch_speedup(sl_corpus, sl_queries):
+def test_filtering_stage_batch_speedup(sl_corpus, sl_queries, bench_artifact):
     """FilteringStage.run_batch ≥ 2× a run() loop at batch size 64."""
     prepared = sl_corpus.prepared
     stage = FilteringStage(
@@ -70,6 +71,26 @@ def test_filtering_stage_batch_speedup(sl_corpus, sl_queries):
     print(
         f"\nfiltering batch-{BATCH_SIZE}: sequential {sequential_s * 1000:.1f} ms, "
         f"batch {batch_s * 1000:.1f} ms, speedup {speedup:.1f}x, {qps:.0f} q/s"
+    )
+
+    # Memory probe: one extra (untimed) batch under the memwatch
+    # accountant — tracemalloc overhead must never touch the timed arms
+    # above, or the speedup floor would measure the instrumentation.
+    probe = MemWatcher(enforce_contracts=False)
+    with probe.watching():
+        stage.run_batch(queries, k=10)
+
+    bench_artifact(
+        "batch_throughput",
+        {
+            "batch_size": BATCH_SIZE,
+            "sequential_s": round(sequential_s, 4),
+            "batch_s": round(batch_s, 4),
+            "speedup": round(speedup, 2),
+            "qps": round(qps, 1),
+            "floor": SPEEDUP_FLOOR,
+            "memwatch": probe.stats(),
+        },
     )
     assert speedup >= SPEEDUP_FLOOR, (
         f"batch filtering speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x floor"

@@ -35,6 +35,7 @@ import time
 
 import numpy as np
 
+from repro.testing.memwatch import MemWatcher
 from repro.vectordb.collection import Collection, HnswConfig, PointStruct
 from repro.vectordb.filters import FieldMatch
 from repro.vectordb.hnsw import HNSWIndex
@@ -71,7 +72,7 @@ def _points(vecs: np.ndarray) -> list[PointStruct]:
     ]
 
 
-def test_parallel_shard_build_speedup():
+def test_parallel_shard_build_speedup(bench_artifact):
     """Parallel 4-shard build ≥ 1.5× the serial insert-order baseline."""
     vecs = _vectors()
     points = _points(vecs)
@@ -122,6 +123,29 @@ def test_parallel_shard_build_speedup():
     recall = hits / (RECALL_QUERIES * K)
     print(f"  sharded recall@{K} after parallel build: {recall:.3f}")
     assert recall >= 0.85, f"parallel-built graphs lost recall: {recall}"
+
+    # Memory probe on an extra untimed approximate batch (the serving
+    # shape the built graphs exist for); kept out of the timed builds so
+    # tracemalloc overhead can't dilute the speedup floor.
+    probe = MemWatcher(enforce_contracts=False)
+    with probe.watching():
+        sharded.search_batch(queries, K)
+
+    bench_artifact(
+        "index_build",
+        {
+            "points": N_POINTS,
+            "dim": DIM,
+            "shards": SHARDS,
+            "serial_build_s": round(serial_s, 4),
+            "monolithic_bulk_build_s": round(mono_bulk_s, 4),
+            "parallel_build_s": round(parallel_s, 4),
+            "speedup": round(speedup, 2),
+            "recall_at_k": round(recall, 4),
+            "floor": SPEEDUP_FLOOR,
+            "memwatch": probe.stats(),
+        },
+    )
 
     sharded.close()
     assert speedup >= SPEEDUP_FLOOR, (

@@ -28,6 +28,7 @@ import time
 
 import numpy as np
 
+from repro.testing.memwatch import MemWatcher
 from repro.vectordb.collection import Collection, PointStruct
 from repro.vectordb.filters import FieldRange
 from repro.vectordb.sharded import ShardedCollection
@@ -87,7 +88,7 @@ def _best_of(runs: int, fn) -> float:
     return best
 
 
-def test_shard_scaling_throughput():
+def test_shard_scaling_throughput(bench_artifact):
     """4-shard batched filtered throughput ≥ 1.5× the 1-shard baseline."""
     points = _points()
     queries = _queries()
@@ -99,6 +100,7 @@ def test_shard_scaling_throughput():
     truth_ids = [[h.id for h in hits] for hits in truth]
 
     throughput: dict[int, float] = {}
+    memwatch_stats: dict[int, dict] = {}
     for shards in SHARD_COUNTS:
         collection = _build(points, shards)
         matching = collection.count(FILTER)
@@ -114,6 +116,12 @@ def test_shard_scaling_throughput():
         hits = collection.search_batch(queries, K, flt=FILTER)
         if shards > 1:  # exact dispatch per shard → must equal ground truth
             assert [[h.id for h in row] for row in hits] == truth_ids
+        # Memory probe on an extra untimed batch: tracemalloc overhead
+        # must stay out of the timed arms the floor is asserted on.
+        probe = MemWatcher(enforce_contracts=False)
+        with probe.watching():
+            collection.search_batch(queries, K, flt=FILTER)
+        memwatch_stats[shards] = probe.stats()
         print(
             f"\nshards={shards}: batch-{BATCH} filtered search "
             f"{elapsed * 1000:.1f} ms, {throughput[shards]:.0f} q/s"
@@ -121,6 +129,24 @@ def test_shard_scaling_throughput():
 
     speedup = throughput[4] / throughput[1]
     print(f"\n4-shard vs 1-shard filtered throughput: {speedup:.1f}x")
+    bench_artifact(
+        "shard_scaling",
+        {
+            "points": N_POINTS,
+            "dim": DIM,
+            "batch_size": BATCH,
+            "qps_by_shards": {
+                str(shards): round(qps, 1)
+                for shards, qps in throughput.items()
+            },
+            "speedup_4_vs_1": round(speedup, 2),
+            "floor": SPEEDUP_FLOOR_AT_4,
+            "memwatch_by_shards": {
+                str(shards): stats
+                for shards, stats in memwatch_stats.items()
+            },
+        },
+    )
     assert speedup >= SPEEDUP_FLOOR_AT_4, (
         f"4-shard speedup {speedup:.2f}x below {SPEEDUP_FLOOR_AT_4}x floor"
     )

@@ -45,5 +45,5 @@ class EmbeddingModel(ABC):
         """Unit-normalize, mapping the zero vector to itself."""
         norm = float(np.linalg.norm(vector))
         if norm == 0.0:
-            return vector.astype(np.float32)
-        return (vector / norm).astype(np.float32)
+            return vector.astype(np.float32, copy=False)
+        return (vector / norm).astype(np.float32, copy=False)

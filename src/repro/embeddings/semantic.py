@@ -110,7 +110,7 @@ class SemanticEmbedder(EmbeddingModel):
         if weights:
             vector = vector / np.linalg.norm(vector)
 
-        lexical = self._lexical.embed(text).astype(np.float64)
+        lexical = self._lexical.embed(text).astype(np.float64, copy=False)
         combined = self._concept_weight * vector + self._lexical_weight * lexical
         return self._normalize(combined)
 

@@ -1,0 +1,170 @@
+"""Runtime numeric-memory auditor (the dynamic half of arraylint).
+
+:mod:`tools.arraylint` checks what is lexically visible in one file;
+this module checks what actually happens at run time, mirroring how
+:mod:`repro.testing.lockwatch` backs up reprolint:
+
+* **contract enforcement** — inside :meth:`MemWatcher.watching`, every
+  ``@array_contract`` declaration (:mod:`repro.vectordb.contracts`) is
+  validated, so a float64 array or mis-shaped batch reaching a public
+  entrypoint fails the test at the entrypoint.
+* **allocation accounting** — :mod:`tracemalloc` peaks, measured
+  relative to the watcher's entry baseline. The mmap cold-start test
+  asserts that loading a collection with ``mmap=True`` allocates far
+  less than the vector matrix it maps; if a load-path ``.astype``
+  copy regresses, the peak jumps by the matrix size and the test
+  fails.
+* **sharing probes** — :func:`numpy.shares_memory` assertions that a
+  "zero-copy" path really returned a view of the buffer it claims to
+  wrap.
+* **bench fields** — :meth:`MemWatcher.stats` / :func:`rss_bytes`
+  feed ``peak_alloc_bytes``/``rss_bytes`` into the ``BENCH_*.json``
+  artifacts so the memory trajectory is recorded next to latency.
+
+Tests opt in via the ``memwatch`` fixture in ``tests/conftest.py``::
+
+    def test_mmap_stays_cold(memwatch, tmp_path):
+        ...
+        loaded = load_collection(tmp_path, mmap=True)
+        memwatch.assert_peak_below(matrix_nbytes // 2, "mmap load")
+"""
+
+from __future__ import annotations
+
+import contextlib
+import tracemalloc
+from collections.abc import Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.vectordb import contracts
+
+__all__ = ["MemWatchError", "MemWatcher", "memory_stats", "rss_bytes"]
+
+
+class MemWatchError(AssertionError):
+    """A numeric-memory invariant was violated at run time."""
+
+
+def rss_bytes() -> int | None:
+    """Current resident set size, or ``None`` where unavailable.
+
+    Reads ``/proc/self/status`` (Linux); falls back to the peak RSS
+    from :func:`resource.getrusage` elsewhere. Benches record whichever
+    is available — the field is a trajectory, not a hard gate.
+    """
+    try:
+        status = Path("/proc/self/status").read_text(encoding="ascii")
+    except OSError:
+        status = ""
+    for line in status.splitlines():
+        if line.startswith("VmRSS:"):
+            return int(line.split()[1]) * 1024
+    try:
+        import resource
+    except ImportError:
+        return None
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+class MemWatcher:
+    """Tracks peak temporary allocation and enforces array contracts.
+
+    One watcher covers one :meth:`watching` span; peaks are relative to
+    the allocation level at entry, so a watcher dropped around a single
+    operation measures *that operation's* temporary footprint even when
+    gigabytes are already live.
+    """
+
+    def __init__(self, enforce_contracts: bool = True) -> None:
+        self._enforce_contracts = enforce_contracts
+        self._baseline: int | None = None
+        self._final_peak: int | None = None
+        self._active = False
+
+    @contextlib.contextmanager
+    def watching(self) -> Iterator["MemWatcher"]:
+        """Measure allocations (and enforce contracts) inside the block."""
+        started = not tracemalloc.is_tracing()
+        if started:
+            tracemalloc.start()
+        self._baseline = tracemalloc.get_traced_memory()[0]
+        tracemalloc.reset_peak()
+        previous = (
+            contracts.set_enforcement(True)
+            if self._enforce_contracts else None
+        )
+        self._active = True
+        self._final_peak = None
+        try:
+            yield self
+        finally:
+            _, peak = tracemalloc.get_traced_memory()
+            self._final_peak = max(0, peak - self._baseline)
+            self._active = False
+            if previous is not None:
+                contracts.set_enforcement(previous)
+            if started:
+                tracemalloc.stop()
+
+    def peak_alloc_bytes(self) -> int:
+        """Peak allocation above the entry baseline (live or final)."""
+        if self._active:
+            _, peak = tracemalloc.get_traced_memory()
+            return max(0, peak - (self._baseline or 0))
+        if self._final_peak is None:
+            raise MemWatchError(
+                "peak_alloc_bytes() before watching() ran"
+            )
+        return self._final_peak
+
+    def assert_peak_below(self, limit_bytes: int, what: str = "") -> None:
+        """Fail if the watched span allocated ``limit_bytes`` or more."""
+        peak = self.peak_alloc_bytes()
+        if peak >= limit_bytes:
+            label = what or "watched span"
+            raise MemWatchError(
+                f"{label}: peak temporary allocation {peak} B >= "
+                f"budget {limit_bytes} B — a hot path materialized "
+                "memory it should have mapped or reused"
+            )
+
+    @staticmethod
+    def assert_shares_memory(
+        a: np.ndarray, b: np.ndarray, what: str = ""
+    ) -> None:
+        """Fail unless ``a`` and ``b`` overlap in memory (zero-copy)."""
+        if not np.shares_memory(a, b):
+            label = what or "arrays"
+            raise MemWatchError(
+                f"{label}: expected a zero-copy view but the buffers "
+                "are distinct — something materialized a copy"
+            )
+
+    @staticmethod
+    def assert_distinct_memory(
+        a: np.ndarray, b: np.ndarray, what: str = ""
+    ) -> None:
+        """Fail if ``a`` and ``b`` share memory (an aliasing hazard)."""
+        if np.shares_memory(a, b):
+            label = what or "arrays"
+            raise MemWatchError(
+                f"{label}: buffers alias — mutating one corrupts the "
+                "other"
+            )
+
+    def stats(self) -> dict:
+        """Memory fields for ``BENCH_*.json`` artifacts."""
+        return {
+            "peak_alloc_bytes": (
+                self._final_peak if self._final_peak is not None
+                else (self.peak_alloc_bytes() if self._active else None)
+            ),
+            "rss_bytes": rss_bytes(),
+        }
+
+
+def memory_stats() -> dict:
+    """Process-level memory fields for benches without a watcher."""
+    return {"rss_bytes": rss_bytes()}

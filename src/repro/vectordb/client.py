@@ -18,6 +18,7 @@ from repro.vectordb.collection import (
     PointStruct,
     SearchHit,
 )
+from repro.vectordb.contracts import array_contract
 from repro.vectordb.distance import Metric
 from repro.vectordb.filters import Filter
 from repro.vectordb.sharded import AnyCollection, ShardedCollection
@@ -246,6 +247,7 @@ class VectorDBClient:
 
     # convenience passthroughs ------------------------------------------------
 
+    @array_contract(points="*d:float32")
     def upsert(self, name: str, points: Iterable[PointStruct]) -> int:
         """Upsert points into the named collection."""
         return self.get_collection(name).upsert(points)
@@ -256,6 +258,7 @@ class VectorDBClient:
         """Merge ``payload`` into one point of the named collection."""
         self.get_collection(name).set_payload(point_id, payload)
 
+    @array_contract(vector="d:float32")
     def search(
         self,
         name: str,
@@ -270,6 +273,7 @@ class VectorDBClient:
             vector, k, flt=flt, exact=exact, ef=ef
         )
 
+    @array_contract(vectors="q,d:float32")
     def search_batch(
         self,
         name: str,

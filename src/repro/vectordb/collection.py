@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.vectordb.wal import WriteAheadLog
 
 from repro.errors import CollectionError, DimensionMismatch, PointNotFound
+from repro.vectordb.contracts import array_contract
 from repro.vectordb.distance import Metric
 from repro.vectordb.filters import Filter
 from repro.vectordb.flat import FlatIndex
@@ -255,6 +256,7 @@ class Collection:
     # writes
     # ------------------------------------------------------------------
 
+    @array_contract(points="*d:float32")
     def upsert(self, points: Iterable[PointStruct]) -> int:
         """Insert new points (payload-only updates allowed for known ids).
 
@@ -476,6 +478,7 @@ class Collection:
     def _ensure_hnsw(self) -> HNSWIndex:
         return self.build_hnsw()
 
+    @array_contract(vector="d:float32")
     def search(
         self,
         vector: np.ndarray | Sequence[float],
@@ -531,6 +534,7 @@ class Collection:
             for node, score in raw
         ]
 
+    @array_contract(vectors="q,d:float32")
     def search_batch(
         self,
         vectors: np.ndarray | Sequence[Sequence[float]],
@@ -690,6 +694,7 @@ class Collection:
         return collection
 
     @classmethod
+    @array_contract(vectors="n,d")
     def from_matrix(
         cls,
         name: str,

@@ -1,0 +1,236 @@
+"""Shape/dtype contracts for public numeric entrypoints.
+
+``@array_contract`` declares what a function expects of its array
+arguments — ``"n,d:float32"`` reads "a 2-D float32 matrix whose dims
+bind to n and d for this call". Declarations are machine-checkable
+documentation first: with enforcement off (the default) the decorator
+adds a single attribute check per call and nothing else, so hot paths
+pay nothing. Under :mod:`repro.testing.memwatch` (or with
+``REPRO_ARRAY_CONTRACTS=1``) every declared parameter and return value
+is validated, and a mismatch raises :class:`ArrayContractViolation` at
+the entrypoint instead of surfacing three layers down as a silent
+float64 upcast or a shape-broadcast bug.
+
+Spec grammar (one string per parameter, or positionally
+``@array_contract("n,d", "float32")`` for the first array parameter):
+
+* ``"n,d:float32"`` — shape pattern ``:`` dtype. Dim tokens are named
+  (bind and must agree across parameters and the return value),
+  integer literals (must match exactly), or ``"?"`` (anything).
+* ``"n,d"`` — shape only; dtype unchecked (converting constructors).
+* ``"*d:float32"`` — elementwise: the parameter is an iterable whose
+  items (or their ``.vector`` attribute, for point structs) are each
+  checked against ``d:float32`` as they are consumed. Validation is
+  lazy so generator arguments stay streaming.
+
+Only ``np.ndarray`` values are dtype-checked: lists and tuples are
+accepted unchecked because the entrypoints convert them anyway — the
+contract exists to catch *arrays* of the wrong dtype, which convert
+silently and expensively.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ArrayContractViolation",
+    "array_contract",
+    "enforcement_enabled",
+    "set_enforcement",
+]
+
+
+class ArrayContractViolation(TypeError):
+    """An array argument or return value broke a declared contract."""
+
+
+#: Process-wide enforcement switch. Off by default so production call
+#: paths pay one boolean check per decorated call; flipped on by
+#: memwatch during tests or by REPRO_ARRAY_CONTRACTS=1.
+_enforcing: bool = bool(os.environ.get("REPRO_ARRAY_CONTRACTS"))
+
+
+def enforcement_enabled() -> bool:
+    """Whether contracts are currently being validated."""
+    return _enforcing
+
+
+def set_enforcement(enabled: bool) -> bool:
+    """Toggle validation; returns the previous setting (for restore)."""
+    global _enforcing
+    previous = _enforcing
+    _enforcing = bool(enabled)
+    return previous
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """One parsed parameter spec."""
+
+    shape: tuple[str, ...]
+    dtype: np.dtype | None
+    elementwise: bool
+
+    @classmethod
+    def parse(cls, spec: str) -> "_ArraySpec":
+        text = spec.strip()
+        elementwise = text.startswith("*")
+        if elementwise:
+            text = text[1:]
+        shape_part, _, dtype_part = text.partition(":")
+        shape = tuple(
+            tok.strip() for tok in shape_part.split(",") if tok.strip()
+        )
+        if not shape:
+            raise ValueError(f"array_contract spec {spec!r} has no shape")
+        dtype = np.dtype(dtype_part.strip()) if dtype_part.strip() else None
+        return cls(shape=shape, dtype=dtype, elementwise=elementwise)
+
+
+def _check_array(
+    value: np.ndarray,
+    spec: _ArraySpec,
+    dims: dict[str, int],
+    where: str,
+) -> None:
+    if spec.dtype is not None and value.dtype != spec.dtype:
+        raise ArrayContractViolation(
+            f"{where}: expected dtype {spec.dtype}, got {value.dtype}"
+        )
+    if value.ndim != len(spec.shape):
+        raise ArrayContractViolation(
+            f"{where}: expected {len(spec.shape)}-D "
+            f"({','.join(spec.shape)}), got {value.ndim}-D "
+            f"shape {value.shape}"
+        )
+    for token, actual in zip(spec.shape, value.shape):
+        if token == "?":
+            continue
+        if token.isdigit():
+            if actual != int(token):
+                raise ArrayContractViolation(
+                    f"{where}: dim {token} expected, got {actual} "
+                    f"(shape {value.shape})"
+                )
+        elif token in dims:
+            if dims[token] != actual:
+                raise ArrayContractViolation(
+                    f"{where}: dim {token}={dims[token]} bound earlier "
+                    f"in this call, got {actual} (shape {value.shape})"
+                )
+        else:
+            dims[token] = actual
+
+
+def _validate(
+    value: object,
+    spec: _ArraySpec,
+    dims: dict[str, int],
+    where: str,
+) -> object:
+    """Validate ``value``; returns it (or a validating wrapper for
+    elementwise specs over lazy iterables)."""
+    if value is None:
+        return value
+    if spec.elementwise:
+        if isinstance(value, np.ndarray):
+            # A matrix passed where points are expected: check rows.
+            row_spec = _ArraySpec(spec.shape, spec.dtype, elementwise=False)
+            for row in value:
+                _check_array(row, row_spec, dims, where)
+            return value
+        if isinstance(value, Iterable):
+            return _validating_iter(value, spec, dims, where)
+        return value
+    if isinstance(value, np.ndarray):
+        _check_array(value, spec, dims, where)
+    return value
+
+
+def _validating_iter(
+    items: Iterable,
+    spec: _ArraySpec,
+    dims: dict[str, int],
+    where: str,
+) -> Iterator:
+    item_spec = _ArraySpec(spec.shape, spec.dtype, elementwise=False)
+    for index, item in enumerate(items):
+        candidate = getattr(item, "vector", item)
+        if isinstance(candidate, np.ndarray):
+            _check_array(candidate, item_spec, dims, f"{where}[{index}]")
+        yield item
+
+
+def array_contract(*positional: str, returns: str | None = None, **named: str):
+    """Declare shape/dtype contracts on a numeric entrypoint.
+
+    Positional form ``@array_contract("n,d", "float32")`` attaches
+    ``shape``/``dtype`` to the first non-``self``/``cls`` parameter;
+    the keyword form names parameters explicitly, e.g.
+    ``@array_contract(query="d:float32", vectors="n,d:float32",
+    returns="n:float32")``. See the module docstring for the grammar.
+    """
+    if len(positional) > 2:
+        raise TypeError(
+            "array_contract takes at most (shape, dtype) positionally"
+        )
+    positional_spec: _ArraySpec | None = None
+    if positional:
+        text = positional[0]
+        if len(positional) == 2:
+            text = f"{positional[0]}:{positional[1]}"
+        positional_spec = _ArraySpec.parse(text)
+    named_specs = {name: _ArraySpec.parse(s) for name, s in named.items()}
+    returns_spec = _ArraySpec.parse(returns) if returns else None
+
+    def decorate(fn):
+        signature = inspect.signature(fn)
+        param_names = list(signature.parameters)
+        specs = dict(named_specs)
+        if positional_spec is not None:
+            for name in param_names:
+                if name not in ("self", "cls"):
+                    specs.setdefault(name, positional_spec)
+                    break
+        unknown = set(specs) - set(param_names)
+        if unknown:
+            raise TypeError(
+                f"array_contract on {fn.__qualname__}: unknown "
+                f"parameter(s) {sorted(unknown)}"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enforcing:
+                return fn(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            dims: dict[str, int] = {}
+            for name, spec in specs.items():
+                if name not in bound.arguments:
+                    continue
+                bound.arguments[name] = _validate(
+                    bound.arguments[name], spec, dims,
+                    f"{fn.__qualname__}({name})",
+                )
+            result = fn(*bound.args, **bound.kwargs)
+            if returns_spec is not None and isinstance(result, np.ndarray):
+                _check_array(
+                    result, returns_spec, dims,
+                    f"{fn.__qualname__} return",
+                )
+            return result
+
+        wrapper.__array_contract__ = {
+            "params": {n: s for n, s in specs.items()},
+            "returns": returns_spec,
+        }
+        return wrapper
+
+    return decorate

@@ -11,6 +11,8 @@ from enum import Enum
 
 import numpy as np
 
+from repro.vectordb.contracts import array_contract
+
 
 class Metric(str, Enum):
     """Supported similarity metrics."""
@@ -20,13 +22,21 @@ class Metric(str, Enum):
     EUCLIDEAN = "euclidean"
 
 
+@array_contract(matrix="n,d", returns="n,d:float32")
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
-    """Row-normalize ``matrix``, leaving zero rows untouched."""
+    """Row-normalize ``matrix``, leaving zero rows untouched.
+
+    float32 input normalizes in float32 and returns a fresh float32
+    array with no extra conversion pass (``matrix / norms`` already
+    allocated the result; ``copy=False`` makes the cast a no-op).
+    """
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
     norms[norms == 0.0] = 1.0
-    return (matrix / norms).astype(np.float32)
+    return (matrix / norms).astype(np.float32, copy=False)
 
 
+@array_contract(query="d:float32", vectors="n,d:float32",
+                returns="n:float32")
 def similarity(
     query: np.ndarray, vectors: np.ndarray, metric: Metric = Metric.COSINE
 ) -> np.ndarray:
@@ -42,6 +52,7 @@ def similarity(
     return -np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
 
 
+@array_contract(a="n,d:float32", b="m,d:float32", returns="n,m:float32")
 def pairwise_similarity(
     a: np.ndarray, b: np.ndarray, metric: Metric = Metric.COSINE
 ) -> np.ndarray:

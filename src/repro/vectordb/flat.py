@@ -19,6 +19,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.vectordb.contracts import array_contract
 from repro.vectordb.distance import Metric, pairwise_similarity, similarity
 
 
@@ -38,16 +39,20 @@ class FlatIndex:
         return self._count
 
     @classmethod
+    @array_contract(matrix="n,d")
     def from_matrix(
         cls, matrix: np.ndarray, metric: Metric = Metric.COSINE
     ) -> "FlatIndex":
         """Adopt ``matrix`` as storage without copying.
 
         ``matrix`` must be ``(n, dim)`` float32 and C-contiguous (other
-        dtypes/layouts are converted, which copies). Read-only matrices —
-        ``np.memmap`` over a snapshot file, or any array with the
-        writeable flag cleared — are fully supported: searches never
-        write, and the first :meth:`add` migrates to a writable copy.
+        dtypes/layouts are converted, which copies). Adopted storage is
+        held through a view frozen ``writeable=False`` — the caller's
+        own handle is untouched, but nothing reached through this index
+        can write into what may be an mmap-ed snapshot file. Searches
+        never write, and the first :meth:`add` migrates to a writable
+        copy, so read-only adoption costs upserts nothing they did not
+        already pay (a full matrix forces the grow-copy regardless).
         """
         if matrix.ndim != 2 or matrix.shape[1] <= 0:
             raise ValueError(
@@ -56,8 +61,10 @@ class FlatIndex:
             )
         if matrix.dtype != np.float32 or not matrix.flags.c_contiguous:
             matrix = np.ascontiguousarray(matrix, dtype=np.float32)
+        adopted = matrix.view()
+        adopted.flags.writeable = False
         index = cls(matrix.shape[1], metric, initial_capacity=1)
-        index._vectors = matrix
+        index._vectors = adopted
         index._count = matrix.shape[0]
         return index
 
@@ -100,6 +107,7 @@ class FlatIndex:
         """
         return self._vectors[: self._count]
 
+    @array_contract(query="d:float32", subset="s")
     def search(
         self,
         query: np.ndarray,
@@ -140,6 +148,7 @@ class FlatIndex:
         order = order[np.argsort(-sims[order])]
         return [(int(ids[i]), float(sims[i])) for i in order]
 
+    @array_contract(queries="q,d:float32", subset="s")
     def search_batch(
         self,
         queries: np.ndarray,

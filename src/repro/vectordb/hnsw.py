@@ -61,6 +61,8 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.vectordb.contracts import array_contract
+
 
 class HNSWIndex:
     """Approximate nearest-neighbour graph over unit vectors."""
@@ -306,7 +308,12 @@ class HNSWIndex:
             raise ValueError(
                 f"vector shape {vector.shape} != ({self._dim},)"
             )
-        if self._count == self._vectors.shape[0]:
+        if (
+            self._count == self._vectors.shape[0]
+            or not self._vectors.flags.writeable
+        ):
+            # Full *or* adopted read-only (an mmap-ed snapshot matrix):
+            # grow into a fresh writable array before the first write.
             self._grow()
         node = self._count
         self._vectors[node] = vector
@@ -383,6 +390,7 @@ class HNSWIndex:
     PRESCORE_THRESHOLD = 32768
 
     @classmethod
+    @array_contract(vectors="n,d")
     def from_vectors(
         cls,
         vectors: np.ndarray,
@@ -435,6 +443,8 @@ class HNSWIndex:
             index._bulk_build(vectors)
         return index
 
+    # arraylint: cow-seam bulk build writes into storage __init__ just
+    # allocated for this index; nothing mmap-backed is adopted yet
     def _bulk_build(self, vectors: np.ndarray) -> None:
         """Pre-scored construction over ``vectors`` (must be empty self)."""
         n = vectors.shape[0]
@@ -461,13 +471,13 @@ class HNSWIndex:
                     srow = block[node - start]
                     for layer in range(min(level, self._max_level), -1, -1):
                         if layer == 0:
-                            pool_ids = np.arange(node)
+                            pool_ids = np.arange(node, dtype=np.int64)
                             pool_sims = srow[:node]
                         else:
                             pool = members[layer]
                             if not pool:
                                 continue
-                            pool_ids = np.asarray(pool)
+                            pool_ids = np.asarray(pool, dtype=np.int64)
                             pool_sims = srow[pool_ids]
                         if pool_sims.size > ef:
                             top = np.argpartition(-pool_sims, ef - 1)[:ef]
@@ -567,6 +577,12 @@ class HNSWIndex:
             )
         if vectors.dtype != np.float32:
             vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        # Adopt through a view frozen writeable=False: the caller's handle
+        # (often the collection's live storage, or a read-only mmap) stays
+        # as it was, but no write can reach it through this index — add()
+        # grows into a fresh writable array before its first write.
+        vectors = vectors.view()
+        vectors.flags.writeable = False
         levels = np.asarray(arrays["levels"], dtype=np.int64)
         counts = np.asarray(arrays["counts"], dtype=np.int64)
         neighbors = np.asarray(arrays["neighbors"], dtype=np.int32)
@@ -599,9 +615,9 @@ class HNSWIndex:
         # without a Python loop, then check the referenced levels.
         lengths = levels + 1
         starts = np.cumsum(lengths) - lengths
-        layer_of_list = np.arange(int(lengths.sum())) - np.repeat(
-            starts, lengths
-        )
+        layer_of_list = np.arange(
+            int(lengths.sum()), dtype=np.int64
+        ) - np.repeat(starts, lengths)
         if np.any(levels[neighbors] < np.repeat(layer_of_list, counts)):
             raise ValueError(
                 "graph adjacency references a node above its top layer"
@@ -634,6 +650,7 @@ class HNSWIndex:
     # search
     # ------------------------------------------------------------------
 
+    @array_contract(query="d:float32")
     def search(
         self,
         query: np.ndarray,
@@ -676,6 +693,7 @@ class HNSWIndex:
                 break
         return out
 
+    @array_contract(queries="q,d:float32")
     def search_batch(
         self,
         queries: np.ndarray,

@@ -826,7 +826,10 @@ def _load_vectors(
             stacklevel=3,
         )
     with np.load(directory / _VECTORS_FILE_LEGACY) as npz:
-        return npz["vectors"].astype(np.float32)
+        # copy=False: v2 archives store float32, so decompression is the
+        # only materialization — the old unconditional astype re-copied
+        # the entire matrix a second time on every load.
+        return npz["vectors"].astype(np.float32, copy=False)
 
 
 def _read_single_raw(

@@ -58,6 +58,7 @@ from typing import Any, Union
 import numpy as np
 
 from repro.errors import CollectionError, DimensionMismatch, PointNotFound
+from repro.vectordb.contracts import array_contract
 from repro.vectordb.collection import (
     Collection,
     HnswConfig,
@@ -331,6 +332,7 @@ class ShardedCollection:
     # writes
     # ------------------------------------------------------------------
 
+    @array_contract(points="*d:float32")
     def upsert(self, points: Iterable[PointStruct]) -> int:
         """Insert new points, routing each to its hash shard.
 
@@ -564,6 +566,7 @@ class ShardedCollection:
                 matched[hit.id] = hit
         return [matched[pid] for pid in self._order if pid in matched]
 
+    @array_contract(vector="d:float32")
     def search(
         self,
         vector: np.ndarray | Sequence[float],
@@ -592,6 +595,7 @@ class ShardedCollection:
         )
         return _merge_top_k(per_shard, k)
 
+    @array_contract(vectors="q,d:float32")
     def search_batch(
         self,
         vectors: np.ndarray | Sequence[Sequence[float]],

@@ -10,6 +10,12 @@ Two guard layers ride along with every test run:
   auditor (:mod:`repro.testing.lockwatch`): every lock created during
   the test is watched, and the test fails on acquisition-order cycles
   (deadlock hazards) or lock holds above the threshold.
+
+The ``memwatch`` fixture is the numeric-memory counterpart
+(:mod:`repro.testing.memwatch`): requesting it turns on
+``@array_contract`` enforcement and tracemalloc accounting for the
+test, so dtype drift fails at the entrypoint and allocation budgets
+(`assert_peak_below`) are checkable.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.semantics.concepts import ConceptGraph
 from repro.semantics.lexicon import Lexicon
 from repro.semantics.ontology.build import default_ontology
 from repro.testing.lockwatch import LockWatcher
+from repro.testing.memwatch import MemWatcher
 
 
 def pytest_configure(config: pytest.Config) -> None:
@@ -128,3 +135,18 @@ def _lockwatch(request: pytest.FixtureRequest):
     report = watcher.report()
     if report:
         pytest.fail(f"lockwatch recorded hazards:\n{report}")
+
+
+@pytest.fixture
+def memwatch():
+    """Numeric-memory auditor: contracts enforced, allocations tracked.
+
+    Yields a watching :class:`repro.testing.memwatch.MemWatcher`; any
+    ``@array_contract`` violation inside the test raises immediately,
+    and the test can assert allocation budgets via
+    ``memwatch.assert_peak_below(...)`` / sharing via
+    ``memwatch.assert_shares_memory(...)``.
+    """
+    watcher = MemWatcher()
+    with watcher.watching():
+        yield watcher

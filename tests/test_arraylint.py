@@ -1,0 +1,713 @@
+"""arraylint (static rules AL01-AL05), array contracts, and memwatch.
+
+Every rule is exercised in three forms — firing (bad fixture),
+non-firing (good fixture), and suppressed (inline directive) — and the
+CLI is shown red on a seeded violation and green on a clean tree, which
+is exactly what the CI ``lint`` job runs. The runtime half proves
+``@array_contract`` declarations are free when enforcement is off,
+strict when memwatch turns it on, and that the tracemalloc accounting
+catches a deliberately materialized matrix.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:  # tools/ lives at the repo root
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.arraylint import lint_source, parse_directives, run_paths
+from tools.arraylint.core import main
+
+from repro.testing.memwatch import MemWatcher, MemWatchError
+from repro.vectordb import contracts
+from repro.vectordb.collection import PointStruct
+from repro.vectordb.contracts import (
+    ArrayContractViolation,
+    array_contract,
+)
+
+#: Snippets lint as if they lived in the data plane unless a test says
+#: otherwise — the hot-module gate itself is tested explicitly.
+HOT = "src/repro/vectordb/snippet.py"
+COLD = "src/repro/serving/snippet.py"
+
+
+def _findings(code: str, path: str = HOT, select: set[str] | None = None):
+    return lint_source(textwrap.dedent(code), path=path, select=select)
+
+
+def _active(code: str, path: str = HOT, select: set[str] | None = None):
+    return [f for f in _findings(code, path, select) if not f.suppressed]
+
+
+def _suppressed(code: str, path: str = HOT):
+    return [f for f in _findings(code, path) if f.suppressed]
+
+
+def _rules(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# AL01: explicit dtypes in hot modules
+# ----------------------------------------------------------------------
+
+
+AL01_BAD = """
+    import numpy as np
+
+    def make():
+        return np.zeros((4, 4))
+"""
+
+AL01_GOOD = """
+    import numpy as np
+
+    def make():
+        a = np.zeros((4, 4), dtype=np.float32)
+        b = np.full(7, -1, dtype=np.float64)  # explicit f8 is a decision
+        c = np.frombuffer(b"\\x00" * 4, "<f4")  # positional dtype counts
+        return a, b, c
+"""
+
+
+class TestAL01:
+    def test_fires_on_implicit_dtype(self):
+        assert "AL01" in _rules(_active(AL01_BAD))
+
+    def test_quiet_on_explicit_dtype(self):
+        assert "AL01" not in _rules(_active(AL01_GOOD))
+
+    def test_quiet_outside_hot_modules(self):
+        assert "AL01" not in _rules(_active(AL01_BAD, path=COLD))
+
+    def test_fires_on_reduction_stored_into_state(self):
+        code = """
+            import numpy as np
+
+            class C:
+                def tally(self, x):
+                    self._total = np.sum(x)
+        """
+        assert "AL01" in _rules(_active(code))
+
+    def test_quiet_on_local_reduction(self):
+        code = """
+            import numpy as np
+
+            def tally(x):
+                total = np.sum(x)
+                return total
+        """
+        assert "AL01" not in _rules(_active(code))
+
+    def test_suppressed_with_directive(self):
+        code = """
+            import numpy as np
+
+            def make():
+                return np.zeros(4)  # arraylint: disable=AL01 -- scratch
+        """
+        assert "AL01" not in _rules(_active(code))
+        supp = _suppressed(code)
+        assert _rules(supp) == {"AL01"}
+        assert supp[0].justification == "scratch"
+
+
+# ----------------------------------------------------------------------
+# AL02: no hidden full copies
+# ----------------------------------------------------------------------
+
+
+AL02_BAD_ASTYPE = """
+    import numpy as np
+
+    def load(matrix):
+        return matrix.astype(np.float32)
+"""
+
+AL02_GOOD_ASTYPE = """
+    import numpy as np
+
+    def load(matrix):
+        return matrix.astype(np.float32, copy=False)
+"""
+
+
+class TestAL02:
+    def test_fires_on_copying_astype(self):
+        assert "AL02" in _rules(_active(AL02_BAD_ASTYPE))
+
+    def test_quiet_with_copy_false(self):
+        assert "AL02" not in _rules(_active(AL02_GOOD_ASTYPE))
+
+    def test_quiet_inside_cow_seam(self):
+        code = """
+            import numpy as np
+
+            # arraylint: cow-seam the materialization point, on purpose
+            def materialize(matrix):
+                return matrix.astype(np.float32)
+        """
+        assert "AL02" not in _rules(_active(code))
+
+    def test_fires_on_materializing_adopted_storage(self):
+        code = """
+            import numpy as np
+
+            class Index:
+                def compact(self):
+                    return np.ascontiguousarray(self._vectors)
+        """
+        assert "AL02" in _rules(_active(code))
+
+    def test_quiet_on_plain_local_conversion(self):
+        code = """
+            import numpy as np
+
+            def convert(rows):
+                return np.ascontiguousarray(rows, dtype=np.float32)
+        """
+        assert "AL02" not in _rules(_active(code))
+
+    def test_suppressed_with_directive(self):
+        code = """
+            import numpy as np
+
+            def load(matrix):
+                # arraylint: disable=AL02 -- deliberate defensive copy
+                return matrix.astype(np.float32)
+        """
+        assert "AL02" not in _rules(_active(code))
+        assert _rules(_suppressed(code)) == {"AL02"}
+
+
+# ----------------------------------------------------------------------
+# AL03: mmap read-only discipline
+# ----------------------------------------------------------------------
+
+
+AL03_BAD_ADOPT = """
+    import numpy as np
+
+    class Index:
+        @classmethod
+        def from_matrix(cls, matrix):
+            index = cls()
+            index._vectors = matrix
+            return index
+"""
+
+AL03_GOOD_ADOPT = """
+    import numpy as np
+
+    class Index:
+        @classmethod
+        def from_matrix(cls, matrix):
+            adopted = matrix.view()
+            adopted.flags.writeable = False
+            index = cls()
+            index._vectors = adopted
+            return index
+"""
+
+
+class TestAL03:
+    def test_fires_on_unfrozen_adoption(self):
+        assert "AL03" in _rules(_active(AL03_BAD_ADOPT))
+
+    def test_quiet_when_adoption_freezes_view(self):
+        assert "AL03" not in _rules(_active(AL03_GOOD_ADOPT))
+
+    def test_fires_on_unguarded_inplace_write(self):
+        code = """
+            import numpy as np
+
+            class Index:
+                def add(self, i, v):
+                    self._vectors[i] = v
+        """
+        assert "AL03" in _rules(_active(code))
+
+    def test_quiet_with_writeable_guard(self):
+        code = """
+            import numpy as np
+
+            class Index:
+                def add(self, i, v):
+                    if not self._vectors.flags.writeable:
+                        self._grow()
+                    self._vectors[i] = v
+        """
+        assert "AL03" not in _rules(_active(code))
+
+    def test_quiet_with_cow_seam_annotation(self):
+        code = """
+            import numpy as np
+
+            class Index:
+                # arraylint: cow-seam writes into freshly allocated storage
+                def _bulk_build(self, rows):
+                    self._vectors[0] = rows[0]
+        """
+        assert "AL03" not in _rules(_active(code))
+
+    def test_quiet_outside_numpy_modules(self):
+        code = """
+            class Index:
+                def add(self, i, v):
+                    self._vectors[i] = v
+        """
+        assert "AL03" not in _rules(_active(code))
+
+    def test_suppressed_with_directive(self):
+        code = """
+            import numpy as np
+
+            class Index:
+                def add(self, i, v):
+                    # arraylint: disable=AL03 -- storage owned, never mmap
+                    self._vectors[i] = v
+        """
+        assert "AL03" not in _rules(_active(code))
+        assert _rules(_suppressed(code)) == {"AL03"}
+
+
+# ----------------------------------------------------------------------
+# AL04: serialization byte-order hygiene
+# ----------------------------------------------------------------------
+
+
+class TestAL04:
+    def test_fires_on_native_struct_format(self):
+        code = """
+            import struct
+
+            FRAME = struct.Struct("II")
+        """
+        assert "AL04" in _rules(_active(code))
+
+    def test_quiet_on_explicit_struct_format(self):
+        code = """
+            import struct
+
+            FRAME = struct.Struct("<II")
+        """
+        assert "AL04" not in _rules(_active(code))
+
+    def test_applies_outside_hot_modules(self):
+        code = """
+            import struct
+
+            FRAME = struct.Struct("II")
+        """
+        assert "AL04" in _rules(_active(code, path=COLD))
+
+    def test_fires_on_native_frombuffer_dtype(self):
+        code = """
+            import numpy as np
+
+            def decode(buf):
+                return np.frombuffer(buf, dtype=np.float32)
+        """
+        assert "AL04" in _rules(_active(code))
+
+    def test_fires_on_missing_frombuffer_dtype(self):
+        code = """
+            import numpy as np
+
+            def decode(buf):
+                return np.frombuffer(buf)
+        """
+        assert "AL04" in _rules(_active(code))
+
+    def test_quiet_on_byte_order_explicit_dtype(self):
+        code = """
+            import numpy as np
+
+            def decode(buf):
+                return np.frombuffer(buf, dtype="<f4")
+        """
+        assert "AL04" not in _rules(_active(code))
+
+    def test_fires_on_reader_writer_dtype_asymmetry(self):
+        code = """
+            import numpy as np
+
+            def encode(vec):
+                return np.ascontiguousarray(vec, dtype="<f8").tobytes()
+
+            def decode(buf):
+                return np.frombuffer(buf, dtype="<f4")
+        """
+        found = _active(code)
+        assert any(
+            f.rule == "AL04" and "asymmetry" in f.message for f in found
+        )
+
+    def test_quiet_on_symmetric_dtypes(self):
+        code = """
+            import numpy as np
+
+            def encode(vec):
+                return np.ascontiguousarray(vec, dtype="<f4").tobytes()
+
+            def decode(buf):
+                return np.frombuffer(buf, dtype="<f4")
+        """
+        assert "AL04" not in _rules(_active(code))
+
+    def test_fires_on_pack_unpack_asymmetry(self):
+        code = """
+            import struct
+
+            def encode(a, b):
+                return struct.pack("<II", a, b)
+
+            def decode(buf):
+                return struct.unpack("<IQ", buf)
+        """
+        found = _active(code)
+        assert any(
+            f.rule == "AL04" and "asymmetry" in f.message for f in found
+        )
+
+    def test_suppressed_with_directive(self):
+        code = """
+            import struct
+
+            FRAME = struct.Struct("II")  # arraylint: disable=AL04 -- local
+        """
+        assert "AL04" not in _rules(_active(code))
+        assert _rules(_suppressed(code)) == {"AL04"}
+
+
+# ----------------------------------------------------------------------
+# AL05: array contracts on public numeric entrypoints
+# ----------------------------------------------------------------------
+
+
+AL05_BAD = """
+    import numpy as np
+
+    class Index:
+        def search(self, query, k):
+            return []
+"""
+
+AL05_GOOD = """
+    import numpy as np
+    from repro.vectordb.contracts import array_contract
+
+    class Index:
+        @array_contract(query="d:float32")
+        def search(self, query, k):
+            return []
+"""
+
+
+class TestAL05:
+    def test_fires_on_undeclared_entrypoint(self):
+        assert "AL05" in _rules(_active(AL05_BAD))
+
+    def test_quiet_on_declared_entrypoint(self):
+        assert "AL05" not in _rules(_active(AL05_GOOD))
+
+    def test_quiet_outside_hot_modules(self):
+        assert "AL05" not in _rules(_active(AL05_BAD, path=COLD))
+
+    def test_quiet_without_numpy_import(self):
+        code = """
+            class SpatialIndex:
+                def search(self, box, k):
+                    return []
+        """
+        assert "AL05" not in _rules(_active(code))
+
+    def test_suppressed_with_directive(self):
+        code = """
+            import numpy as np
+
+            class Index:
+                # arraylint: disable=AL05 -- internal, contract upstream
+                def search(self, query, k):
+                    return []
+        """
+        assert "AL05" not in _rules(_active(code))
+        assert _rules(_suppressed(code)) == {"AL05"}
+
+
+# ----------------------------------------------------------------------
+# directives and CLI
+# ----------------------------------------------------------------------
+
+
+class TestDirectivesAndCli:
+    def test_comment_only_directive_binds_next_code_line(self):
+        directives = parse_directives(
+            "# arraylint: disable=AL01 -- why\nx = 1\n"
+        )
+        assert directives.is_disabled("AL01", 1)
+        assert directives.is_disabled("AL01", 2)
+        assert directives.reason(2) == "why"
+
+    def test_cow_seam_binds_to_def_line(self):
+        directives = parse_directives(
+            "# arraylint: cow-seam the seam\ndef f():\n    pass\n"
+        )
+        assert directives.marks_cow_seam(2)
+        assert not directives.marks_cow_seam(4)
+
+    def test_select_runs_only_chosen_rules(self):
+        code = textwrap.dedent(AL01_BAD) + textwrap.dedent(AL05_BAD)
+        findings = lint_source(code, path=HOT, select={"AL01"})
+        assert _rules(f for f in findings if not f.suppressed) == {"AL01"}
+
+    def test_cli_red_on_seeded_violation(self, tmp_path, capsys):
+        bad = tmp_path / "vectordb" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(textwrap.dedent(AL01_BAD), encoding="utf-8")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "AL01" in out and "1 finding(s)" in out
+
+    def test_cli_green_on_clean_file(self, tmp_path, capsys):
+        good = tmp_path / "vectordb" / "good.py"
+        good.parent.mkdir()
+        good.write_text(textwrap.dedent(AL01_GOOD), encoding="utf-8")
+        assert main([str(good)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_cli_show_suppressed_prints_justification(
+        self, tmp_path, capsys
+    ):
+        src = tmp_path / "vectordb" / "mod.py"
+        src.parent.mkdir()
+        src.write_text(
+            "import numpy as np\n"
+            "x = np.zeros(4)  # arraylint: disable=AL01 -- scratch\n",
+            encoding="utf-8",
+        )
+        assert main([str(src), "--show-suppressed"]) == 0
+        assert "scratch" in capsys.readouterr().out
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("AL01", "AL02", "AL03", "AL04", "AL05"):
+            assert rule_id in out
+
+    def test_module_entrypoint_runs(self, tmp_path):
+        good = tmp_path / "vectordb" / "good.py"
+        good.parent.mkdir()
+        good.write_text("x = 1\n", encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.arraylint", str(good)],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_checked_in_tree_is_clean(self):
+        findings = run_paths([str(REPO_ROOT / "src")])
+        active = [f for f in findings if not f.suppressed]
+        assert active == [], "\n".join(f.render() for f in active)
+
+    def test_checked_in_suppressions_are_justified(self):
+        findings = run_paths([str(REPO_ROOT / "src")])
+        unjustified = [
+            f for f in findings if f.suppressed and not f.justification
+        ]
+        assert unjustified == [], "\n".join(
+            f.render() for f in unjustified
+        )
+
+
+# ----------------------------------------------------------------------
+# @array_contract runtime behaviour
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def enforcing():
+    previous = contracts.set_enforcement(True)
+    yield
+    contracts.set_enforcement(previous)
+
+
+class TestArrayContract:
+    def test_off_by_default_costs_nothing(self):
+        @array_contract(x="n,d:float32")
+        def f(x):
+            return x
+
+        wrong = np.zeros((2, 3), dtype=np.float64)
+        assert f(wrong) is wrong  # no validation, no conversion
+
+    def test_dtype_mismatch_raises_under_enforcement(self, enforcing):
+        @array_contract(x="n,d:float32")
+        def f(x):
+            return x
+
+        with pytest.raises(ArrayContractViolation, match="float32"):
+            f(np.zeros((2, 3), dtype=np.float64))
+        ok = np.zeros((2, 3), dtype=np.float32)
+        assert f(ok) is ok
+
+    def test_rank_and_fixed_dims_checked(self, enforcing):
+        @array_contract(x="n,3:float32")
+        def f(x):
+            return x
+
+        with pytest.raises(ArrayContractViolation, match="2-D"):
+            f(np.zeros(3, dtype=np.float32))
+        with pytest.raises(ArrayContractViolation, match="dim 3"):
+            f(np.zeros((2, 4), dtype=np.float32))
+        f(np.zeros((2, 3), dtype=np.float32))
+
+    def test_named_dims_bind_across_parameters(self, enforcing):
+        @array_contract(q="d:float32", m="n,d:float32")
+        def f(q, m):
+            return m @ q
+
+        q = np.zeros(4, dtype=np.float32)
+        f(q, np.zeros((5, 4), dtype=np.float32))
+        with pytest.raises(ArrayContractViolation, match="dim d=4"):
+            f(q, np.zeros((5, 6), dtype=np.float32))
+
+    def test_return_contract_checked(self, enforcing):
+        @array_contract(x="n:float32", returns="n:float64")
+        def f(x):
+            return x  # violates its own declared return dtype
+
+        with pytest.raises(ArrayContractViolation, match="return"):
+            f(np.zeros(3, dtype=np.float32))
+
+    def test_non_array_arguments_pass_unchecked(self, enforcing):
+        @array_contract(x="d:float32")
+        def f(x):
+            return x
+
+        assert f([1.0, 2.0]) == [1.0, 2.0]
+        assert f(None) is None
+
+    def test_elementwise_spec_validates_point_vectors(self, enforcing):
+        @array_contract(points="*d:float32")
+        def ingest(points):
+            return sum(1 for _ in points)
+
+        good = [
+            PointStruct(id="a", vector=np.zeros(3, dtype=np.float32)),
+            PointStruct(id="b", vector=np.zeros(3, dtype=np.float32)),
+        ]
+        assert ingest(good) == 2
+        bad = [
+            PointStruct(id="a", vector=np.zeros(3, dtype=np.float64)),
+        ]
+        with pytest.raises(ArrayContractViolation, match="float32"):
+            ingest(bad)
+
+    def test_elementwise_validation_is_lazy(self, enforcing):
+        @array_contract(points="*d:float32")
+        def take_one(points):
+            return next(iter(points))
+
+        def stream():
+            yield PointStruct(
+                id="ok", vector=np.zeros(2, dtype=np.float32)
+            )
+            raise RuntimeError("must not be consumed")
+
+        assert take_one(stream()).id == "ok"
+
+    def test_positional_form_targets_first_data_param(self, enforcing):
+        @array_contract("n,d", "float32")
+        def f(matrix, k=1):
+            return matrix
+
+        with pytest.raises(ArrayContractViolation):
+            f(np.zeros((2, 2), dtype=np.float64))
+        f(np.zeros((2, 2), dtype=np.float32))
+
+    def test_unknown_parameter_rejected_at_decoration(self):
+        with pytest.raises(TypeError, match="unknown"):
+            @array_contract(nope="n:float32")
+            def f(x):
+                return x
+
+    def test_env_var_declared_contracts_introspectable(self):
+        @array_contract(x="n,d:float32", returns="n:float32")
+        def f(x):
+            return x
+
+        meta = f.__array_contract__
+        assert set(meta["params"]) == {"x"}
+        assert meta["returns"] is not None
+
+    def test_real_entrypoint_enforced(self, enforcing):
+        from repro.vectordb.distance import similarity
+
+        with pytest.raises(ArrayContractViolation):
+            similarity(
+                np.zeros(3, dtype=np.float64),
+                np.zeros((2, 3), dtype=np.float32),
+            )
+
+
+# ----------------------------------------------------------------------
+# memwatch runtime auditor
+# ----------------------------------------------------------------------
+
+
+class TestMemWatcher:
+    def test_peak_accounting_sees_materialization(self):
+        watcher = MemWatcher(enforce_contracts=False)
+        with watcher.watching():
+            scratch = np.ones((512, 1024), dtype=np.float32)  # 2 MiB
+            del scratch
+        assert watcher.peak_alloc_bytes() >= 2 * 1024 * 1024
+
+    def test_assert_peak_below_passes_and_fails(self):
+        watcher = MemWatcher(enforce_contracts=False)
+        with watcher.watching():
+            scratch = np.ones((512, 1024), dtype=np.float32)
+            del scratch
+        watcher.assert_peak_below(64 * 1024 * 1024, "small scratch")
+        with pytest.raises(MemWatchError, match="budget"):
+            watcher.assert_peak_below(1024, "tight budget")
+
+    def test_contract_enforcement_scoped_to_context(self):
+        assert not contracts.enforcement_enabled()
+        watcher = MemWatcher()
+        with watcher.watching():
+            assert contracts.enforcement_enabled()
+        assert not contracts.enforcement_enabled()
+
+    def test_sharing_probes(self):
+        base = np.zeros((8, 8), dtype=np.float32)
+        MemWatcher.assert_shares_memory(base, base[:4], "view")
+        with pytest.raises(MemWatchError, match="distinct"):
+            MemWatcher.assert_shares_memory(base, base.copy())
+        MemWatcher.assert_distinct_memory(base, base.copy())
+        with pytest.raises(MemWatchError, match="alias"):
+            MemWatcher.assert_distinct_memory(base, base[:4])
+
+    def test_stats_fields_for_bench_artifacts(self):
+        watcher = MemWatcher(enforce_contracts=False)
+        with watcher.watching():
+            scratch = np.ones(1024, dtype=np.float32)
+            del scratch
+        stats = watcher.stats()
+        assert stats["peak_alloc_bytes"] >= 4096
+        assert stats["rss_bytes"] is None or stats["rss_bytes"] > 0
+
+    def test_peak_before_watching_raises(self):
+        with pytest.raises(MemWatchError):
+            MemWatcher().peak_alloc_bytes()

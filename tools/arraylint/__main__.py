@@ -1,0 +1,8 @@
+"""``python -m tools.arraylint`` entry point."""
+
+import sys
+
+from tools.arraylint.core import main
+
+if __name__ == "__main__":
+    sys.exit(main())
