@@ -1,0 +1,184 @@
+"""Overload behaviour — load shedding keeps accepted-request p99 bounded.
+
+The resilience PR's acceptance target: drive a server at **4× its
+admission capacity** (16 concurrent clients against ``max_inflight=4``)
+and require that
+
+* the server **sheds** — some requests answer 429 + ``Retry-After``
+  instead of queueing without bound, and
+* the requests it *does* accept keep a bounded p99: within a generous
+  multiple of the unloaded single-client baseline (the factor absorbs
+  the ≤ ``max_inflight``-way concurrency and the client threads' GIL
+  share on a one-core CI box — the disaster being ruled out is the
+  *unbounded* latency of an unbounded queue, where p99 grows with queue
+  depth and every client times out eventually).
+
+An unloaded warm-up/baseline pass must shed nothing (the cap only bites
+under overload). Numbers are written to ``BENCH_resilience.json`` via
+the ``bench_artifact`` fixture so CI regressions are diagnosable from
+the artifact of the failing run.
+
+The corpus is a small standalone collection (not the prepared-city
+corpus): the subject here is admission control, not search quality, and
+exact k-NN over a few thousand vectors gives each request a measurable,
+stable cost.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.serving.http import ServingContext, ServingServer
+from repro.vectordb.client import VectorDBClient
+from repro.vectordb.collection import PointStruct
+
+DIM = 32
+POINTS = 2000
+K = 10
+
+MAX_INFLIGHT = 4
+CLIENTS = 16                 # 4x the admission capacity
+REQUESTS_PER_CLIENT = 40
+BASELINE_REQUESTS = 80
+
+#: Accepted-request p99 under overload must stay within this multiple of
+#: the unloaded baseline p99 (or an absolute floor on noisy machines).
+P99_CEILING_FACTOR = 50.0
+P99_CEILING_FLOOR_S = 0.5
+
+
+def _vectors(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vecs = rng.standard_normal((n, DIM)).astype(np.float32)
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+def _serving_server() -> ServingServer:
+    client = VectorDBClient()
+    vecs = _vectors(POINTS, seed=7)
+    client.create_collection("bench", dim=DIM, shards=2).upsert([
+        PointStruct(id=f"p{i}", vector=vecs[i], payload={})
+        for i in range(POINTS)
+    ])
+    context = ServingContext(client, coalesce=False)
+    return ServingServer(context, port=0, max_inflight=MAX_INFLIGHT).start()
+
+
+def _one_request(
+    conn: http.client.HTTPConnection, body: str
+) -> tuple[int, float, int]:
+    """One timed POST /search; returns (status, seconds, hit count)."""
+    t0 = time.perf_counter()
+    conn.request(
+        "POST", "/search", body, {"Content-Type": "application/json"}
+    )
+    response = conn.getresponse()
+    payload = response.read()
+    elapsed = time.perf_counter() - t0
+    hits = len(json.loads(payload).get("hits", [])) if (
+        response.status == 200
+    ) else 0
+    if response.status == 429 or response.will_close:
+        conn.close()  # server closed it; reconnect on the next request
+    return response.status, elapsed, hits
+
+
+def _client_loop(
+    host: str, port: int, bodies: list[str], n: int, offset: int,
+) -> list[tuple[int, float, int]]:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    outcomes = []
+    try:
+        for j in range(n):
+            outcomes.append(
+                _one_request(conn, bodies[(offset + j) % len(bodies)])
+            )
+    finally:
+        conn.close()
+    return outcomes
+
+
+def test_overload_sheds_while_accepted_p99_stays_bounded(bench_artifact):
+    queries = _vectors(32, seed=11)
+    bodies = [
+        json.dumps({
+            "collection": "bench", "vector": q.tolist(), "k": K,
+            "exact": True, "with_payload": False,
+        })
+        for q in queries
+    ]
+    with _serving_server() as server:
+        host, port = server.address
+
+        # -- unloaded baseline: one client, sequential ------------------
+        _client_loop(host, port, bodies, 20, 0)  # warm-up
+        baseline = _client_loop(host, port, bodies, BASELINE_REQUESTS, 0)
+        assert all(status == 200 for status, _, _ in baseline), (
+            "an unloaded server must never shed"
+        )
+        baseline_p99_s = float(
+            np.percentile([s for _, s, _ in baseline], 99)
+        )
+
+        # -- overload: 4x capacity --------------------------------------
+        per_client: list = [None] * CLIENTS
+
+        def worker(ci: int) -> None:
+            per_client[ci] = _client_loop(
+                host, port, bodies, REQUESTS_PER_CLIENT, ci
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    outcomes = [outcome for client in per_client for outcome in client]
+    accepted = [o for o in outcomes if o[0] == 200]
+    shed = [o for o in outcomes if o[0] == 429]
+    other = [o for o in outcomes if o[0] not in (200, 429)]
+    assert not other, f"unexpected statuses under overload: {other[:5]}"
+    assert all(hits == K for _, _, hits in accepted)
+
+    accepted_p99_s = float(np.percentile([s for _, s, _ in accepted], 99))
+    ceiling_s = max(P99_CEILING_FACTOR * baseline_p99_s, P99_CEILING_FLOOR_S)
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    print(
+        f"\noverload {CLIENTS} clients vs max_inflight={MAX_INFLIGHT}: "
+        f"{len(accepted)}/{total} accepted, {len(shed)} shed (429); "
+        f"baseline p99 {baseline_p99_s * 1000:.2f} ms, "
+        f"accepted p99 {accepted_p99_s * 1000:.2f} ms "
+        f"(ceiling {ceiling_s * 1000:.0f} ms)"
+    )
+    bench_artifact(
+        "resilience",
+        {
+            "clients": CLIENTS,
+            "max_inflight": MAX_INFLIGHT,
+            "requests_total": total,
+            "accepted": len(accepted),
+            "shed_429": len(shed),
+            "baseline_p99_ms": round(baseline_p99_s * 1000, 3),
+            "accepted_p99_ms": round(accepted_p99_s * 1000, 3),
+            "ceiling_ms": round(ceiling_s * 1000, 3),
+            "ceiling_factor": P99_CEILING_FACTOR,
+        },
+    )
+    assert shed, (
+        "4x-capacity overload must trip the in-flight cap (no 429s seen)"
+    )
+    assert accepted, "overload must not starve every request"
+    assert accepted_p99_s <= ceiling_s, (
+        f"accepted p99 {accepted_p99_s * 1000:.1f} ms exceeds the "
+        f"{ceiling_s * 1000:.0f} ms ceiling — shedding is not keeping "
+        "admitted-request latency bounded"
+    )

@@ -310,8 +310,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1000.0,
         parallel_refine=args.parallel_refine,
+        max_pending=args.max_pending or None,
     )
-    server = ServingServer(context, host=args.host, port=args.port)
+    server = ServingServer(
+        context, host=args.host, port=args.port,
+        max_inflight=args.max_inflight or None,
+    )
 
     def _terminate(signum, frame):  # SIGTERM parity with ^C
         raise KeyboardInterrupt
@@ -323,6 +327,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"at http://{host}:{port} — try GET /healthz")
     server.serve_forever()
     print("server stopped")
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    """``route``: the replica router (see docs/resilience.md).
+
+    Fronts N ``repro serve`` replicas with health-checked round-robin:
+    reads retry across replicas with exponential backoff + jitter
+    (honoring any ``X-Repro-Deadline-Ms`` budget), writes pin to the
+    first backend and are never retried, dead backends are ejected and
+    probed back in through a half-open trial.
+    """
+    import signal
+
+    from repro.serving.router import ReplicaRouter, RetryPolicy, RouterServer
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if not backends:
+        print("--backends needs at least one host:port")
+        return 1
+    try:
+        router = ReplicaRouter(
+            backends,
+            health_interval_s=args.health_interval_ms / 1000.0,
+            eject_after=args.eject_after,
+            retry=RetryPolicy(attempts=args.retries),
+            request_timeout_s=args.request_timeout_s,
+        )
+    except ValueError as exc:
+        print(str(exc))
+        return 1
+    server = RouterServer(
+        router, host=args.host, port=args.port,
+        max_inflight=args.max_inflight or None,
+    )
+
+    def _terminate(signum, frame):  # SIGTERM parity with ^C
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    host, port = server.address
+    print(f"routing {len(backends)} backend(s) at http://{host}:{port} "
+          f"— try GET /router/healthz")
+    server.serve_forever()
+    print("router stopped")
     return 0
 
 
@@ -489,7 +538,38 @@ def build_parser() -> argparse.ArgumentParser:
                    default="thread",
                    help="fan-out executor for sharded collections; "
                         "'process' keeps one worker process per shard")
+    p.add_argument("--max-pending", type=int, default=0,
+                   help="bound each coalescer queue; a full queue sheds "
+                        "with 429 (0 = unbounded)")
+    p.add_argument("--max-inflight", type=int, default=0,
+                   help="bound concurrently executing requests; excess "
+                        "sheds with 429 (0 = unbounded)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "route",
+        help="front N serve replicas with a health-checked router",
+    )
+    p.add_argument("--backends", required=True,
+                   help="comma-separated host:port list of serve replicas; "
+                        "the first is the write primary")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = pick an ephemeral port)")
+    p.add_argument("--health-interval-ms", type=float, default=250.0,
+                   help="delay between /healthz probe rounds")
+    p.add_argument("--eject-after", type=int, default=2,
+                   help="consecutive failures before a backend leaves "
+                        "rotation")
+    p.add_argument("--retries", type=int, default=3,
+                   help="read attempts across replicas before giving up "
+                        "(writes are never retried)")
+    p.add_argument("--request-timeout-s", type=float, default=30.0,
+                   help="per-backend request timeout")
+    p.add_argument("--max-inflight", type=int, default=0,
+                   help="bound concurrently forwarded requests; excess "
+                        "sheds with 429 (0 = unbounded)")
+    p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("demo", help="write or serve the demo page")
     _add_common(p)

@@ -76,5 +76,24 @@ class QueryError(ReproError):
     """A spatial keyword query is malformed or cannot be executed."""
 
 
+class DeadlineExceeded(ReproError):
+    """A request's deadline budget expired before the work finished.
+
+    Raised at the serving layer's choke points (HTTP dispatch, coalescer
+    enqueue/dispatch, shard fan-out) so over-budget work is abandoned
+    early instead of occupying a worker. Maps to HTTP 504.
+    """
+
+
+class ServerOverloaded(ReproError):
+    """The serving layer shed this request to protect the queue.
+
+    Raised when a bounded coalescer queue (``max_pending``) or the HTTP
+    server's in-flight cap (``max_inflight``) is saturated. The request
+    was never enqueued; callers should back off and retry. Maps to HTTP
+    429 with a ``Retry-After`` header.
+    """
+
+
 class EvaluationError(ReproError):
     """An evaluation/benchmark harness step failed."""

@@ -1,13 +1,17 @@
 """Concurrent query serving: coalescing, HTTP endpoints, process workers.
 
-The online half of the system (see ``docs/serving.md`` and
-``docs/architecture.md``): :mod:`~repro.serving.batcher` turns concurrent
-single-query callers into batched engine calls,
+The online half of the system (see ``docs/serving.md``,
+``docs/resilience.md`` and ``docs/architecture.md``):
+:mod:`~repro.serving.batcher` turns concurrent single-query callers into
+batched engine calls (with bounded, load-shedding queues),
 :mod:`~repro.serving.http` exposes the engine over stdlib HTTP
-(``repro serve``), :mod:`~repro.serving.workers` scales GIL-bound filter
-evaluation with one worker process per shard, and
-:mod:`~repro.serving.bootstrap` cold-starts a server from a prepared-city
-snapshot.
+(``repro serve``) with per-request deadline budgets and ``/metrics``,
+:mod:`~repro.serving.router` fronts N replicas with health-checked
+round-robin and read retries (``repro route``),
+:mod:`~repro.serving.metrics` holds the latency histograms,
+:mod:`~repro.serving.workers` scales GIL-bound filter evaluation with
+one worker process per shard, and :mod:`~repro.serving.bootstrap`
+cold-starts a server from a prepared-city snapshot.
 """
 
 from repro.serving.batcher import (
@@ -19,20 +23,35 @@ from repro.serving.batcher import (
 from repro.serving.bootstrap import load_or_prepare
 from repro.serving.http import (
     BadRequest,
+    HttpError,
     ServingContext,
     ServingServer,
     filter_from_json,
 )
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.router import (
+    Backend,
+    ReplicaRouter,
+    RetryPolicy,
+    RouterServer,
+)
 from repro.serving.workers import ProcessShardExecutor
 
 __all__ = [
+    "Backend",
     "BadRequest",
     "CoalescerStats",
+    "HttpError",
+    "LatencyHistogram",
     "MicroBatcher",
     "ProcessShardExecutor",
     "QueryCoalescer",
+    "ReplicaRouter",
+    "RetryPolicy",
+    "RouterServer",
     "SearchCoalescer",
     "ServingContext",
+    "ServingMetrics",
     "ServingServer",
     "filter_from_json",
     "load_or_prepare",

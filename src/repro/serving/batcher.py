@@ -38,10 +38,13 @@ suit the benchmarked corpus — see ``docs/serving.md`` for how to choose.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
+import warnings
 from collections.abc import Callable, Hashable, Sequence
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any
 
@@ -50,9 +53,11 @@ import numpy as np
 from repro.core.pipeline import SemaSK
 from repro.core.query import SpatialKeywordQuery
 from repro.core.results import QueryResult
-from repro.errors import DimensionMismatch
+from repro.errors import DeadlineExceeded, DimensionMismatch, ServerOverloaded
+from repro.testing import chaos
 from repro.vectordb.client import VectorDBClient
 from repro.vectordb.collection import SearchHit
+from repro.vectordb.deadline import Deadline
 from repro.vectordb.filters import Filter
 
 
@@ -69,6 +74,8 @@ class CoalescerStats:
     requests_dispatched: int = 0  # requests that left the queue in a batch
     max_batch_seen: int = 0      # largest batch executed
     retried_singly: int = 0      # items re-run alone after a batch failure
+    shed: int = 0                # submits refused because the queue was full
+    expired: int = 0             # items dropped for a spent deadline
 
     @property
     def mean_batch_size(self) -> float:
@@ -85,7 +92,55 @@ class CoalescerStats:
             "mean_batch_size": round(self.mean_batch_size, 2),
             "max_batch_seen": self.max_batch_seen,
             "retried_singly": self.retried_singly,
+            "shed": self.shed,
+            "expired": self.expired,
         }
+
+
+def _await_future(
+    future: Future,
+    timeout: float | None,
+    deadline: Deadline | None,
+) -> Any:
+    """Block on ``future``, never past the deadline's remaining budget.
+
+    A wait that exhausts the budget raises
+    :class:`~repro.errors.DeadlineExceeded`; a plain ``timeout`` expiry
+    keeps the stdlib ``TimeoutError``. Either way the caller's worker is
+    released — the batch the item rode in completes in the background
+    and its result is discarded.
+    """
+    if deadline is not None:
+        remaining = deadline.remaining_s()
+        timeout = remaining if timeout is None else min(timeout, remaining)
+    try:
+        return future.result(timeout)
+    except FuturesTimeoutError:
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceeded(
+                "deadline exceeded awaiting batch result"
+            ) from None
+        raise
+
+
+def _accepts_deadline(run_batch: Callable[..., Any]) -> bool:
+    """Whether ``run_batch`` takes a third (deadline) positional arg.
+
+    Sniffed once at construction so legacy two-argument callables (and
+    every existing test double) keep working unchanged, while the
+    coalescers' three-argument runners get the batch deadline forwarded.
+    """
+    try:
+        parameters = inspect.signature(run_batch).parameters.values()
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        p for p in parameters
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if any(p.kind == p.VAR_POSITIONAL for p in parameters):
+        return True
+    return len(positional) >= 3
 
 
 # reprolint: disable=RL06 -- process-local: lives inside a ServingContext, never pickled
@@ -103,6 +158,20 @@ class MicroBatcher:
     :meth:`close` drains everything still queued (executing it, not
     cancelling), then stops the thread; submitting after close raises
     ``RuntimeError``.
+
+    Backpressure: ``max_pending`` bounds how many items may sit in the
+    queue awaiting dispatch. A submit that would exceed the bound is
+    refused with :class:`~repro.errors.ServerOverloaded` — shed, not
+    blocked — so a stalled ``run_batch`` can never grow the queue (and
+    the process) without limit. ``None`` keeps the historical unbounded
+    behaviour.
+
+    Deadlines: an optional :class:`~repro.vectordb.deadline.Deadline`
+    rides with each item. Items whose budget is already spent when their
+    batch is picked up are failed with ``DeadlineExceeded`` instead of
+    being executed, and when ``run_batch`` accepts a third positional
+    argument it receives the batch's most generous deadline (the latest
+    expiry among its items — a tight budget never fails a batchmate).
     """
 
     def __init__(
@@ -111,6 +180,7 @@ class MicroBatcher:
         max_batch: int = 64,
         max_wait_s: float = 0.005,
         name: str = "batcher",
+        max_pending: int | None = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -118,15 +188,25 @@ class MicroBatcher:
             raise ValueError(
                 f"max_wait_s must be non-negative, got {max_wait_s}"
             )
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError(
+                f"max_pending must be positive or None, got {max_pending}"
+            )
         self._run_batch = run_batch
+        self._forward_deadline = _accepts_deadline(run_batch)
         self._max_batch = max_batch
         self._max_wait_s = max_wait_s
+        self._max_pending = max_pending
         self._name = name
         self._lock = threading.Condition()
-        # key -> (first-enqueue monotonic time, [(item, future), ...]);
+        # key -> (first-enqueue monotonic time,
+        #         [(item, future, deadline), ...]);
         # insertion order doubles as arrival order of the groups.
-        self._groups: dict[Hashable, tuple[float, list[tuple[Any, Future]]]]
+        self._groups: dict[
+            Hashable, tuple[float, list[tuple[Any, Future, Deadline | None]]]
+        ]
         self._groups = {}
+        self._queued = 0  # items awaiting dispatch, across all groups
         self._thread: threading.Thread | None = None
         self._closed = False
         self.stats = CoalescerStats()
@@ -135,12 +215,29 @@ class MicroBatcher:
     # caller side
     # ------------------------------------------------------------------
 
-    def submit(self, key: Hashable, item: Any) -> Future:
+    @property
+    def pending(self) -> int:
+        """Items currently queued awaiting dispatch (the queue depth)."""
+        with self._lock:
+            return self._queued
+
+    def submit(
+        self,
+        key: Hashable,
+        item: Any,
+        deadline: Deadline | None = None,
+    ) -> Future:
         """Enqueue ``item`` under ``key``; resolve via the returned future.
 
         Unhashable keys get a private group (no coalescing, still
-        batched machinery). Raises ``RuntimeError`` after :meth:`close`.
+        batched machinery). Raises ``RuntimeError`` after :meth:`close`,
+        :class:`~repro.errors.ServerOverloaded` when ``max_pending``
+        items are already queued, and
+        :class:`~repro.errors.DeadlineExceeded` when ``deadline`` is
+        already spent (nothing is enqueued in either case).
         """
+        if deadline is not None:
+            deadline.check("enqueue")
         try:
             hash(key)
         except TypeError:
@@ -149,6 +246,15 @@ class MicroBatcher:
         with self._lock:
             if self._closed:
                 raise RuntimeError(f"{self._name} is closed")
+            if (
+                self._max_pending is not None
+                and self._queued >= self._max_pending
+            ):
+                self.stats.shed += 1
+                raise ServerOverloaded(
+                    f"{self._name} queue is full "
+                    f"({self._queued}/{self._max_pending} pending)"
+                )
             if self._thread is None:
                 self._thread = threading.Thread(
                     target=self._dispatch_loop,
@@ -158,23 +264,46 @@ class MicroBatcher:
                 self._thread.start()
             entry = self._groups.get(key)
             if entry is None:
-                self._groups[key] = (time.monotonic(), [(item, future)])
+                self._groups[key] = (
+                    time.monotonic(), [(item, future, deadline)]
+                )
             else:
-                entry[1].append((item, future))
+                entry[1].append((item, future, deadline))
+            self._queued += 1
             self.stats.requests += 1
             self._lock.notify_all()
         return future
 
-    def close(self, timeout: float | None = 5.0) -> None:
-        """Drain pending requests, then stop the dispatcher (idempotent)."""
+    def close(self, timeout: float | None = 5.0) -> bool:
+        """Drain pending requests, then stop the dispatcher (idempotent).
+
+        Returns True when the dispatcher thread is fully stopped (or
+        never ran). A dispatcher still alive after ``timeout`` — e.g. a
+        ``run_batch`` wedged on I/O — returns False and emits a
+        ``RuntimeWarning`` so the leak is visible to warning filters and
+        the session leak guard rather than silently orphaned.
+        """
         with self._lock:
             if self._closed:
-                return
+                thread = self._thread
+                already_stopped = thread is None or not thread.is_alive()
+                if already_stopped:
+                    return True
             self._closed = True
             self._lock.notify_all()
             thread = self._thread
-        if thread is not None:
-            thread.join(timeout=timeout)
+        if thread is None:
+            return True
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            warnings.warn(
+                f"{self._name} dispatcher failed to stop within "
+                f"{timeout}s; its thread is still running",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        return True
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -207,6 +336,7 @@ class MicroBatcher:
         if rest:
             # Leftovers start a fresh deadline: they are a new batch.
             self._groups[key] = (now, rest)
+        self._queued -= len(batch)
         return key, batch
 
     def _next_deadline(self, now: float) -> float | None:
@@ -234,12 +364,55 @@ class MicroBatcher:
                 )
             self._execute(key, batch)  # outside the lock: submitters go on
 
+    def _call_run_batch(
+        self,
+        key: Hashable,
+        items: list[Any],
+        deadline: Deadline | None,
+    ) -> Sequence[Any]:
+        """One batched execution, behind the chaos injection point."""
+        chaos.fire(
+            "batcher.run_batch", name=self._name, key=key, items=items
+        )
+        if self._forward_deadline:
+            return self._run_batch(key, items, deadline)
+        return self._run_batch(key, items)
+
+    def _drop_expired(
+        self, batch: list[tuple[Any, Future, Deadline | None]]
+    ) -> list[tuple[Any, Future, Deadline | None]]:
+        """Fail already-over-budget entries; return the live remainder."""
+        live = []
+        for entry in batch:
+            deadline = entry[2]
+            if deadline is not None and deadline.expired:
+                with self._lock:
+                    self.stats.expired += 1
+                entry[1].set_exception(
+                    DeadlineExceeded("deadline exceeded before dispatch")
+                )
+            else:
+                live.append(entry)
+        return live
+
     def _execute(
-        self, key: Hashable, batch: list[tuple[Any, Future]]
+        self, key: Hashable, batch: list[tuple[Any, Future, Deadline | None]]
     ) -> None:
-        items = [item for item, _ in batch]
+        batch = self._drop_expired(batch)
+        if not batch:
+            return
+        items = [item for item, _, _ in batch]
+        deadlines = [deadline for _, _, deadline in batch]
+        # The batch runs under its most generous member's budget; members
+        # with tighter budgets are re-checked at the engine's choke
+        # points only via their own deadline when retried singly.
+        batch_deadline = (
+            None
+            if any(d is None for d in deadlines)
+            else max(deadlines, key=lambda d: d.expires_at)
+        )
         try:
-            results = self._run_batch(key, items)
+            results = self._call_run_batch(key, items, batch_deadline)
             if len(results) != len(items):
                 raise RuntimeError(
                     f"run_batch returned {len(results)} results for "
@@ -249,17 +422,24 @@ class MicroBatcher:
             # Error isolation: re-run one by one so only the item(s) that
             # actually fail see an exception — a poison request must not
             # take down the whole batch it happened to ride in.
-            for item, future in batch:
+            for item, future, deadline in batch:
                 with self._lock:
                     self.stats.retried_singly += 1
+                if deadline is not None and deadline.expired:
+                    with self._lock:
+                        self.stats.expired += 1
+                    future.set_exception(
+                        DeadlineExceeded("deadline exceeded before retry")
+                    )
+                    continue
                 try:
-                    result = self._run_batch(key, [item])
+                    result = self._call_run_batch(key, [item], deadline)
                 except BaseException as exc:  # noqa: BLE001 - to the caller
                     future.set_exception(exc)
                 else:
                     future.set_result(result[0])
             return
-        for (_, future), result in zip(batch, results):
+        for (_, future, _), result in zip(batch, results):
             future.set_result(result)
 
 
@@ -294,11 +474,12 @@ class SearchCoalescer:
         client: VectorDBClient,
         max_batch: int = 64,
         max_wait_s: float = 0.005,
+        max_pending: int | None = None,
     ) -> None:
         self._client = client
         self._batcher = MicroBatcher(
             self._run, max_batch=max_batch, max_wait_s=max_wait_s,
-            name="search-coalescer",
+            name="search-coalescer", max_pending=max_pending,
         )
 
     @property
@@ -306,12 +487,20 @@ class SearchCoalescer:
         """Dispatch counters (requests, batches, sizes)."""
         return self._batcher.stats
 
+    @property
+    def pending(self) -> int:
+        """Searches queued awaiting dispatch (the queue depth)."""
+        return self._batcher.pending
+
     def _run(
-        self, key: _SearchKey, vectors: list[np.ndarray]
+        self,
+        key: _SearchKey,
+        vectors: list[np.ndarray],
+        deadline: Deadline | None = None,
     ) -> list[list[SearchHit]]:
         return self._client.search_batch(
             key.collection, np.stack(vectors), key.k,
-            flt=key.flt, exact=key.exact, ef=key.ef,
+            flt=key.flt, exact=key.exact, ef=key.ef, deadline=deadline,
         )
 
     def submit(
@@ -322,13 +511,15 @@ class SearchCoalescer:
         flt: Filter | None = None,
         exact: bool = False,
         ef: int | None = None,
+        deadline: Deadline | None = None,
     ) -> Future:
         """Enqueue one search; the future resolves to its hit list.
 
         Raises immediately (not via the future) for an unknown
-        collection, a negative ``k``, or a query of the wrong
+        collection, a negative ``k``, a query of the wrong
         dimensionality — the pre-batch validation that keeps bad
-        requests out of shared batches.
+        requests out of shared batches — an already-spent ``deadline``,
+        or a full queue (:class:`~repro.errors.ServerOverloaded`).
         """
         target = self._client.get_collection(collection)
         if k < 0:
@@ -341,7 +532,7 @@ class SearchCoalescer:
         key = _SearchKey(
             collection=collection, k=k, flt=flt, exact=exact, ef=ef
         )
-        return self._batcher.submit(key, query)
+        return self._batcher.submit(key, query, deadline=deadline)
 
     def search(
         self,
@@ -352,11 +543,20 @@ class SearchCoalescer:
         exact: bool = False,
         ef: int | None = None,
         timeout: float | None = 30.0,
+        deadline: Deadline | None = None,
     ) -> list[SearchHit]:
-        """Blocking :meth:`submit`: returns the hits (or re-raises)."""
-        return self.submit(
-            collection, vector, k, flt=flt, exact=exact, ef=ef
-        ).result(timeout)
+        """Blocking :meth:`submit`: returns the hits (or re-raises).
+
+        With a ``deadline``, the wait is capped at the remaining budget
+        and a timed-out wait raises
+        :class:`~repro.errors.DeadlineExceeded` (the request's worker is
+        released; the batch it rode in finishes in the background).
+        """
+        future = self.submit(
+            collection, vector, k, flt=flt, exact=exact, ef=ef,
+            deadline=deadline,
+        )
+        return _await_future(future, timeout, deadline)
 
     def close(self) -> None:
         """Flush pending searches and stop the dispatcher."""
@@ -380,6 +580,7 @@ class QueryCoalescer:
         max_batch: int = 32,
         max_wait_s: float = 0.010,
         parallel_refine: int = 4,
+        max_pending: int | None = None,
     ) -> None:
         if parallel_refine <= 0:
             raise ValueError(
@@ -389,13 +590,18 @@ class QueryCoalescer:
         self._parallel_refine = parallel_refine
         self._batcher = MicroBatcher(
             self._run, max_batch=max_batch, max_wait_s=max_wait_s,
-            name="query-coalescer",
+            name="query-coalescer", max_pending=max_pending,
         )
 
     @property
     def stats(self) -> CoalescerStats:
         """Dispatch counters (requests, batches, sizes)."""
         return self._batcher.stats
+
+    @property
+    def pending(self) -> int:
+        """Queries queued awaiting dispatch (the queue depth)."""
+        return self._batcher.pending
 
     def _run(
         self, key: Hashable, queries: list[SpatialKeywordQuery]
@@ -404,15 +610,22 @@ class QueryCoalescer:
             queries, parallel_refine=min(self._parallel_refine, len(queries))
         )
 
-    def submit(self, query: SpatialKeywordQuery) -> Future:
+    def submit(
+        self,
+        query: SpatialKeywordQuery,
+        deadline: Deadline | None = None,
+    ) -> Future:
         """Enqueue one pipeline query; resolves to its ``QueryResult``."""
-        return self._batcher.submit(None, query)
+        return self._batcher.submit(None, query, deadline=deadline)
 
     def query(
-        self, query: SpatialKeywordQuery, timeout: float | None = 60.0
+        self,
+        query: SpatialKeywordQuery,
+        timeout: float | None = 60.0,
+        deadline: Deadline | None = None,
     ) -> QueryResult:
-        """Blocking :meth:`submit`."""
-        return self.submit(query).result(timeout)
+        """Blocking :meth:`submit` (waits are capped by the deadline)."""
+        return _await_future(self.submit(query, deadline), timeout, deadline)
 
     def close(self) -> None:
         """Flush pending queries and stop the dispatcher."""

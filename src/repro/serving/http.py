@@ -11,7 +11,8 @@ supports is reachable with ``curl``. Endpoints:
 ========  ======================  ==========================================
 method    path                    purpose
 ========  ======================  ==========================================
-GET       ``/healthz``            liveness + coalescer + WAL stats
+GET       ``/healthz``            liveness + coalescer + WAL + queue stats
+GET       ``/metrics``            latency histograms, shed counts, depths
 GET       ``/collections``        list collections with point counts
 POST      ``/search``             one vector kNN search (coalesced)
 POST      ``/query``              one natural-language SemaSK query
@@ -33,7 +34,16 @@ RAM-only until the next save, exactly as before this layer existed.
 Request/response schemas are documented in ``docs/serving.md`` (with curl
 examples); ``examples/serve_and_query.py`` exercises every endpoint
 end-to-end. Errors return ``{"error": ...}`` with 400 (bad request), 404
-(unknown path/collection), or 500 (unexpected).
+(unknown path/collection), 411/413 (missing/oversized body), 429
+(overloaded — with ``Retry-After``), 504 (deadline exceeded), or 500
+(unexpected).
+
+Resilience (see ``docs/resilience.md``): a request may carry a deadline
+budget in the ``X-Repro-Deadline-Ms`` header — once spent, the request
+answers 504 at the next choke point instead of occupying a worker — and
+the server sheds load with 429 when ``max_inflight`` handlers are busy
+or a coalescer's ``max_pending`` queue is full, never blocking or
+buffering without bound.
 
 Concurrency model: ``ThreadingHTTPServer`` parks each connection in its
 own thread; handler threads block on coalescer futures, so concurrent
@@ -64,14 +74,19 @@ from repro.core.query import SpatialKeywordQuery
 from repro.core.results import QueryResult
 from repro.errors import (
     CollectionNotFound,
+    DeadlineExceeded,
     DimensionMismatch,
     ReproError,
+    ServerOverloaded,
 )
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import GeoPoint
 from repro.serving.batcher import QueryCoalescer, SearchCoalescer
+from repro.serving.metrics import ServingMetrics
+from repro.testing import chaos
 from repro.vectordb.client import VectorDBClient
 from repro.vectordb.collection import PointStruct, SearchHit
+from repro.vectordb.deadline import Deadline
 from repro.vectordb.filters import (
     And,
     FieldIn,
@@ -87,6 +102,14 @@ from repro.vectordb.filters import (
 
 class BadRequest(ValueError):
     """A client error that should surface as HTTP 400."""
+
+
+class HttpError(ReproError):
+    """An error carrying its own HTTP status (411, 413, ...)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 def filter_from_json(spec: Any) -> Filter | None:
@@ -194,6 +217,7 @@ class ServingContext:
         max_wait_s: float = 0.005,
         parallel_refine: int = 4,
         own_client: bool = True,
+        max_pending: int | None = None,
     ) -> None:
         self._client = client
         self._system = system
@@ -201,14 +225,18 @@ class ServingContext:
         self._own_client = own_client
         self._started = time.monotonic()
         self._closed = False
+        self.metrics = ServingMetrics()
         self._search_coalescer = (
-            SearchCoalescer(client, max_batch=max_batch, max_wait_s=max_wait_s)
+            SearchCoalescer(
+                client, max_batch=max_batch, max_wait_s=max_wait_s,
+                max_pending=max_pending,
+            )
             if coalesce else None
         )
         self._query_coalescer = (
             QueryCoalescer(
                 system, max_batch=max_batch, max_wait_s=max_wait_s,
-                parallel_refine=parallel_refine,
+                parallel_refine=parallel_refine, max_pending=max_pending,
             )
             if coalesce and system is not None else None
         )
@@ -231,14 +259,25 @@ class ServingContext:
         exact: bool = False,
         ef: int | None = None,
         coalesce: bool = True,
+        deadline: Deadline | None = None,
     ) -> list[SearchHit]:
-        """One kNN search, coalesced with concurrent callers by default."""
+        """One kNN search, coalesced with concurrent callers by default.
+
+        ``deadline`` is the request's remaining budget: an expired one
+        raises :class:`~repro.errors.DeadlineExceeded` before any engine
+        work is dispatched, and a live one rides along to the engine's
+        choke points (and caps the coalesced wait).
+        """
+        if deadline is not None:
+            deadline.check("search dispatch")
         if self._search_coalescer is not None and coalesce:
             return self._search_coalescer.search(
-                collection, vector, k, flt=flt, exact=exact, ef=ef
+                collection, vector, k, flt=flt, exact=exact, ef=ef,
+                deadline=deadline,
             )
         return self._client.search(
-            collection, vector, k, flt=flt, exact=exact, ef=ef
+            collection, vector, k, flt=flt, exact=exact, ef=ef,
+            deadline=deadline,
         )
 
     def query(
@@ -248,6 +287,7 @@ class ServingContext:
         lon: float | None = None,
         range_km: float = 5.0,
         coalesce: bool = True,
+        deadline: Deadline | None = None,
     ) -> QueryResult:
         """One natural-language SemaSK query around (lat, lon).
 
@@ -279,8 +319,10 @@ class ServingContext:
             )
         except ReproError as exc:  # e.g. empty query text
             raise BadRequest(str(exc)) from exc
+        if deadline is not None:
+            deadline.check("query dispatch")
         if self._query_coalescer is not None and coalesce:
-            return self._query_coalescer.query(query)
+            return self._query_coalescer.query(query, deadline=deadline)
         return self._system.query(query)
 
     def collections(self) -> list[dict]:
@@ -363,6 +405,15 @@ class ServingContext:
         collection = self._client.load(directory, mmap=mmap, wal=wal)
         return self._client.collection_info(collection.name)
 
+    def queue_depths(self) -> dict:
+        """Current coalescer queue depths (items awaiting dispatch)."""
+        depths = {}
+        if self._search_coalescer is not None:
+            depths["search"] = self._search_coalescer.pending
+        if self._query_coalescer is not None:
+            depths["query"] = self._query_coalescer.pending
+        return depths
+
     def health(self) -> dict:
         """The ``/healthz`` body: liveness, uptime, coalescer + WAL stats."""
         body: dict = {
@@ -371,6 +422,8 @@ class ServingContext:
             "collections": self._client.list_collections(),
             "pipeline": self._system.name if self._system else None,
             "coalescing": self._search_coalescer is not None,
+            "queue_depths": self.queue_depths(),
+            "backpressure": self.metrics.counters(),
         }
         if self._search_coalescer is not None:
             body["search_coalescer"] = self._search_coalescer.stats.snapshot()
@@ -383,6 +436,18 @@ class ServingContext:
             for name in self._client.list_collections()
         }
         body["wal"] = wal if any(v is not None for v in wal.values()) else None
+        return body
+
+    def metrics_body(self) -> dict:
+        """The ``/metrics`` body: counters, histograms, queue depths."""
+        body = self.metrics.snapshot()
+        body["queue_depths"] = self.queue_depths()
+        coalescers = {}
+        if self._search_coalescer is not None:
+            coalescers["search"] = self._search_coalescer.stats.snapshot()
+        if self._query_coalescer is not None:
+            coalescers["query"] = self._query_coalescer.stats.snapshot()
+        body["coalescers"] = coalescers
         return body
 
     def close(self) -> None:
@@ -417,14 +482,41 @@ class _TrackingHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, *args: Any, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        *args: Any,
+        max_inflight: int | None = None,
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self._inflight = 0
         self._inflight_cv = threading.Condition()
+        self.max_inflight = max_inflight
+        self.shed_total = 0
 
-    def request_began(self) -> None:
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing a handler."""
         with self._inflight_cv:
+            return self._inflight
+
+    def request_began(self) -> bool:
+        """Admit a request unless ``max_inflight`` handlers already run.
+
+        Returns False — and counts the shed — when at capacity; the
+        caller answers 429 without touching the context. Admission and
+        the count are one atomic step, so a burst can never overshoot
+        the cap.
+        """
+        with self._inflight_cv:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self.shed_total += 1
+                return False
             self._inflight += 1
+            return True
 
     def request_finished(self) -> None:
         with self._inflight_cv:
@@ -451,23 +543,69 @@ class _Handler(BaseHTTPRequestHandler):
     context: ServingContext  # injected by ServingServer
     server: _TrackingHTTPServer
 
+    #: Hard cap on accepted request bodies; larger gets 413 unread. Even
+    #: a full batch of float vectors fits in a fraction of this.
+    MAX_BODY_BYTES = 8 * 1024 * 1024
+
+    #: Paths metrics may record verbatim; anything else becomes "other"
+    #: so probing scanners cannot grow the route map.
+    KNOWN_ROUTES = frozenset({
+        "/healthz", "/metrics", "/collections", "/search", "/query",
+        "/upsert", "/set_payload", "/admin/save", "/admin/load",
+    })
+
     # -- plumbing ------------------------------------------------------
 
     def log_message(self, *args: object) -> None:
         """Silence per-request stderr logging."""
 
-    def _send_json(self, status: int, body: dict | list) -> None:
+    def _send_json(
+        self,
+        status: int,
+        body: dict | list,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         data = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(data)
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        """Parse the JSON request body, refusing to read unbounded bytes.
+
+        A missing/zero ``Content-Length`` is 411 (this server does not
+        accept chunked bodies) and one beyond :attr:`MAX_BODY_BYTES` is
+        413 — in both cases the body is *never read*, so a hostile
+        header cannot make the handler allocate; the connection closes
+        since unread bytes would poison the next keep-alive request.
+        """
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            self.close_connection = True
+            raise HttpError(411, "Content-Length required")
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            self.close_connection = True
+            raise HttpError(
+                411, f"invalid Content-Length {raw_length!r}"
+            ) from exc
         if length <= 0:
-            raise BadRequest("request body required")
+            self.close_connection = True
+            raise HttpError(411, "request body required")
+        if length > self.MAX_BODY_BYTES:
+            self.close_connection = True
+            raise HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.MAX_BODY_BYTES}-byte limit",
+            )
         try:
             body = json.loads(self.rfile.read(length))
         except json.JSONDecodeError as exc:
@@ -476,13 +614,50 @@ class _Handler(BaseHTTPRequestHandler):
             raise BadRequest("request body must be a JSON object")
         return body
 
+    def _request_deadline(self) -> Deadline | None:
+        """The request's budget from ``X-Repro-Deadline-Ms`` (or None)."""
+        raw = self.headers.get("X-Repro-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw)
+        except ValueError as exc:
+            raise BadRequest(
+                f"invalid X-Repro-Deadline-Ms {raw!r}"
+            ) from exc
+        if budget_ms < 0:
+            raise BadRequest("X-Repro-Deadline-Ms must be non-negative")
+        return Deadline.after_ms(budget_ms)
+
     def _dispatch(self, handler) -> None:
-        self.server.request_began()
+        if not self.server.request_began():
+            # Shed, not blocked: at max_inflight the cheapest honest
+            # answer is an immediate 429 — the client backs off while
+            # the admitted requests keep their latency.
+            self.close_connection = True
+            self.context.metrics.observe(self._route(), 429, 0.0)
+            self._send_json(
+                429,
+                {"error": "server overloaded (in-flight cap reached)"},
+                headers={"Retry-After": "1"},
+            )
+            return
+        started = time.monotonic()
+        status = 500
         try:
             try:
+                chaos.fire(
+                    "http.request", method=self.command, path=self.path
+                )
                 status, body = handler()
             except BadRequest as exc:
                 status, body = 400, {"error": str(exc)}
+            except DeadlineExceeded as exc:
+                status, body = 504, {"error": str(exc)}
+            except ServerOverloaded as exc:
+                status, body = 429, {"error": str(exc)}
+            except HttpError as exc:
+                status, body = exc.status, {"error": str(exc)}
             except (DimensionMismatch, ValueError, KeyError, TypeError) as exc:
                 status, body = 400, {"error": str(exc)}
             except CollectionNotFound as exc:
@@ -491,19 +666,43 @@ class _Handler(BaseHTTPRequestHandler):
                 status, body = 400, {"error": str(exc)}
             except Exception as exc:  # reprolint: last-resort -- every handler error becomes a JSON 500
                 status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
-            self._send_json(status, body)
+            headers = {"Retry-After": "1"} if status == 429 else None
+            self._send_json(status, body, headers=headers)
         finally:
+            self.context.metrics.observe(
+                self._route(), status, time.monotonic() - started
+            )
             self.server.request_finished()
+
+    def _route(self) -> str:
+        """The path as a bounded-cardinality metrics label."""
+        return self.path if self.path in self.KNOWN_ROUTES else "other"
 
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
         if self.path == "/healthz":
-            self._dispatch(lambda: (200, self.context.health()))
+            self._dispatch(lambda: (200, self._health_body()))
+        elif self.path == "/metrics":
+            self._dispatch(lambda: (200, self._metrics_body()))
         elif self.path == "/collections":
             self._dispatch(lambda: (200, self.context.collections()))
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _health_body(self) -> dict:
+        body = self.context.health()
+        body["inflight"] = self.server.inflight
+        body["max_inflight"] = self.server.max_inflight
+        body["inflight_shed_total"] = self.server.shed_total
+        return body
+
+    def _metrics_body(self) -> dict:
+        body = self.context.metrics_body()
+        body["inflight"] = self.server.inflight
+        body["max_inflight"] = self.server.max_inflight
+        body["inflight_shed_total"] = self.server.shed_total
+        return body
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib API name)
         routes = {
@@ -537,6 +736,7 @@ class _Handler(BaseHTTPRequestHandler):
             exact=bool(body.get("exact", False)),
             ef=int(body["ef"]) if body.get("ef") is not None else None,
             coalesce=bool(body.get("coalesce", True)),
+            deadline=self._request_deadline(),
         )
         # with_payload=false trims the response to ids + scores — POI
         # payloads carry full tip texts, which dominate the wire size.
@@ -555,6 +755,7 @@ class _Handler(BaseHTTPRequestHandler):
             lon=body.get("lon"),
             range_km=float(body.get("range_km", 5.0)),
             coalesce=bool(body.get("coalesce", True)),
+            deadline=self._request_deadline(),
         )
         return 200, _result_to_json(result)
 
@@ -618,10 +819,17 @@ class ServingServer:
         context: ServingContext,
         host: str = "127.0.0.1",
         port: int = 8080,
+        max_inflight: int | None = None,
     ) -> None:
+        if max_inflight is not None and max_inflight <= 0:
+            raise ValueError(
+                f"max_inflight must be positive or None, got {max_inflight}"
+            )
         handler = type("BoundHandler", (_Handler,), {"context": context})
         self._context = context
-        self._httpd = _TrackingHTTPServer((host, port), handler)
+        self._httpd = _TrackingHTTPServer(
+            (host, port), handler, max_inflight=max_inflight
+        )
         self._thread: threading.Thread | None = None
         self._shutdown_once = threading.Lock()
         self._shut_down = False

@@ -1,9 +1,27 @@
-"""Test-only instrumentation (runtime lock-order auditing)."""
+"""Test-only instrumentation: lock auditing, memory auditing, chaos."""
 
+from repro.testing.chaos import (
+    ChaosProxy,
+    clear_faults,
+    fault,
+    fire,
+    install_fault,
+    remove_fault,
+)
 from repro.testing.lockwatch import (
     HoldViolation,
     LockWatchError,
     LockWatcher,
 )
 
-__all__ = ["HoldViolation", "LockWatchError", "LockWatcher"]
+__all__ = [
+    "ChaosProxy",
+    "HoldViolation",
+    "LockWatchError",
+    "LockWatcher",
+    "clear_faults",
+    "fault",
+    "fire",
+    "install_fault",
+    "remove_fault",
+]

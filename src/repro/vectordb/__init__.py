@@ -39,6 +39,7 @@ from repro.vectordb.collection import (
     PointStruct,
     SearchHit,
 )
+from repro.vectordb.deadline import Deadline
 from repro.vectordb.distance import Metric, normalize_rows, similarity
 from repro.vectordb.filters import (
     And,
@@ -68,6 +69,7 @@ __all__ = [
     "AnyCollection",
     "And",
     "Collection",
+    "Deadline",
     "FieldIn",
     "FieldMatch",
     "FieldRange",

@@ -19,6 +19,7 @@ from repro.vectordb.collection import (
     SearchHit,
 )
 from repro.vectordb.contracts import array_contract
+from repro.vectordb.deadline import Deadline
 from repro.vectordb.distance import Metric
 from repro.vectordb.filters import Filter
 from repro.vectordb.sharded import AnyCollection, ShardedCollection
@@ -267,10 +268,11 @@ class VectorDBClient:
         flt: Filter | None = None,
         exact: bool = False,
         ef: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[SearchHit]:
         """Search the named collection (see :meth:`Collection.search`)."""
         return self.get_collection(name).search(
-            vector, k, flt=flt, exact=exact, ef=ef
+            vector, k, flt=flt, exact=exact, ef=ef, deadline=deadline
         )
 
     @array_contract(vectors="q,d:float32")
@@ -282,10 +284,11 @@ class VectorDBClient:
         flt: Filter | None = None,
         exact: bool = False,
         ef: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[list[SearchHit]]:
         """Batched search (see :meth:`Collection.search_batch`)."""
         return self.get_collection(name).search_batch(
-            vectors, k, flt=flt, exact=exact, ef=ef
+            vectors, k, flt=flt, exact=exact, ef=ef, deadline=deadline
         )
 
     def count(self, name: str, flt: Filter | None = None) -> int:

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.errors import CollectionError, DimensionMismatch, PointNotFound
 from repro.vectordb.contracts import array_contract
+from repro.vectordb.deadline import Deadline
 from repro.vectordb.distance import Metric
 from repro.vectordb.filters import Filter
 from repro.vectordb.flat import FlatIndex
@@ -486,6 +487,7 @@ class Collection:
         flt: Filter | None = None,
         exact: bool = False,
         ef: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[SearchHit]:
         """Top-``k`` most similar points, optionally filtered.
 
@@ -495,9 +497,16 @@ class Collection:
 
         ``k = 0`` returns no hits and ``k`` beyond the population
         truncates to every (matching) point; negative ``k`` raises.
+
+        An expired ``deadline`` raises
+        :class:`~repro.errors.DeadlineExceeded` at entry and again
+        between filter evaluation and scoring — the two choke points
+        where an over-budget search can still be abandoned cheaply.
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
+        if deadline is not None:
+            deadline.check("search")
         query = np.asarray(vector, dtype=np.float32)
         if query.shape != (self.dim,):
             raise DimensionMismatch(
@@ -510,6 +519,8 @@ class Collection:
             matching = self._matching_nodes(flt)
             if matching.size == 0:
                 return []
+            if deadline is not None:
+                deadline.check("scoring")
             if exact or matching.size <= self.BRUTE_FORCE_THRESHOLD:
                 raw = self._flat.search(query, k, subset=matching)
             else:
@@ -542,6 +553,7 @@ class Collection:
         flt: Filter | None = None,
         exact: bool = False,
         ef: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[list[SearchHit]]:
         """Top-``k`` hits for each query row, against one shared filter.
 
@@ -552,9 +564,14 @@ class Collection:
         graph's vectorized traversal per query. Returns one hit list per
         query, equivalent to ``[self.search(v, k, ...) for v in vectors]``
         (including the ``k = 0`` / oversized-``k`` edge behaviour).
+        ``deadline`` is checked at the same choke points as in
+        :meth:`search` (entry, and between filter evaluation and
+        scoring).
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
+        if deadline is not None:
+            deadline.check("search_batch")
         queries = np.asarray(vectors, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise DimensionMismatch(
@@ -570,6 +587,8 @@ class Collection:
             matching = self._matching_nodes(flt)
             if matching.size == 0:
                 return [[] for _ in range(n_queries)]
+            if deadline is not None:
+                deadline.check("scoring")
             if exact or matching.size <= self.BRUTE_FORCE_THRESHOLD:
                 raw_lists = self._flat.search_batch(queries, k, subset=matching)
             else:

@@ -65,6 +65,7 @@ from repro.vectordb.collection import (
     PointStruct,
     SearchHit,
 )
+from repro.vectordb.deadline import Deadline
 from repro.vectordb.distance import Metric
 from repro.vectordb.filters import Filter
 from repro.vectordb.hnsw import HNSWIndex
@@ -574,15 +575,21 @@ class ShardedCollection:
         flt: Filter | None = None,
         exact: bool = False,
         ef: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[SearchHit]:
         """Global top-``k``: per-shard top-``k`` fan-out, exact merge.
 
         Edge behaviour matches :meth:`Collection.search`: ``k = 0``
         returns no hits, oversized ``k`` truncates to the matching
-        population, negative ``k`` raises.
+        population, negative ``k`` raises. An expired ``deadline``
+        raises :class:`~repro.errors.DeadlineExceeded` *before* the
+        fan-out is dispatched — no shard sees over-budget work — and is
+        forwarded to every shard for their own choke-point checks.
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
+        if deadline is not None:
+            deadline.check("shard fan-out")
         query = np.asarray(vector, dtype=np.float32)
         if query.shape != (self.dim,):
             raise DimensionMismatch(
@@ -591,7 +598,8 @@ class ShardedCollection:
         if k == 0:
             return []
         per_shard = self._fan_out(
-            "search", query, k, flt=flt, exact=exact, ef=ef
+            "search", query, k, flt=flt, exact=exact, ef=ef,
+            deadline=deadline,
         )
         return _merge_top_k(per_shard, k)
 
@@ -603,10 +611,17 @@ class ShardedCollection:
         flt: Filter | None = None,
         exact: bool = False,
         ef: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[list[SearchHit]]:
-        """Batched :meth:`search`: one fan-out, per-query exact merges."""
+        """Batched :meth:`search`: one fan-out, per-query exact merges.
+
+        ``deadline`` follows the :meth:`search` contract: checked before
+        the fan-out is dispatched, then forwarded to every shard.
+        """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
+        if deadline is not None:
+            deadline.check("shard fan-out")
         queries = np.asarray(vectors, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise DimensionMismatch(
@@ -618,7 +633,8 @@ class ShardedCollection:
         if k == 0:
             return [[] for _ in range(n_queries)]
         per_shard = self._fan_out(
-            "search_batch", queries, k, flt=flt, exact=exact, ef=ef
+            "search_batch", queries, k, flt=flt, exact=exact, ef=ef,
+            deadline=deadline,
         )
         return [
             _merge_top_k([shard_lists[q] for shard_lists in per_shard], k)

@@ -134,7 +134,7 @@ class TestCLI:
         choices = set(actions["command"].choices)
         assert choices == {
             "build-data", "stats", "query", "table2", "queries", "reshard",
-            "snapshot", "serve", "demo",
+            "snapshot", "serve", "route", "demo",
         }
 
     def test_stats_command(self, capsys):

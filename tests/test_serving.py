@@ -170,6 +170,66 @@ class TestMicroBatcher:
             batcher.submit("k", 2)
         batcher.close()  # idempotent
 
+    def test_chaos_poison_with_deadlines_fails_alone(self):
+        """A fault injected into batch execution — with the deadline
+        machinery active — fails only the poisoned future, and the
+        per-item isolation retries pass each item's own deadline."""
+        from repro.testing import chaos
+        from repro.vectordb.deadline import Deadline
+
+        def poison_hook(name, key, items):
+            if "poison" in items:
+                raise RuntimeError("chaos: poison")
+
+        calls: list = []
+
+        def run(key, items, deadline=None):
+            calls.append((tuple(items), deadline))
+            return [f"ok:{i}" for i in items]
+
+        with chaos.fault("batcher.run_batch", poison_hook):
+            with MicroBatcher(run, max_batch=8, max_wait_s=30.0) as batcher:
+                deadline = Deadline.after(30.0)
+                futures = [
+                    batcher.submit(
+                        "k", "poison" if i == 3 else i, deadline=deadline
+                    )
+                    for i in range(8)
+                ]
+                outcomes = []
+                for f in futures:
+                    try:
+                        outcomes.append(f.result(timeout=5))
+                    except RuntimeError as exc:
+                        outcomes.append(f"error:{exc}")
+        assert outcomes[3] == "error:chaos: poison"
+        assert [o for i, o in enumerate(outcomes) if i != 3] == [
+            f"ok:{i}" for i in range(8) if i != 3
+        ]
+        assert batcher.stats.retried_singly == 8
+        # The hook killed the full batch before run ran; the seven
+        # isolation retries each carried the item's own deadline.
+        assert len(calls) == 7
+        assert all(d is deadline for _, d in calls)
+
+    def test_close_timeout_warns_and_reports_failure(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def run(key, items):
+            entered.set()
+            release.wait(30)
+            return items
+
+        batcher = MicroBatcher(run, max_batch=1, max_wait_s=0.0, name="wedge")
+        future = batcher.submit("k", 1)
+        assert entered.wait(5)  # run_batch is wedged mid-execution
+        with pytest.warns(RuntimeWarning, match="failed to stop"):
+            assert batcher.close(timeout=0.2) is False
+        release.set()
+        assert batcher.close(timeout=5.0) is True  # now it drains
+        assert future.result(timeout=5) == 1
+
     def test_run_batch_length_mismatch_is_isolated_not_swallowed(self):
         with MicroBatcher(
             lambda key, items: items[:-1] if len(items) > 1 else items,
@@ -427,6 +487,37 @@ class TestHttpServer:
         # around the default center
         assert _http_error(srv.url, "/query",
                            {"text": "tacos", "lat": 38.6}) == 400
+        status, _ = _http(srv.url, "/healthz")
+        assert status == 200
+
+    def test_bounded_body_reads_411_and_413(self, server):
+        """Missing/invalid Content-Length is 411, oversized is 413 —
+        refused without reading a byte, and the connection closes (an
+        unread body would poison the next keep-alive request)."""
+        import http.client
+
+        srv, _ = server
+        host, port = srv.address
+
+        def raw_post(headers: dict[str, str]) -> tuple[int, str | None]:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                conn.putrequest("POST", "/search")
+                for name, value in headers.items():
+                    conn.putheader(name, value)
+                conn.endheaders()
+                response = conn.getresponse()
+                response.read()
+                return response.status, response.getheader("Connection")
+            finally:
+                conn.close()
+
+        assert raw_post({}) == (411, "close")
+        assert raw_post({"Content-Length": "banana"}) == (411, "close")
+        assert raw_post({"Content-Length": "0"}) == (411, "close")
+        oversized = str(9 * 1024 * 1024)
+        assert raw_post({"Content-Length": oversized}) == (413, "close")
+        # the server survives all of it
         status, _ = _http(srv.url, "/healthz")
         assert status == 200
 
