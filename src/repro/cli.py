@@ -204,7 +204,7 @@ def cmd_snapshot_inspect(args: argparse.Namespace) -> int:
     if not info["mmap_capable"] or not info["graphs_persisted"]:
         print(
             f"\nhint: `python -m repro snapshot migrate {args.snapshot}` "
-            "rewrites this snapshot as schema v3 (memory-mappable vectors "
+            "rewrites this snapshot as schema v4 (memory-mappable vectors "
             "+ persisted HNSW graphs) for near-instant cold starts",
             file=sys.stderr,
         )
@@ -227,13 +227,15 @@ def cmd_snapshot_migrate(args: argparse.Namespace) -> int:
         args.snapshot,
         out_dir=args.out or None,
         build_graphs=not args.no_graphs,
+        quantize=args.quantize or None,
     )
     info = inspect_snapshot(written)
     shards = info["shards"] or 1
     print(
         f"migrated {args.snapshot} -> {written}: schema {info['schema']}, "
         f"{info['count']} points across {shards} shard(s), "
-        f"graphs {'persisted' if info['graphs_persisted'] else 'omitted'}"
+        f"graphs {'persisted' if info['graphs_persisted'] else 'omitted'}, "
+        f"quantize {info.get('quantize') or 'off'}"
     )
     return 0
 
@@ -284,6 +286,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         wal=args.wal or None,
     )
     collection = prepared.client.get_collection(prepared.collection_name)
+    if args.quantize:
+        # Attach an int8 tier to whatever was loaded/built; codes are
+        # fitted lazily on the first quantized search, and a snapshot
+        # that already carries a tier is left as-is.
+        from repro.vectordb.quantization import SQ8Store
+
+        for shard in getattr(
+            collection, "shard_collections", (collection,)
+        ):
+            if shard.quantize is None:
+                shard.attach_sq8(SQ8Store(shard.dim))
+        print(f"quantized tier: {collection.quantize} "
+              "(int8 codes, exact float32 rescoring)")
     if args.wal:
         stats = collection.wal_stats()
         depth = stats["records"] if stats else 0
@@ -492,13 +507,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=cmd_snapshot_inspect)
     sp = snap_sub.add_parser(
         "migrate",
-        help="rewrite a snapshot as schema v3 (mmap vectors + graphs)",
+        help="rewrite a snapshot as schema v4 (mmap vectors + graphs)",
     )
     sp.add_argument("snapshot", help="snapshot directory (save_collection)")
     sp.add_argument("--out", default="",
                     help="output directory (default: rewrite in place)")
     sp.add_argument("--no-graphs", action="store_true",
                     help="do not build/persist HNSW graphs during migration")
+    sp.add_argument("--quantize", choices=["sq8"], default="",
+                    help="add an int8 scalar-quantized storage tier "
+                         "(codes.npy + codebook.npz) to the rewritten "
+                         "snapshot")
     sp.set_defaults(func=cmd_snapshot_migrate)
 
     p = sub.add_parser("serve", help="run the concurrent HTTP query server")
@@ -515,6 +534,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-mmap", action="store_true",
                    help="load snapshot vectors into RAM instead of "
                         "memory-mapping them")
+    p.add_argument("--quantize", choices=["sq8"], default="",
+                   help="serve approximate searches from an int8 "
+                        "scalar-quantized tier with exact float32 "
+                        "rescoring (clients tune via rescore_factor)")
     p.add_argument("--wal", choices=["always", "batch", "off"], default="",
                    help="durable writes: log accepted writes to a "
                         "per-shard write-ahead log beside the snapshot "

@@ -18,7 +18,7 @@ Three classes:
   ``run_batch(key, items)``.
 * :class:`SearchCoalescer` — vector searches over a
   :class:`~repro.vectordb.client.VectorDBClient`; groups by
-  (collection, k, filter, exact, ef) and executes
+  (collection, k, filter, exact, ef, rescore_factor) and executes
   ``client.search_batch``.
 * :class:`QueryCoalescer` — full SemaSK pipeline queries; executes
   :meth:`~repro.core.pipeline.SemaSK.query_many` (which itself groups by
@@ -452,6 +452,7 @@ class _SearchKey:
     flt: Filter | None
     exact: bool
     ef: int | None
+    rescore_factor: float | None
 
 
 class SearchCoalescer:
@@ -459,7 +460,8 @@ class SearchCoalescer:
 
     Concurrent callers use :meth:`search` exactly like
     :meth:`VectorDBClient.search`; requests agreeing on (collection, k,
-    filter, exact, ef) are stacked into one matrix and answered by one
+    filter, exact, ef, rescore_factor) are stacked into one matrix and
+    answered by one
     :meth:`~repro.vectordb.client.VectorDBClient.search_batch` call —
     sharing the filter's candidate-set evaluation and the matrix–matrix
     scoring kernel across clients that never heard of each other.
@@ -501,6 +503,7 @@ class SearchCoalescer:
         return self._client.search_batch(
             key.collection, np.stack(vectors), key.k,
             flt=key.flt, exact=key.exact, ef=key.ef, deadline=deadline,
+            rescore_factor=key.rescore_factor,
         )
 
     def submit(
@@ -512,6 +515,7 @@ class SearchCoalescer:
         exact: bool = False,
         ef: int | None = None,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> Future:
         """Enqueue one search; the future resolves to its hit list.
 
@@ -530,7 +534,8 @@ class SearchCoalescer:
                 f"query shape {query.shape} != ({target.dim},)"
             )
         key = _SearchKey(
-            collection=collection, k=k, flt=flt, exact=exact, ef=ef
+            collection=collection, k=k, flt=flt, exact=exact, ef=ef,
+            rescore_factor=rescore_factor,
         )
         return self._batcher.submit(key, query, deadline=deadline)
 
@@ -544,6 +549,7 @@ class SearchCoalescer:
         ef: int | None = None,
         timeout: float | None = 30.0,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> list[SearchHit]:
         """Blocking :meth:`submit`: returns the hits (or re-raises).
 
@@ -554,7 +560,7 @@ class SearchCoalescer:
         """
         future = self.submit(
             collection, vector, k, flt=flt, exact=exact, ef=ef,
-            deadline=deadline,
+            deadline=deadline, rescore_factor=rescore_factor,
         )
         return _await_future(future, timeout, deadline)
 

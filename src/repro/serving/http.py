@@ -260,24 +260,27 @@ class ServingContext:
         ef: int | None = None,
         coalesce: bool = True,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> list[SearchHit]:
         """One kNN search, coalesced with concurrent callers by default.
 
         ``deadline`` is the request's remaining budget: an expired one
         raises :class:`~repro.errors.DeadlineExceeded` before any engine
         work is dispatched, and a live one rides along to the engine's
-        choke points (and caps the coalesced wait).
+        choke points (and caps the coalesced wait). ``rescore_factor``
+        tunes the quantized tier's exact-rescore candidate pool
+        (ignored for float32-only collections).
         """
         if deadline is not None:
             deadline.check("search dispatch")
         if self._search_coalescer is not None and coalesce:
             return self._search_coalescer.search(
                 collection, vector, k, flt=flt, exact=exact, ef=ef,
-                deadline=deadline,
+                deadline=deadline, rescore_factor=rescore_factor,
             )
         return self._client.search(
             collection, vector, k, flt=flt, exact=exact, ef=ef,
-            deadline=deadline,
+            deadline=deadline, rescore_factor=rescore_factor,
         )
 
     def query(
@@ -737,6 +740,10 @@ class _Handler(BaseHTTPRequestHandler):
             ef=int(body["ef"]) if body.get("ef") is not None else None,
             coalesce=bool(body.get("coalesce", True)),
             deadline=self._request_deadline(),
+            rescore_factor=(
+                float(body["rescore_factor"])
+                if body.get("rescore_factor") is not None else None
+            ),
         )
         # with_payload=false trims the response to ids + scores — POI
         # payloads carry full tip texts, which dominate the wire size.

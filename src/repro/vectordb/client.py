@@ -58,16 +58,21 @@ class VectorDBClient:
         hnsw: HnswConfig | None = None,
         exist_ok: bool = False,
         shards: int = 1,
+        quantize: str | None = None,
     ) -> AnyCollection:
         """Create a collection; ``exist_ok`` returns the existing one.
 
         ``shards > 1`` builds a hash-partitioned
         :class:`~repro.vectordb.sharded.ShardedCollection`; both backends
         expose the same surface, so callers need not care which they got.
-        With ``exist_ok``, the existing collection must match the
-        requested dim, metric, and shard count — silently returning a
-        differently-configured backend would surface as wrong scores or
-        far-away dimension errors instead of failing here.
+        ``quantize="sq8"`` adds an int8 scalar-quantized storage tier
+        (see :mod:`repro.vectordb.quantization`): graph traversal scores
+        against uint8 codes and the final top-k is rescored exactly
+        against float32. With ``exist_ok``, the existing collection must
+        match the requested dim, metric, shard count, and quantize kind —
+        silently returning a differently-configured backend would surface
+        as wrong scores or far-away dimension errors instead of failing
+        here.
         """
         if shards <= 0:
             raise CollectionError(
@@ -77,21 +82,26 @@ class VectorDBClient:
         if existing is not None:
             if exist_ok:
                 have = (existing.dim, existing.metric,
-                        getattr(existing, "n_shards", 1))
-                want = (dim, metric, shards)
+                        getattr(existing, "n_shards", 1),
+                        getattr(existing, "quantize", None))
+                want = (dim, metric, shards, quantize)
                 if have != want:
                     raise CollectionError(
                         f"collection {name!r} exists with "
-                        f"(dim, metric, shards)={have}, requested {want}"
+                        f"(dim, metric, shards, quantize)={have}, "
+                        f"requested {want}"
                     )
                 return existing
             raise CollectionExists(f"collection {name!r} already exists")
         if shards > 1:
             collection: AnyCollection = ShardedCollection(
-                name, dim, metric=metric, hnsw=hnsw, shards=shards
+                name, dim, metric=metric, hnsw=hnsw, shards=shards,
+                quantize=quantize,
             )
         else:
-            collection = Collection(name, dim, metric=metric, hnsw=hnsw)
+            collection = Collection(
+                name, dim, metric=metric, hnsw=hnsw, quantize=quantize
+            )
         self._collections[name] = collection
         return collection
 
@@ -130,7 +140,8 @@ class VectorDBClient:
         The in-memory counterpart of
         :func:`repro.vectordb.persistence.reshard_snapshot`: every point
         is re-assigned via ``shard_for(id, new_shards)``, global insertion
-        order, payloads, payload indexes, and the HNSW config carry over,
+        order, payloads, payload indexes, the quantized-tier setting, and
+        the HNSW config carry over,
         and the old backend is closed and replaced under the same name.
         ``new_shards=1`` produces a plain (unsharded) collection. If the
         old backend had its HNSW graphs built, the new one is built
@@ -142,14 +153,16 @@ class VectorDBClient:
             raise CollectionError(
                 f"shard count must be positive, got {new_shards}"
             )
+        quantize = getattr(old, "quantize", None)
         if new_shards > 1:
             new: AnyCollection = ShardedCollection(
                 name, old.dim, metric=old.metric, hnsw=old.hnsw_config,
-                shards=new_shards,
+                shards=new_shards, quantize=quantize,
             )
         else:
             new = Collection(
-                name, old.dim, metric=old.metric, hnsw=old.hnsw_config
+                name, old.dim, metric=old.metric, hnsw=old.hnsw_config,
+                quantize=quantize,
             )
         order = (
             old.point_order if isinstance(old, ShardedCollection)
@@ -175,10 +188,11 @@ class VectorDBClient:
     def save(self, name: str, directory: str | Path) -> None:
         """Snapshot the named collection to ``directory`` (atomic).
 
-        Writes snapshot schema v3: vectors as a raw float32 matrix (so a
-        later :meth:`load` can memory-map it) and any fully built HNSW
-        graphs alongside, making the next cold start O(metadata) instead
-        of O(graph rebuild). See
+        Writes snapshot schema v4: vectors as a raw float32 matrix (so a
+        later :meth:`load` can memory-map it), any fully built HNSW
+        graphs alongside, and — for quantized collections — the uint8
+        code matrix plus its codebook, making the next cold start
+        O(metadata) instead of O(graph rebuild + re-quantization). See
         :func:`repro.vectordb.persistence.save_collection`.
         """
         from repro.vectordb.persistence import save_collection
@@ -235,6 +249,7 @@ class VectorDBClient:
             "metric": collection.metric.value,
             "shards": getattr(collection, "n_shards", 1),
             "parallel": getattr(collection, "parallel", None),
+            "quantize": getattr(collection, "quantize", None),
             "hnsw_built": collection.hnsw_is_built,
             "indexed_payload_fields": sorted(
                 collection.indexed_payload_fields
@@ -269,10 +284,12 @@ class VectorDBClient:
         exact: bool = False,
         ef: int | None = None,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> list[SearchHit]:
         """Search the named collection (see :meth:`Collection.search`)."""
         return self.get_collection(name).search(
-            vector, k, flt=flt, exact=exact, ef=ef, deadline=deadline
+            vector, k, flt=flt, exact=exact, ef=ef, deadline=deadline,
+            rescore_factor=rescore_factor,
         )
 
     @array_contract(vectors="q,d:float32")
@@ -285,10 +302,12 @@ class VectorDBClient:
         exact: bool = False,
         ef: int | None = None,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> list[list[SearchHit]]:
         """Batched search (see :meth:`Collection.search_batch`)."""
         return self.get_collection(name).search_batch(
-            vectors, k, flt=flt, exact=exact, ef=ef, deadline=deadline
+            vectors, k, flt=flt, exact=exact, ef=ef, deadline=deadline,
+            rescore_factor=rescore_factor,
         )
 
     def count(self, name: str, flt: Filter | None = None) -> int:

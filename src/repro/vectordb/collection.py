@@ -41,6 +41,7 @@ pre- or post-write population, never a torn row.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -59,6 +60,14 @@ from repro.vectordb.filters import Filter
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.payload_index import PayloadIndexRegistry
+from repro.vectordb.quantization import SQ8Store, validate_quantize
+
+#: Default top-``rescore_factor·k`` candidate multiplier for quantized
+#: searches: the HNSW beam runs in code space, then the best ``4·k``
+#: candidates are rescored exactly against the float32 matrix. 4× is
+#: the conventional sweet spot (Qdrant's default oversampling range);
+#: the recall floor at this default is pinned by bench_quantization.
+DEFAULT_RESCORE_FACTOR = 4.0
 
 
 @dataclass(frozen=True)
@@ -118,6 +127,13 @@ class SnapshotView:
     graph_arrays: dict[str, np.ndarray] | None
     wal: "WriteAheadLog | None"
     wal_offset: int | None
+    #: ``quantize`` kind plus the sq8 tier's arrays (codes zero-copy,
+    #: codebook small) — None for unquantized collections. Captured
+    #: under the same lock as ``vectors`` so codes always cover exactly
+    #: the first ``len(ids)`` rows.
+    quantize: str | None = None
+    codes: np.ndarray | None = None
+    codebook: dict[str, np.ndarray] | None = None
 
 
 class Collection:
@@ -132,6 +148,7 @@ class Collection:
         dim: int,
         metric: Metric = Metric.COSINE,
         hnsw: HnswConfig | None = None,
+        quantize: str | None = None,
     ) -> None:
         if not name:
             raise CollectionError("collection name must be non-empty")
@@ -146,6 +163,22 @@ class Collection:
         self._payload_indexes = PayloadIndexRegistry()
         self._wal: "WriteAheadLog | None" = None
         self._write_lock = threading.RLock()
+        self._quantize = validate_quantize(quantize)
+        self._sq8: SQ8Store | None = (
+            SQ8Store(dim) if self._quantize else None
+        )
+        if self._quantize:
+            self._flat.pickle_by_handle = True
+
+    @property
+    def quantize(self) -> str | None:
+        """The active quantized-tier kind (``"sq8"``) or ``None``."""
+        return self._quantize
+
+    @property
+    def sq8_store(self) -> SQ8Store | None:
+        """The quantized tier (``None`` when ``quantize`` is off)."""
+        return self._sq8
 
     def __getstate__(self) -> dict[str, Any]:
         """Pickle without the lock or the WAL handle.
@@ -329,6 +362,11 @@ class Collection:
                 # also survive a crash.
                 if self._wal is not None and accepted:
                     self._wal.append_points(accepted)
+            if self._sq8 is not None and inserted:
+                # Quantize the appended rows eagerly (WAL replay lands
+                # here too); searches also sync lazily, so a batch that
+                # raised mid-way just leaves the tier to catch up then.
+                self._sq8.sync(self._flat.matrix())
             return inserted
 
     def create_payload_index(self, field: str) -> None:
@@ -444,6 +482,7 @@ class Collection:
                     ef_construction=cfg.ef_construction, seed=cfg.seed,
                     dim=self.dim,
                 )
+                index.pickle_by_handle = self._quantize is not None
                 self._hnsw = index
             elif len(index) < len(self._ids):
                 for node in range(len(index), len(self._ids)):
@@ -474,10 +513,110 @@ class Collection:
                     f"attached graph has {len(index)} nodes, collection has "
                     f"only {len(self._ids)} points"
                 )
+            index.pickle_by_handle = self._quantize is not None
             self._hnsw = index
 
     def _ensure_hnsw(self) -> HNSWIndex:
         return self.build_hnsw()
+
+    def attach_sq8(self, store: SQ8Store) -> None:
+        """Install an externally built quantized tier (snapshot loads).
+
+        Turns the collection quantized even when it was constructed
+        without ``quantize=`` — the load path builds the collection
+        first and attaches the persisted tier only after the codes
+        survive validation, degrading to plain float32 on any defect.
+        The store may trail the collection (rows appended by WAL replay
+        are re-quantized on the next sync); it must not be *ahead* of
+        it, and its dimensionality must match.
+        """
+        with self._write_lock:
+            if store.dim != self.dim:
+                raise CollectionError(
+                    f"attached sq8 tier dim {store.dim} != collection dim "
+                    f"{self.dim}"
+                )
+            if store.count > len(self._ids):
+                raise CollectionError(
+                    f"attached sq8 tier has {store.count} rows, collection "
+                    f"has only {len(self._ids)} points"
+                )
+            self._quantize = "sq8"
+            self._sq8 = store
+            # Replicas of a quantized collection ship the mmap handle of
+            # the float32 matrix instead of its bytes (see FlatIndex) —
+            # from both the flat tier and any already-attached graph,
+            # which share the same storage.
+            self._flat.pickle_by_handle = True
+            if self._hnsw is not None:
+                self._hnsw.pickle_by_handle = True
+
+    def _ensure_sq8(self) -> SQ8Store:
+        """The quantized tier, synced to cover every inserted row."""
+        store = self._sq8
+        if store is None:  # pragma: no cover - guarded by callers
+            raise CollectionError(
+                f"collection {self.name!r} has no quantized tier"
+            )
+        if store.count < len(self._ids):
+            # sync() re-checks under its own lock; rows [0, n) of the
+            # matrix are immutable, so racing an upsert is safe.
+            store.sync(self._flat.matrix())
+        return store
+
+    def _sq8_graph_search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: int | None,
+        rescore_factor: float | None,
+        matching: np.ndarray | None = None,
+        match_set: set[int] | None = None,
+    ) -> list[tuple[int, float]]:
+        """Quantized traversal + exact rescore (the sq8 read path).
+
+        The HNSW beam runs over the uint8 codes in a rewritten score
+        space (see :meth:`SQ8Store.traversal_query`), collecting the
+        top-``max(k, ceil(rescore_factor·k))`` candidates; those are
+        then scored *exactly* against the float32 matrix, so returned
+        scores are always true float32 similarities. When the candidate
+        budget covers the whole (matching) population, traversal is
+        skipped and the search degenerates to the exact float32 scan —
+        which is what makes ``rescore_factor=len(collection)``
+        bit-identical to ``exact=True`` by construction.
+        """
+        factor = (
+            DEFAULT_RESCORE_FACTOR
+            if rescore_factor is None
+            else float(rescore_factor)
+        )
+        if not factor >= 1.0:
+            raise ValueError(
+                f"rescore_factor must be >= 1.0, got {rescore_factor}"
+            )
+        m_cand = max(k, int(math.ceil(factor * k)))
+        population = (
+            int(matching.size) if matching is not None else len(self._ids)
+        )
+        if m_cand >= population:
+            return self._flat.search(query, k, subset=matching)
+        store = self._ensure_sq8()
+        graph = self._ensure_hnsw()
+        matrix_like, w = store.traversal_query(query, self._metric)
+        view = graph.traversal_view(matrix_like)
+        predicate = (
+            (lambda n: n in match_set) if match_set is not None else None
+        )
+        found = view.search(
+            w, m_cand, ef=ef or self._hnsw_config.ef_search,
+            predicate=predicate,
+        )
+        if not found:
+            return []
+        nodes = np.fromiter(
+            (node for node, _ in found), dtype=np.int64, count=len(found)
+        )
+        return self._flat.search(query, k, subset=nodes)
 
     @array_contract(vector="d:float32")
     def search(
@@ -488,12 +627,18 @@ class Collection:
         exact: bool = False,
         ef: int | None = None,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> list[SearchHit]:
         """Top-``k`` most similar points, optionally filtered.
 
         ``exact=True`` forces brute-force scoring (used to measure HNSW
         recall). Otherwise, selective filters use exact scoring over the
-        matching subset and broad/absent filters use the HNSW graph.
+        matching subset and broad/absent filters use the HNSW graph —
+        traversed over the quantized tier when the collection was
+        created with ``quantize="sq8"``, with the top
+        ``rescore_factor·k`` candidates rescored exactly against the
+        float32 matrix (default ``DEFAULT_RESCORE_FACTOR``; ignored for
+        unquantized collections).
 
         ``k = 0`` returns no hits and ``k`` beyond the population
         truncates to every (matching) point; negative ``k`` raises.
@@ -514,6 +659,7 @@ class Collection:
             )
         if k == 0 or len(self._ids) == 0:
             return []
+        quantized = self._sq8 is not None and not exact
 
         if flt is not None:
             matching = self._matching_nodes(flt)
@@ -523,6 +669,11 @@ class Collection:
                 deadline.check("scoring")
             if exact or matching.size <= self.BRUTE_FORCE_THRESHOLD:
                 raw = self._flat.search(query, k, subset=matching)
+            elif quantized:
+                raw = self._sq8_graph_search(
+                    query, k, ef, rescore_factor,
+                    matching=matching, match_set=set(matching.tolist()),
+                )
             else:
                 match_set = set(matching.tolist())
                 raw = self._ensure_hnsw().search(
@@ -531,6 +682,8 @@ class Collection:
                 )
         elif exact:
             raw = self._flat.search(query, k)
+        elif quantized:
+            raw = self._sq8_graph_search(query, k, ef, rescore_factor)
         else:
             raw = self._ensure_hnsw().search(
                 query, k, ef=ef or self._hnsw_config.ef_search
@@ -554,6 +707,7 @@ class Collection:
         exact: bool = False,
         ef: int | None = None,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> list[list[SearchHit]]:
         """Top-``k`` hits for each query row, against one shared filter.
 
@@ -582,6 +736,7 @@ class Collection:
             return []
         if k == 0 or len(self._ids) == 0:
             return [[] for _ in range(n_queries)]
+        quantized = self._sq8 is not None and not exact
 
         if flt is not None:
             matching = self._matching_nodes(flt)
@@ -591,6 +746,15 @@ class Collection:
                 deadline.check("scoring")
             if exact or matching.size <= self.BRUTE_FORCE_THRESHOLD:
                 raw_lists = self._flat.search_batch(queries, k, subset=matching)
+            elif quantized:
+                match_set = set(matching.tolist())
+                raw_lists = [
+                    self._sq8_graph_search(
+                        query, k, ef, rescore_factor,
+                        matching=matching, match_set=match_set,
+                    )
+                    for query in queries
+                ]
             else:
                 match_set = set(matching.tolist())
                 index = self._ensure_hnsw()
@@ -600,6 +764,11 @@ class Collection:
                 )
         elif exact:
             raw_lists = self._flat.search_batch(queries, k)
+        elif quantized:
+            raw_lists = [
+                self._sq8_graph_search(query, k, ef, rescore_factor)
+                for query in queries
+            ]
         else:
             raw_lists = self._ensure_hnsw().search_batch(
                 queries, k, ef=ef or self._hnsw_config.ef_search
@@ -655,6 +824,15 @@ class Collection:
                 if self.hnsw_is_built and n
                 else None
             )
+            codes = codebook = None
+            if self._sq8 is not None and n:
+                self._sq8.sync(self._flat.matrix())
+                arrays = self._sq8.as_arrays()
+                if arrays is not None:
+                    codes = arrays["codes"]
+                    codebook = {
+                        "mins": arrays["mins"], "steps": arrays["steps"],
+                    }
             return SnapshotView(
                 name=self.name,
                 dim=self.dim,
@@ -667,6 +845,9 @@ class Collection:
                 graph_arrays=graph_arrays,
                 wal=self._wal,
                 wal_offset=self._wal.offset if self._wal is not None else None,
+                quantize=self._quantize,
+                codes=codes,
+                codebook=codebook,
             )
 
     def payload_rows(self) -> list[dict[str, Any]]:
@@ -690,6 +871,7 @@ class Collection:
         metric: Metric = Metric.COSINE,
         hnsw: HnswConfig | None = None,
         dim: int | None = None,
+        quantize: str | None = None,
     ) -> "Collection":
         """Rebuild a collection from :meth:`export_state` output.
 
@@ -704,7 +886,8 @@ class Collection:
             )
         if dim is None:
             dim = vectors.shape[1] if vectors.ndim == 2 else 1
-        collection = cls(name, dim, metric=metric, hnsw=hnsw)
+        collection = cls(name, dim, metric=metric, hnsw=hnsw,
+                         quantize=quantize)
         if vectors.size:
             collection.upsert(
                 PointStruct(id=i, vector=v, payload=p)
@@ -723,6 +906,7 @@ class Collection:
         metric: Metric = Metric.COSINE,
         hnsw: HnswConfig | None = None,
         dim: int | None = None,
+        quantize: str | None = None,
     ) -> "Collection":
         """Restore a collection *around* ``vectors`` without copying them.
 
@@ -746,9 +930,12 @@ class Collection:
             raise CollectionError(
                 f"matrix dim {vectors.shape[1]} != declared dim {dim}"
             )
-        collection = cls(name, dim, metric=metric, hnsw=hnsw)
+        collection = cls(name, dim, metric=metric, hnsw=hnsw,
+                         quantize=quantize)
         if vectors.shape[0]:
             collection._flat = FlatIndex.from_matrix(vectors, metric=metric)
+            if collection._quantize:
+                collection._flat.pickle_by_handle = True
         collection._ids = list(ids)
         collection._payloads = list(payloads)
         collection._id_to_node = {

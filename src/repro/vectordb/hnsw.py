@@ -62,6 +62,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.vectordb.contracts import array_contract
+from repro.vectordb.flat import mapped_pickle_handle, remap_from_handle
 
 
 class HNSWIndex:
@@ -107,6 +108,12 @@ class HNSWIndex:
         # Thread-local so concurrent searches stay as safe as the per-call
         # set they replaced (concurrent add() is unsupported, as before).
         self._visited_tls = threading.local()
+        #: When set (quantized collections do), pickling replaces an
+        #: mmap-backed vector matrix with its (path, dtype, shape, offset)
+        #: handle — the graph shares storage with the collection's
+        #: FlatIndex, and shipping both by value would put *two* float32
+        #: copies of the corpus in every shard-replica pickle.
+        self.pickle_by_handle = False
 
     def __len__(self) -> int:
         return self._count
@@ -116,11 +123,21 @@ class HNSWIndex:
         # and cannot (and need not) cross process boundaries.
         state = self.__dict__.copy()
         del state["_visited_tls"]
+        if state.get("pickle_by_handle"):
+            handle = mapped_pickle_handle(self._vectors[: self._count])
+            if handle is not None:
+                state["_vectors"] = None
+                state["_vectors_handle"] = handle
         return state
 
     def __setstate__(self, state: dict) -> None:
+        handle = state.pop("_vectors_handle", None)
         self.__dict__.update(state)
+        if handle is not None:
+            self._vectors = remap_from_handle(handle)
         self._visited_tls = threading.local()
+        # Older pickles predate the handle flag.
+        self.__dict__.setdefault("pickle_by_handle", False)
 
     @property
     def dim(self) -> int:
@@ -645,6 +662,35 @@ class HNSWIndex:
                 )
             index._sync_adj0(node)
         return index
+
+    def traversal_view(self, matrix) -> "HNSWIndex":
+        """A shallow clone of this index that scores against ``matrix``.
+
+        The graph (links, entry point, levels) is shared; only the
+        storage the beam search dots against is swapped. This is how the
+        sq8 tier reuses the float32-built graph: the collection passes
+        the uint8 code matrix (or an energy-adjusted wrapper) plus a
+        rewritten query so ``matrix[block] @ query`` ranks nodes in the
+        quantized score space. ``matrix`` needs only ``.shape`` and
+        block indexing whose result supports ``@`` — it is never
+        written. The clone also shares the thread-local visited scratch
+        (safe: the stamp counter is per-thread monotonic, and the stamp
+        array resizes to the larger of the two matrices' row counts).
+        Views are cheap to make and should be recreated per search —
+        inserts into the live index do not propagate.
+        """
+        if matrix.shape[0] < self._count:
+            raise ValueError(
+                f"traversal matrix has {matrix.shape[0]} rows but the "
+                f"graph has {self._count} nodes"
+            )
+        if isinstance(matrix, np.ndarray) and matrix.flags.writeable:
+            matrix = matrix.view()
+            matrix.flags.writeable = False
+        view = object.__new__(type(self))
+        view.__dict__.update(self.__dict__)
+        view._vectors = matrix
+        return view
 
     # ------------------------------------------------------------------
     # search

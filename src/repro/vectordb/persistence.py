@@ -1,6 +1,6 @@
 """Snapshot persistence for vector-database collections.
 
-Snapshot schema v3. A single-collection snapshot is a directory with:
+Snapshot schema v4. A single-collection snapshot is a directory with:
 
 * ``vectors.npy`` — the dense float32 matrix, written uncompressed so a
   reload can ``np.load(..., mmap_mode="r")`` it and serve searches off
@@ -13,8 +13,15 @@ Snapshot schema v3. A single-collection snapshot is a directory with:
   as-is, making cold start O(metadata) instead of O(graph rebuild); a
   missing, truncated, or config-mismatched graph file degrades to the
   old lazy rebuild with a :class:`RuntimeWarning`, never a failed load;
+* ``codes.npy`` + ``codebook.npz`` — the int8 scalar-quantized tier
+  (schema v4, written only for ``quantize="sq8"`` collections): raw
+  uint8 codes mmap-able exactly like the vectors, the per-dimension
+  min/step codebook, and a CRC-32 over both in the meta. A damaged or
+  mismatched tier degrades the load to float32 serving with a
+  :class:`RuntimeWarning` — same contract as the graph file;
 * ``meta.json`` — name, dim, metric, count, the ``hnsw`` config, and
-  the ``indexed_payload_fields`` list, so a reload restores search
+  the ``indexed_payload_fields`` list (plus ``quantize`` and
+  ``sq8_checksum`` when quantized), so a reload restores search
   behaviour — not just the data.
 
 A :class:`~repro.vectordb.sharded.ShardedCollection` snapshot is a
@@ -72,6 +79,7 @@ import shutil
 import time
 import uuid
 import warnings
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 
@@ -81,6 +89,7 @@ from repro.errors import CollectionError
 from repro.vectordb.collection import Collection, HnswConfig, SnapshotView
 from repro.vectordb.distance import Metric
 from repro.vectordb.hnsw import HNSWIndex
+from repro.vectordb.quantization import SQ8Store, validate_quantize
 from repro.vectordb.sharded import AnyCollection, ShardedCollection, shard_for
 from repro.vectordb.wal import (
     FSYNC_MODES,
@@ -91,14 +100,21 @@ from repro.vectordb.wal import (
     wal_directory,
 )
 
-#: Current snapshot schema version.
-SCHEMA_VERSION = 3
+#: Current snapshot schema version. v4 = v3 + the optional quantized
+#: tier (``codes.npy`` + ``codebook.npz`` + ``quantize``/``sq8_checksum``
+#: meta keys); v4 snapshots of unquantized collections are byte-for-byte
+#: v3 layouts apart from the version number, and v1–v3 still load.
+SCHEMA_VERSION = 4
 
 _META_FILE = "meta.json"
 _VECTORS_FILE_V3 = "vectors.npy"
 _VECTORS_FILE_LEGACY = "vectors.npz"
 _PAYLOADS_FILE = "payloads.jsonl"
 _GRAPH_FILE = "graph.npz"
+#: Schema v4 quantized tier: raw uint8 codes (mmap-able, like
+#: ``vectors.npy``) and the small per-dimension codebook.
+_CODES_FILE = "codes.npy"
+_CODEBOOK_FILE = "codebook.npz"
 
 
 #: Temp siblings older than this are presumed stranded by a dead save
@@ -285,7 +301,7 @@ def save_collection(
     Before staging, temp siblings stranded by previously interrupted
     saves are swept (see :func:`_sweep_stale_temps`).
     """
-    if schema not in (2, SCHEMA_VERSION):
+    if schema not in (2, 3, SCHEMA_VERSION):
         raise CollectionError(f"cannot write snapshot schema {schema}")
     directory = Path(directory)
     directory.parent.mkdir(parents=True, exist_ok=True)
@@ -467,6 +483,7 @@ def inspect_snapshot(directory: str | Path) -> dict:
         "indexed_payload_fields": sorted(
             meta.get("indexed_payload_fields", ())
         ),
+        "quantize": meta.get("quantize"),
     }
     if "shards" in meta:
         shard_dirs = [
@@ -489,11 +506,13 @@ def inspect_snapshot(directory: str | Path) -> dict:
                 "path": str(shard_path),
                 "vector_format": vector_format,
                 "graph": (shard_path / _GRAPH_FILE).exists(),
+                "codes": (shard_path / _CODES_FILE).exists(),
             }
         )
     info["storage"] = details
     info["mmap_capable"] = all(d["vector_format"] == "npy" for d in details)
     info["graphs_persisted"] = all(d["graph"] for d in details)
+    info["codes_persisted"] = all(d["codes"] for d in details)
     info["wal"] = _inspect_wal(directory)
     info["stale_temps"] = [path.name for path in _temp_siblings(directory)]
     return info
@@ -534,23 +553,39 @@ def migrate_snapshot(
     snapshot_dir: str | Path,
     out_dir: str | Path | None = None,
     build_graphs: bool = True,
+    quantize: str | None = None,
 ) -> Path:
-    """Rewrite any loadable snapshot as schema v3 (CLI ``snapshot migrate``).
+    """Rewrite any loadable snapshot as schema v4 (CLI ``snapshot migrate``).
 
     Loads the snapshot (any schema), optionally builds missing HNSW
     graphs so they are persisted too (``build_graphs=True``, the default
     — the whole point of migrating is a fast cold start), and saves it
     back atomically. ``build_graphs=False`` writes no graph files at all,
     even ones the source snapshot carried — the opt-out exists to strip
-    graphs, not merely to skip building them. ``out_dir`` defaults to
-    rewriting in place. Returns the directory written. Raises
-    :class:`~repro.errors.CollectionError` when ``snapshot_dir`` holds
-    no loadable snapshot; the target is untouched on failure.
+    graphs, not merely to skip building them. ``quantize="sq8"`` fits a
+    codebook and persists the quantized tier for a snapshot that never
+    had one (an existing tier is carried over either way — migration is
+    also how a pre-v4 snapshot gains codes without re-ingesting).
+    ``out_dir`` defaults to rewriting in place. Returns the directory
+    written. Raises :class:`~repro.errors.CollectionError` when
+    ``snapshot_dir`` holds no loadable snapshot; the target is untouched
+    on failure.
     """
     snapshot_dir = Path(snapshot_dir)
+    quantize = validate_quantize(quantize)
     target = snapshot_dir if out_dir is None else Path(out_dir)
     collection = load_collection(snapshot_dir)
     try:
+        if quantize == "sq8":
+            shards = (
+                collection.shard_collections
+                if isinstance(collection, ShardedCollection)
+                else (collection,)
+            )
+            for shard in shards:
+                if shard.quantize is None:
+                    # snapshot_view syncs (fits + encodes) before saving.
+                    shard.attach_sq8(SQ8Store(shard.dim))
         if build_graphs and len(collection):
             collection.build_hnsw()
         save_collection(collection, target, include_graphs=build_graphs)
@@ -574,10 +609,11 @@ def reshard_snapshot(
     and within every new shard points keep their global-insertion-order
     ranking, so a reload sees identical ``scroll`` order, counts,
     payload-index configuration, and ``HnswConfig``. The result is
-    always the sharded layout (``new_shards`` may be 1), written as
-    schema v3 without graph files — shard membership changed, so
-    persisted graphs no longer describe any shard; the next load
-    rebuilds lazily (or run :func:`migrate_snapshot` to re-persist).
+    always the sharded layout (``new_shards`` may be 1), written
+    without graph or quantized-tier files — shard membership changed,
+    so persisted graphs and per-shard codebooks no longer describe any
+    shard; the next load rebuilds graphs lazily (or run
+    :func:`migrate_snapshot`, with ``quantize="sq8"`` to re-fit codes).
 
     ``out_dir`` defaults to rewriting ``snapshot_dir`` in place (built in
     a temporary sibling, swapped in on success). Returns the directory
@@ -700,9 +736,16 @@ def _meta_dict(
     hnsw: dict,
     indexed: list[str],
     schema: int = SCHEMA_VERSION,
+    quantize: str | None = None,
+    sq8_checksum: int | None = None,
 ) -> dict:
-    """The one place snapshot ``meta.json`` keys are spelled out."""
-    return {
+    """The one place snapshot ``meta.json`` keys are spelled out.
+
+    ``quantize``/``sq8_checksum`` (schema v4) are written only when the
+    collection carries a quantized tier, so unquantized v4 metas stay
+    key-compatible with v3.
+    """
+    meta = {
         "schema": schema,
         "name": name,
         "dim": dim,
@@ -711,6 +754,11 @@ def _meta_dict(
         "hnsw": hnsw,
         "indexed_payload_fields": indexed,
     }
+    if quantize is not None:
+        meta["quantize"] = quantize
+        if sq8_checksum is not None:
+            meta["sq8_checksum"] = int(sq8_checksum)
+    return meta
 
 
 def _base_meta(collection: AnyCollection, schema: int = SCHEMA_VERSION) -> dict:
@@ -722,7 +770,25 @@ def _base_meta(collection: AnyCollection, schema: int = SCHEMA_VERSION) -> dict:
         hnsw=asdict(collection.hnsw_config),
         indexed=sorted(collection.indexed_payload_fields),
         schema=schema,
+        quantize=(
+            getattr(collection, "quantize", None) if schema >= 4 else None
+        ),
     )
+
+
+def _sq8_checksum(
+    codes: np.ndarray, mins: np.ndarray, steps: np.ndarray
+) -> int:
+    """CRC-32 over the quantized tier's bytes (codes then codebook).
+
+    Computed from the arrays' buffers directly (``.data``), so even a
+    memory-mapped code matrix is checksummed without materializing a
+    copy — page-cache reads only.
+    """
+    crc = zlib.crc32(np.ascontiguousarray(codes, dtype=np.uint8).data)
+    crc = zlib.crc32(np.ascontiguousarray(mins, dtype=np.float32).data, crc)
+    crc = zlib.crc32(np.ascontiguousarray(steps, dtype=np.float32).data, crc)
+    return crc
 
 
 def _save_view(
@@ -741,6 +807,7 @@ def _save_view(
     graph_arrays = (
         view.graph_arrays if (schema >= 3 and include_graphs) else None
     )
+    quantize = view.quantize if schema >= 4 else None
     _write_single_raw(
         directory,
         name=view.name,
@@ -753,6 +820,9 @@ def _save_view(
         indexed=list(view.indexed_fields),
         schema=schema,
         graph_arrays=graph_arrays,
+        quantize=quantize,
+        codes=view.codes if quantize else None,
+        codebook=view.codebook if quantize else None,
     )
 
 
@@ -768,6 +838,9 @@ def _write_single_raw(
     indexed: list[str],
     schema: int = SCHEMA_VERSION,
     graph_arrays: dict | None = None,
+    quantize: str | None = None,
+    codes: np.ndarray | None = None,
+    codebook: dict | None = None,
 ) -> None:
     """Write one single-collection snapshot from raw arrays.
 
@@ -775,7 +848,10 @@ def _write_single_raw(
     :meth:`~repro.vectordb.hnsw.HNSWIndex.to_arrays` — arrays rather
     than a live index, because save captures the graph under the write
     lock (a live index could keep growing) and workers only need the
-    arrays anyway.
+    arrays anyway. ``codes``/``codebook`` (schema v4, quantized
+    collections) land in ``codes.npy`` — raw, so loads can mmap it like
+    the vectors — and ``codebook.npz``; their CRC-32 goes into the meta
+    so a load can tell bit rot from a valid-but-different tier.
     """
     directory.mkdir(parents=True, exist_ok=True)
     if schema >= 3:
@@ -788,6 +864,16 @@ def _write_single_raw(
         np.savez_compressed(directory / _VECTORS_FILE_LEGACY, vectors=vectors)
     if graph_arrays is not None:
         np.savez(directory / _GRAPH_FILE, **graph_arrays)
+    sq8_checksum = None
+    if quantize and codes is not None and codebook is not None:
+        np.save(
+            directory / _CODES_FILE,
+            np.ascontiguousarray(codes, dtype=np.uint8),
+        )
+        np.savez(directory / _CODEBOOK_FILE, **codebook)
+        sq8_checksum = _sq8_checksum(
+            codes, codebook["mins"], codebook["steps"]
+        )
     with open(directory / _PAYLOADS_FILE, "w", encoding="utf-8") as fh:
         for point_id, payload in zip(ids, payloads):
             fh.write(
@@ -798,6 +884,7 @@ def _write_single_raw(
     meta = _meta_dict(
         name=name, dim=dim, metric=metric, count=len(ids),
         hnsw=hnsw, indexed=indexed, schema=schema,
+        quantize=quantize, sq8_checksum=sq8_checksum,
     )
     (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
 
@@ -936,6 +1023,67 @@ def _attach_stored_graph(
     collection.attach_hnsw(graph)
 
 
+def _attach_quantized_tier(
+    collection: Collection,
+    directory: Path,
+    meta: dict,
+    mmap: bool = False,
+) -> None:
+    """Attach the persisted sq8 tier to a freshly loaded collection.
+
+    Only runs when the meta declares ``"quantize": "sq8"``. The codes
+    and codebook must load cleanly, agree with the collection's shape,
+    and match the recorded CRC-32 — *any* defect (missing or truncated
+    files, wrong dtype/shape, flipped bits) degrades the collection to
+    its float32 tier with a :class:`RuntimeWarning`, mirroring the
+    graph fallback above: a damaged quantized tier can cost memory,
+    never correctness, because the float32 matrix is always present
+    and exact. ``mmap=True`` maps the codes read-only (the checksum
+    pass touches the pages but allocates nothing).
+    """
+    try:
+        if validate_quantize(meta.get("quantize")) != "sq8":
+            return
+    except ValueError as exc:
+        warnings.warn(
+            f"ignoring unknown quantize kind in {directory} ({exc}); "
+            "serving the float32 tier instead",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return
+    if len(collection) == 0:
+        # Nothing was quantized yet; just turn the tier on.
+        collection.attach_sq8(SQ8Store(collection.dim))
+        return
+    codes_path = directory / _CODES_FILE
+    try:
+        codes = np.load(codes_path, mmap_mode="r" if mmap else None)
+        with np.load(directory / _CODEBOOK_FILE) as npz:
+            mins = np.asarray(npz["mins"], dtype=np.float32)
+            steps = np.asarray(npz["steps"], dtype=np.float32)
+        if codes.ndim != 2 or codes.shape[0] != len(collection):
+            raise ValueError(
+                f"codes shape {codes.shape} disagrees with the "
+                f"{len(collection)}-point collection"
+            )
+        expected = meta.get("sq8_checksum")
+        if expected is not None and _sq8_checksum(
+            codes, mins, steps
+        ) != int(expected):
+            raise ValueError("sq8 checksum mismatch (bit rot?)")
+        store = SQ8Store.from_arrays(codes, mins, steps)
+    except Exception as exc:  # reprolint: last-resort -- any unusable quantized tier degrades to float32, surfaced via warning
+        warnings.warn(
+            f"ignoring unusable quantized tier {codes_path} ({exc}); "
+            "serving the float32 tier instead",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return
+    collection.attach_sq8(store)
+
+
 def _load_single(
     directory: Path,
     hnsw: HnswConfig | None,
@@ -959,4 +1107,5 @@ def _load_single(
     _attach_stored_graph(
         collection, directory, collection.hnsw_config, _stored_hnsw(meta)
     )
+    _attach_quantized_tier(collection, directory, meta, mmap=mmap)
     return collection

@@ -181,6 +181,7 @@ class ShardedCollection:
         hnsw: HnswConfig | None = None,
         shards: int = 2,
         parallel: str = "thread",
+        quantize: str | None = None,
     ) -> None:
         if shards <= 0:
             raise CollectionError(
@@ -194,6 +195,7 @@ class ShardedCollection:
             [
                 Collection(
                     f"{name}/shard-{i:02d}", dim, metric=metric, hnsw=hnsw,
+                    quantize=quantize,
                 )
                 for i in range(shards)
             ],
@@ -313,6 +315,21 @@ class ShardedCollection:
         # do that outside the lock so in-flight writes are not stalled
         # behind the teardown.
         old.close()
+
+    @property
+    def quantize(self) -> str | None:
+        """Quantized-tier kind active on the shards (``None`` = float32-only).
+
+        Derived from the shards rather than stored: a snapshot load may
+        degrade one shard's quantized tier (damaged ``codes.npy``) while
+        its siblings keep theirs, and this property must report what is
+        actually serving. Any shard with a tier reports the collection as
+        quantized — searches on degraded shards simply run float32.
+        """
+        for shard in self._shards:
+            if shard.quantize is not None:
+                return shard.quantize
+        return None
 
     @property
     def shard_collections(self) -> tuple[Collection, ...]:
@@ -576,6 +593,7 @@ class ShardedCollection:
         exact: bool = False,
         ef: int | None = None,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> list[SearchHit]:
         """Global top-``k``: per-shard top-``k`` fan-out, exact merge.
 
@@ -585,6 +603,8 @@ class ShardedCollection:
         raises :class:`~repro.errors.DeadlineExceeded` *before* the
         fan-out is dispatched — no shard sees over-budget work — and is
         forwarded to every shard for their own choke-point checks.
+        ``rescore_factor`` is forwarded to every shard's quantized
+        rescoring stage (ignored by shards serving float32-only).
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
@@ -599,7 +619,7 @@ class ShardedCollection:
             return []
         per_shard = self._fan_out(
             "search", query, k, flt=flt, exact=exact, ef=ef,
-            deadline=deadline,
+            deadline=deadline, rescore_factor=rescore_factor,
         )
         return _merge_top_k(per_shard, k)
 
@@ -612,11 +632,13 @@ class ShardedCollection:
         exact: bool = False,
         ef: int | None = None,
         deadline: Deadline | None = None,
+        rescore_factor: float | None = None,
     ) -> list[list[SearchHit]]:
         """Batched :meth:`search`: one fan-out, per-query exact merges.
 
         ``deadline`` follows the :meth:`search` contract: checked before
-        the fan-out is dispatched, then forwarded to every shard.
+        the fan-out is dispatched, then forwarded to every shard, as is
+        ``rescore_factor`` for shards with a quantized tier.
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
@@ -634,7 +656,7 @@ class ShardedCollection:
             return [[] for _ in range(n_queries)]
         per_shard = self._fan_out(
             "search_batch", queries, k, flt=flt, exact=exact, ef=ef,
-            deadline=deadline,
+            deadline=deadline, rescore_factor=rescore_factor,
         )
         return [
             _merge_top_k([shard_lists[q] for shard_lists in per_shard], k)

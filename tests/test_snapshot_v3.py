@@ -120,7 +120,7 @@ class TestCompatibilityMatrix:
         snap = tmp_path / "snap"
         save_collection(original, snap)
         info = inspect_snapshot(snap)
-        assert info["schema"] == 3
+        assert info["schema"] == 4
         assert info["graphs_persisted"]
         loaded = load_collection(snap)
         # The persisted graph must be attached, not rebuilt lazily …
@@ -146,7 +146,7 @@ class TestCompatibilityMatrix:
         assert inspect_snapshot(snap)["graphs_persisted"]
         migrate_snapshot(snap, build_graphs=False)
         info = inspect_snapshot(snap)
-        assert info["schema"] == 3
+        assert info["schema"] == 4
         assert not info["graphs_persisted"]
         loaded = load_collection(snap)
         assert not loaded.hnsw_is_built  # rebuilt lazily, as requested
@@ -160,7 +160,7 @@ class TestCompatibilityMatrix:
         assert not inspect_snapshot(snap)["mmap_capable"]
         migrate_snapshot(snap)
         info = inspect_snapshot(snap)
-        assert info["schema"] == 3
+        assert info["schema"] == 4
         assert info["mmap_capable"] and info["graphs_persisted"]
         loaded = load_collection(snap, mmap=True)
         assert loaded.hnsw_is_built
@@ -442,5 +442,5 @@ class TestCli:
         assert out["schema"] == 2 and out["shards"] == 2
 
         assert main(["snapshot", "migrate", str(snap)]) == 0
-        assert "schema 3" in capsys.readouterr().out
+        assert "schema 4" in capsys.readouterr().out
         assert inspect_snapshot(snap)["graphs_persisted"]
